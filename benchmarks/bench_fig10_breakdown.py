@@ -1,0 +1,90 @@
+"""Fig. 10 — per-stage breakdown for the column-wise query processors.
+
+For AIRScan_C, AIRScan_C_P and AIRScan_C_P_G, each SSB query's execution
+time is split into the paper's three stages: (1) leaf-table processing
+(predicate + group vectors), (2) fact scan / Measure Index generation,
+(3) measure-column aggregation.  Expected shape: the leaf stage is a small
+fraction; array aggregation (C_P_G) shrinks the aggregation stage by close
+to an order of magnitude versus the hash-aggregating variants.
+"""
+
+import pytest
+
+from conftest import BENCH_SF, write_report
+from repro.bench import format_table, ms
+from repro.engine import AStoreEngine
+from repro.workloads import SSB_QUERIES
+
+VARIANTS3 = ("AIRScan_C", "AIRScan_C_P", "AIRScan_C_P_G")
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def engine_map(ssb_air):
+    return {name: AStoreEngine.variant(ssb_air, name).query
+            for name in VARIANTS3}
+
+
+@pytest.mark.parametrize("variant", ("AIRScan_C_P", "AIRScan_C_P_G"))
+def bench_aggregation_stage_full_scan(benchmark, engine_map, variant):
+    """Array vs hash aggregation with 100% selectivity (99 groups).
+
+    The SSB queries are highly selective, so at bench scale their
+    aggregation stages are tiny; this unselective grouping query isolates
+    the paper's array-vs-hash contrast directly.
+    """
+    from repro.workloads import GROUPING_QUERY
+
+    run = engine_map[variant]
+    result = benchmark.pedantic(lambda: run(GROUPING_QUERY), rounds=3,
+                                iterations=1, warmup_rounds=1)
+    RESULTS[("fullscan-agg", variant)] = ms(result.stats.aggregation_seconds)
+
+
+@pytest.mark.parametrize("variant", VARIANTS3)
+@pytest.mark.parametrize("query_id", list(SSB_QUERIES))
+def bench_stage_breakdown(benchmark, engine_map, variant, query_id):
+    run = engine_map[variant]
+    sql = SSB_QUERIES[query_id]
+    result = benchmark.pedantic(lambda: run(sql), rounds=3, iterations=1,
+                                warmup_rounds=1)
+    stats = result.stats
+    RESULTS[(query_id, variant)] = (
+        ms(stats.leaf_seconds), ms(stats.scan_seconds),
+        ms(stats.aggregation_seconds))
+
+
+def bench_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["variant", "leaf ms", "scan ms", "aggregation ms", "total ms"]
+    rows = []
+    totals = {}
+    for variant in VARIANTS3:
+        stages = [RESULTS[(q, variant)] for q in SSB_QUERIES
+                  if (q, variant) in RESULTS]
+        if not stages:
+            continue
+        n = len(stages)
+        leaf = sum(s[0] for s in stages) / n
+        scan = sum(s[1] for s in stages) / n
+        agg = sum(s[2] for s in stages) / n
+        totals[variant] = (leaf, scan, agg)
+        rows.append([variant, leaf, scan, agg, leaf + scan + agg])
+    text = format_table(
+        f"Fig. 10: average stage breakdown across SSB (sf={BENCH_SF})",
+        headers, rows)
+    hash_agg = RESULTS.get(("fullscan-agg", "AIRScan_C_P"))
+    array_agg = RESULTS.get(("fullscan-agg", "AIRScan_C_P_G"))
+    if hash_agg is not None and array_agg is not None:
+        text += (f"\nfull-scan grouping (99 groups): hash agg "
+                 f"{hash_agg:.2f} ms vs array agg {array_agg:.2f} ms "
+                 f"({hash_agg / array_agg:.1f}x)")
+    write_report("fig10_breakdown", text)
+    if hash_agg is not None and array_agg is not None:
+        # array aggregation beats hash aggregation clearly when the
+        # selection is wide (the paper's near-order-of-magnitude gap)
+        assert array_agg < hash_agg
+    if "AIRScan_C_P_G" in totals:
+        # leaf processing is a small fraction of the total
+        leaf, scan, agg = totals["AIRScan_C_P_G"]
+        assert leaf < 0.5 * (leaf + scan + agg)

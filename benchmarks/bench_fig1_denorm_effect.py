@@ -1,0 +1,84 @@
+"""Fig. 1 — denormalization versus normal MMDBs on SSB (average times).
+
+The motivating experiment: each engine's SSB average, normalized and
+denormalized, plus hand-coded denormalization and A-Store (virtual
+denormalization).  Expected shape: ``*_D`` variants beat their normalized
+engines (except the MonetDB-like baseline, whose full-column predicate
+passes dominate on the wide table); A-Store lands next to hand-coded
+denormalization at the front.
+"""
+
+import pytest
+
+from conftest import BENCH_SF, write_report
+from repro.baselines import (
+    FusedEngine,
+    MaterializingEngine,
+    VectorizedPipelineEngine,
+)
+from repro.bench import format_ratio_note, format_table, ms
+from repro.engine import AStoreEngine
+from repro.workloads import SSB_QUERIES, denormalize_query
+
+BARS = ("MonetDB-like", "MonetDB-like_D", "Vectorwise-like",
+        "Vectorwise-like_D", "Hyper-like", "Hyper-like_D",
+        "Denormalization", "A-Store")
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def engine_map(ssb_air, ssb_raw, ssb_wide, denorm_engine):
+    return {
+        "MonetDB-like": lambda q: MaterializingEngine(ssb_raw).query(
+            SSB_QUERIES[q]),
+        "MonetDB-like_D": lambda q: MaterializingEngine(ssb_wide).query(
+            denormalize_query(q, ssb_air)),
+        "Vectorwise-like": lambda q: VectorizedPipelineEngine(ssb_raw).query(
+            SSB_QUERIES[q]),
+        "Vectorwise-like_D": lambda q: VectorizedPipelineEngine(
+            ssb_wide).query(denormalize_query(q, ssb_air)),
+        "Hyper-like": lambda q: FusedEngine(ssb_raw).query(SSB_QUERIES[q]),
+        "Hyper-like_D": lambda q: FusedEngine(ssb_wide).query(
+            denormalize_query(q, ssb_air)),
+        "Denormalization": lambda q: denorm_engine.query(SSB_QUERIES[q]),
+        "A-Store": lambda q: AStoreEngine(ssb_air).query(SSB_QUERIES[q]),
+    }
+
+
+@pytest.mark.parametrize("bar", BARS)
+def bench_ssb_average(benchmark, engine_map, bar):
+    run = engine_map[bar]
+
+    def sweep():
+        for query_id in SSB_QUERIES:
+            run(query_id)
+
+    benchmark.pedantic(sweep, rounds=2, iterations=1, warmup_rounds=1)
+    RESULTS[bar] = ms(benchmark.stats.stats.min) / len(SSB_QUERIES)
+
+
+def bench_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [[bar, RESULTS.get(bar, float("nan"))] for bar in BARS]
+    text = format_table(
+        f"Fig. 1: SSB average per engine (sf={BENCH_SF})",
+        ["engine", "avg ms/query"], rows)
+    notes = []
+    for engine in ("Vectorwise-like", "Hyper-like"):
+        if engine in RESULTS and f"{engine}_D" in RESULTS:
+            notes.append(format_ratio_note(
+                f"{engine}_D", RESULTS[f"{engine}_D"],
+                engine, RESULTS[engine]))
+    if "A-Store" in RESULTS and "Denormalization" in RESULTS:
+        notes.append(format_ratio_note(
+            "A-Store", RESULTS["A-Store"],
+            "Denormalization", RESULTS["Denormalization"]))
+    text += "\n" + "\n".join(notes)
+    write_report("fig1_denorm_effect", text)
+    # shape: denormalization helps the pipelining engines
+    assert RESULTS["Hyper-like_D"] < RESULTS["Hyper-like"] * 1.1
+    assert RESULTS["Vectorwise-like_D"] < RESULTS["Vectorwise-like"] * 1.1
+    # and A-Store sits near the hand-coded denormalized front-runner
+    assert RESULTS["A-Store"] < min(
+        RESULTS["MonetDB-like"], RESULTS["Vectorwise-like"],
+        RESULTS["Hyper-like"])

@@ -1,0 +1,60 @@
+"""Fig. 9 — the five AIRScan variants (Table 6) across all SSB queries.
+
+AIRScan_R (row-wise) → +predicate vectors (R_P) → column-wise selection
+vectors (C) → +predicate vectors (C_P) → +array aggregation (C_P_G).
+Expected shape: average time strictly improves along that sequence, with
+column-wise scan the largest single step (the paper: 752.68 → 675.49 →
+513.40 → 322.61 ms).
+"""
+
+import pytest
+
+from conftest import BENCH_SF, write_report
+from repro.bench import format_table, ms
+from repro.engine import AStoreEngine, VARIANTS
+from repro.workloads import SSB_QUERIES
+
+RESULTS: dict = {}
+VARIANT_ORDER = ("AIRScan_R", "AIRScan_R_P", "AIRScan_C", "AIRScan_C_P",
+                 "AIRScan_C_P_G")
+
+
+@pytest.fixture(scope="module")
+def engine_map(ssb_air):
+    return {name: AStoreEngine.variant(ssb_air, name).query
+            for name in VARIANTS}
+
+
+@pytest.mark.parametrize("variant", VARIANT_ORDER)
+@pytest.mark.parametrize("query_id", list(SSB_QUERIES))
+def bench_variant_query(benchmark, engine_map, variant, query_id):
+    run = engine_map[variant]
+    sql = SSB_QUERIES[query_id]
+    benchmark.pedantic(lambda: run(sql), rounds=2, iterations=1,
+                       warmup_rounds=1)
+    RESULTS[(query_id, variant)] = ms(benchmark.stats.stats.min)
+
+
+def bench_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["query"] + [f"{v} ms" for v in VARIANT_ORDER]
+    rows = []
+    for query_id in SSB_QUERIES:
+        if (query_id, VARIANT_ORDER[0]) not in RESULTS:
+            continue
+        rows.append([query_id] + [RESULTS.get((query_id, v), float("nan"))
+                                  for v in VARIANT_ORDER])
+    if not rows:
+        return
+    avgs = {v: sum(RESULTS[(q, v)] for q in SSB_QUERIES
+                   if (q, v) in RESULTS) / 13 for v in VARIANT_ORDER}
+    rows.append(["AVG"] + [avgs[v] for v in VARIANT_ORDER])
+    text = format_table(
+        f"Fig. 9: AIRScan variants on SSB (sf={BENCH_SF}); paper AVG ms: "
+        "R=752.7, R_P=675.5, C_P=513.4, C_P_G=322.6",
+        headers, rows)
+    write_report("fig9_variants", text)
+    # shape: every optimization step helps on average
+    assert avgs["AIRScan_C_P_G"] <= avgs["AIRScan_C_P"] * 1.05
+    assert avgs["AIRScan_C_P"] <= avgs["AIRScan_C"] * 1.05
+    assert avgs["AIRScan_C_P_G"] < avgs["AIRScan_R"]

@@ -1,0 +1,77 @@
+"""Table 4 — predicate processing and grouping&aggregation on the
+denormalized (universal) table, per baseline engine.
+
+The 13 SSB queries are rewritten for the materialized universal table and
+run through the MonetDB-like, Vectorwise-like, and Hyper-like engines;
+each engine's stage timers provide the paper's two-column breakdown.
+
+Expected shape: the Hyper-like engine leads predicate processing (fused
+short-circuit scan), the MonetDB-like engine trails badly on both stages
+(full-column bitmaps over the wide table + sort-based grouping over every
+selected row).
+"""
+
+import pytest
+
+from conftest import BENCH_SF, write_report
+from repro.baselines import (
+    FusedEngine,
+    MaterializingEngine,
+    VectorizedPipelineEngine,
+)
+from repro.bench import format_table, ms
+from repro.workloads import SSB_QUERIES, denormalize_query
+
+ENGINES = ("MonetDB-like", "Vectorwise-like", "Hyper-like")
+RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def engine_map(ssb_wide):
+    return {
+        "MonetDB-like": MaterializingEngine(ssb_wide).query,
+        "Vectorwise-like": VectorizedPipelineEngine(ssb_wide).query,
+        "Hyper-like": FusedEngine(ssb_wide).query,
+    }
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("query_id", list(SSB_QUERIES))
+def bench_denormalized_query(benchmark, engine_map, ssb_air, engine_name,
+                             query_id):
+    run = engine_map[engine_name]
+    stmt = denormalize_query(query_id, ssb_air)
+    result = benchmark.pedantic(lambda: run(stmt), rounds=3, iterations=1,
+                                warmup_rounds=1)
+    stats = result.stats
+    RESULTS[(query_id, engine_name)] = (
+        ms(stats.leaf_seconds + stats.scan_seconds),
+        ms(stats.aggregation_seconds),
+    )
+
+
+def bench_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = (["query"]
+               + [f"{e} pred ms" for e in ENGINES]
+               + [f"{e} group&agg ms" for e in ENGINES])
+    rows = []
+    for query_id in SSB_QUERIES:
+        if (query_id, ENGINES[0]) not in RESULTS:
+            continue
+        pred = [RESULTS[(query_id, e)][0] for e in ENGINES]
+        agg = [RESULTS[(query_id, e)][1] for e in ENGINES]
+        rows.append([query_id] + pred + agg)
+    if rows:
+        n = len(rows)
+        avg = ["AVG"] + [sum(r[i] for r in rows) / n
+                         for i in range(1, 2 * len(ENGINES) + 1)]
+        rows.append(avg)
+    text = format_table(
+        f"Table 4: denormalized-table stage breakdown (sf={BENCH_SF})",
+        headers, rows)
+    write_report("table4_denorm_breakdown", text)
+    # shape: MonetDB-like predicate processing is the slowest on average
+    if rows:
+        avg_row = rows[-1]
+        assert avg_row[1] >= max(avg_row[2], avg_row[3]) * 0.8

@@ -1,0 +1,63 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Scale is controlled by ``REPRO_BENCH_SF`` (SSB scale factor, default 0.02
+≈ 120k fact rows) and ``REPRO_BENCH_JOIN_SCALE`` (fraction of the paper's
+Table 2 cardinalities, default 1e-3).  Every bench module both feeds
+pytest-benchmark and writes a paper-style summary table to
+``benchmarks/results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import DenormalizedEngine, materialize_universal
+from repro.datagen import generate_ssb
+
+BENCH_SF = float(os.environ.get("REPRO_BENCH_SF", "0.02"))
+JOIN_SCALE = float(os.environ.get("REPRO_BENCH_JOIN_SCALE", "1e-3"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_sf():
+    return BENCH_SF
+
+
+@pytest.fixture(scope="session")
+def ssb_air():
+    """AIR-loaded SSB at benchmark scale (A-Store engines)."""
+    return generate_ssb(sf=BENCH_SF, seed=42, airify=True)
+
+
+@pytest.fixture(scope="session")
+def ssb_raw():
+    """Key-valued SSB at benchmark scale (baseline engines)."""
+    return generate_ssb(sf=BENCH_SF, seed=42, airify=False)
+
+
+@pytest.fixture(scope="session")
+def ssb_wide(ssb_air):
+    """The materialized universal table (the ``*_D`` substrate)."""
+    return materialize_universal(ssb_air)
+
+
+@pytest.fixture(scope="session")
+def denorm_engine(ssb_air):
+    return DenormalizedEngine(ssb_air)
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a summary table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """The report sink shared by all bench modules."""
+    return write_report

@@ -1,0 +1,80 @@
+"""Quickstart: build a small star schema, load it with AIR, run queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AStoreEngine, Database
+
+
+def build_database() -> Database:
+    """A small sales star schema defined by hand."""
+    db = Database("shop")
+
+    db.create_table("products", {
+        "p_id": [1, 2, 3, 4],
+        "p_name": ["laptop", "phone", "tablet", "monitor"],
+        "p_class": ["computing", "mobile", "mobile", "peripherals"],
+    }, dict_threshold=1.0)
+
+    db.create_table("stores", {
+        "s_id": [10, 20, 30],
+        "s_city": ["Berlin", "Paris", "Berlin"],
+    }, dict_threshold=1.0)
+
+    db.create_table("sales", {
+        "sale_id": list(range(1, 13)),
+        "product_id": [1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4],
+        "store_id": [10, 10, 20, 20, 30, 30, 10, 20, 30, 10, 20, 30],
+        "amount": [1200, 800, 450, 300, 1150, 820, 480, 280, 1250, 790,
+                   430, 310],
+        "quantity": [1, 2, 1, 3, 1, 1, 2, 1, 1, 2, 1, 2],
+    })
+
+    # Declare the foreign keys; airify() turns them into array index
+    # references — after this, joins are positional lookups.
+    db.add_reference("sales", "product_id", "products", "p_id")
+    db.add_reference("sales", "store_id", "stores", "s_id")
+    db.airify()
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    engine = AStoreEngine(db)
+
+    print("== revenue by product class and city ==")
+    result = engine.query("""
+        SELECT p_class, s_city, sum(amount) AS revenue, count(*) AS n
+        FROM sales, products, stores
+        WHERE product_id = p_id AND store_id = s_id
+        GROUP BY p_class, s_city
+        ORDER BY revenue DESC
+    """)
+    for row in result.to_dicts():
+        print(f"  {row}")
+
+    print("\n== the optimizer's plan for that query ==")
+    print(engine.explain("""
+        SELECT p_class, sum(amount) AS revenue
+        FROM sales, products, stores
+        WHERE product_id = p_id AND store_id = s_id
+          AND s_city = 'Berlin'
+        GROUP BY p_class
+    """))
+
+    print("\n== execution statistics ==")
+    result = engine.query("""
+        SELECT p_class, sum(amount) AS revenue FROM sales, products, stores
+        WHERE s_city = 'Berlin' GROUP BY p_class ORDER BY revenue DESC
+    """)
+    stats = result.stats
+    print(f"  scanned {stats.rows_scanned} fact rows, "
+          f"selected {stats.rows_selected}, "
+          f"{stats.groups} groups, "
+          f"array aggregation: {stats.used_array_aggregation}")
+    for row in result.rows():
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baseline engines: MonetDB/Vectorwise/Hyper-like executors and
+materialized denormalization."""
+
+from .common import HashJoinProvider, build_hash_tables
+from .denormalized import DenormalizedEngine, materialize_universal
+from .engines import (
+    BaselineEngine,
+    FusedEngine,
+    MaterializingEngine,
+    VectorizedPipelineEngine,
+)
+
+__all__ = [
+    "BaselineEngine",
+    "build_hash_tables",
+    "DenormalizedEngine",
+    "FusedEngine",
+    "HashJoinProvider",
+    "materialize_universal",
+    "MaterializingEngine",
+    "VectorizedPipelineEngine",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness: timing, reporting, and the shared experiment driver."""
+
+from .harness import (
+    DEFAULT_REPEAT,
+    DEFAULT_SCALE,
+    EngineUnderTest,
+    run_ssb_suite,
+    ssb_database,
+    standard_engines,
+    suite_rows,
+)
+from .report import format_ratio_note, format_table
+from .timing import best_of, ms, ns_per_tuple
+
+__all__ = [
+    "best_of", "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest",
+    "format_ratio_note", "format_table", "ms", "ns_per_tuple",
+    "run_ssb_suite", "ssb_database", "standard_engines", "suite_rows",
+]

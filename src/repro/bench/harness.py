@@ -1,0 +1,102 @@
+"""The experiment driver shared by the ``benchmarks/`` modules.
+
+Centralizes dataset construction (one cached pair of airified and raw SSB
+databases per scale), suite execution over multiple engines, and the
+paper-style summary emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..baselines import (
+    DenormalizedEngine,
+    FusedEngine,
+    MaterializingEngine,
+    VectorizedPipelineEngine,
+)
+from ..core import Database
+from ..datagen import generate_ssb
+from ..engine.executor import AStoreEngine, VARIANTS
+from ..workloads.ssb_queries import SSB_QUERIES
+from .timing import best_of, ms
+
+DEFAULT_SCALE = float(__import__("os").environ.get("REPRO_BENCH_SF", "0.02"))
+DEFAULT_REPEAT = int(__import__("os").environ.get("REPRO_BENCH_REPEAT", "3"))
+
+_ssb_cache: Dict[tuple, Database] = {}
+
+
+def ssb_database(sf: float = DEFAULT_SCALE, seed: int = 42,
+                 airify: bool = True) -> Database:
+    """A cached SSB database (one per (sf, seed, airify) triple)."""
+    key = (sf, seed, airify)
+    if key not in _ssb_cache:
+        _ssb_cache[key] = generate_ssb(sf=sf, seed=seed, airify=airify)
+    return _ssb_cache[key]
+
+
+@dataclass
+class EngineUnderTest:
+    """A named engine with a uniform ``run(sql) -> QueryResult`` interface."""
+
+    name: str
+    run: Callable[[str], object]
+
+
+def standard_engines(sf: float = DEFAULT_SCALE,
+                     include: Optional[Sequence[str]] = None,
+                     workers: int = 1) -> List[EngineUnderTest]:
+    """The engine line-up of the paper's Section 6.
+
+    Names: ``MonetDB-like``, ``Vectorwise-like``, ``Hyper-like`` (the
+    baselines over key-valued data), ``A-Store`` (AIRScan_C_P_G over AIR
+    data), ``Denormalized`` (A-Store machinery over the materialized
+    universal table), plus the five ``AIRScan_*`` variants.
+    """
+    air = ssb_database(sf, airify=True)
+    raw = ssb_database(sf, airify=False)
+    engines: List[EngineUnderTest] = []
+
+    def add(name: str, run):
+        if include is None or name in include:
+            engines.append(EngineUnderTest(name, run))
+
+    add("MonetDB-like", MaterializingEngine(raw).query)
+    add("Vectorwise-like", VectorizedPipelineEngine(raw).query)
+    add("Hyper-like", FusedEngine(raw).query)
+    astore = AStoreEngine.variant(air, "AIRScan_C_P_G", workers=workers)
+    add("A-Store", astore.query)
+    if include is None or "Denormalized" in include:
+        denorm = DenormalizedEngine(air)
+        add("Denormalized", denorm.query)
+    for variant in VARIANTS:
+        add(variant, AStoreEngine.variant(air, variant, workers=workers).query)
+    return engines
+
+
+def run_ssb_suite(engines: Sequence[EngineUnderTest],
+                  query_ids: Optional[Sequence[str]] = None,
+                  repeat: int = DEFAULT_REPEAT) -> Dict[str, Dict[str, float]]:
+    """Best-of-N milliseconds for each (engine, SSB query) pair."""
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    times: Dict[str, Dict[str, float]] = {e.name: {} for e in engines}
+    for query_id in ids:
+        sql = SSB_QUERIES[query_id]
+        for engine in engines:
+            seconds, _ = best_of(lambda: engine.run(sql), repeat=repeat)
+            times[engine.name][query_id] = ms(seconds)
+    return times
+
+
+def suite_rows(times: Dict[str, Dict[str, float]],
+               query_ids: Sequence[str]) -> List[List]:
+    """Rows (one per query + AVG) for :func:`repro.bench.format_table`."""
+    engines = list(times)
+    rows: List[List] = []
+    for query_id in query_ids:
+        rows.append([query_id] + [times[e][query_id] for e in engines])
+    rows.append(
+        ["AVG"] + [sum(times[e].values()) / len(times[e]) for e in engines])
+    return rows

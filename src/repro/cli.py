@@ -1,0 +1,143 @@
+"""Command-line interface for the A-Store engine.
+
+Subcommands::
+
+    astore generate --benchmark ssb --sf 0.01 --out ssb.npz
+    astore query ssb.npz "SELECT d_year, sum(lo_revenue) AS r
+                          FROM lineorder, date GROUP BY d_year" [--explain]
+    astore ssb ssb.npz                       # run all 13 SSB queries
+    astore validate ssb.npz                  # referential-integrity check
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench import best_of, format_table, ms
+from .core.statistics import validate_references
+from .datagen import generate_ssb, generate_tpcds, generate_tpch
+from .engine import AStoreEngine, EngineOptions, VARIANTS
+from .errors import AStoreError
+from .io import dump_csv, load_database, save_database
+
+_GENERATORS = {
+    "ssb": generate_ssb,
+    "tpch": generate_tpch,
+    "tpcds": generate_tpcds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="astore",
+        description="A-Store: virtual denormalization for main-memory OLAP",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a benchmark database")
+    gen.add_argument("--benchmark", choices=sorted(_GENERATORS),
+                     default="ssb")
+    gen.add_argument("--sf", type=float, default=0.01,
+                     help="scale factor (SF=1 is the official size)")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    query = sub.add_parser("query", help="run one SQL query")
+    query.add_argument("database", help="a .npz archive from 'generate'")
+    query.add_argument("sql", help="the SPJGA query text")
+    query.add_argument("--variant", choices=sorted(VARIANTS),
+                       default="AIRScan_C_P_G")
+    query.add_argument("--workers", type=int, default=1)
+    query.add_argument("--explain", action="store_true",
+                       help="print the plan instead of executing")
+    query.add_argument("--csv", metavar="PATH",
+                       help="also write the result to a CSV file")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max rows to print (default 20)")
+
+    ssb = sub.add_parser("ssb", help="run the 13 SSB queries")
+    ssb.add_argument("database", help="a .npz archive of an SSB database")
+    ssb.add_argument("--repeat", type=int, default=3)
+    ssb.add_argument("--variant", choices=sorted(VARIANTS),
+                     default="AIRScan_C_P_G")
+
+    val = sub.add_parser("validate", help="check referential integrity")
+    val.add_argument("database", help="a .npz archive")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except AStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); not an error
+        return 0
+
+
+def _dispatch(args) -> int:
+    if args.command == "generate":
+        db = _GENERATORS[args.benchmark](sf=args.sf, seed=args.seed)
+        save_database(db, args.out)
+        rows = {name: table.num_rows for name, table in db.tables.items()}
+        print(f"wrote {args.out}: " + ", ".join(
+            f"{name}={n:,}" for name, n in rows.items()))
+        return 0
+
+    if args.command == "query":
+        db = load_database(args.database)
+        engine = AStoreEngine.variant(db, args.variant, workers=args.workers)
+        if args.explain:
+            print(engine.explain(args.sql))
+            return 0
+        result = engine.query(args.sql)
+        shown = result.rows()[: args.limit]
+        print(format_table(
+            f"{len(result)} rows ({result.stats.total_seconds * 1e3:.2f} ms,"
+            f" {result.stats.variant})",
+            result.column_order, shown))
+        if len(result) > args.limit:
+            print(f"... {len(result) - args.limit} more rows")
+        if args.csv:
+            dump_csv(result, args.csv)
+            print(f"wrote {args.csv}")
+        return 0
+
+    if args.command == "ssb":
+        from .workloads import SSB_QUERIES
+
+        db = load_database(args.database)
+        engine = AStoreEngine.variant(db, args.variant)
+        rows = []
+        for query_id, sql in SSB_QUERIES.items():
+            seconds, result = best_of(lambda: engine.query(sql),
+                                      repeat=args.repeat)
+            rows.append([query_id, len(result), ms(seconds)])
+        rows.append(["AVG", "", sum(r[2] for r in rows) / len(rows)])
+        print(format_table(f"SSB with {args.variant}",
+                           ["query", "groups", "best ms"], rows))
+        return 0
+
+    if args.command == "validate":
+        db = load_database(args.database)
+        problems = validate_references(db)
+        if problems:
+            for problem in problems:
+                print(f"VIOLATION: {problem}")
+            return 1
+        print(f"{db.name}: {len(db.references)} references consistent")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

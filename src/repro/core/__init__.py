@@ -1,0 +1,47 @@
+"""Core storage model: array families, AIR columns, bitmaps, and the catalog."""
+
+from .bitmap import Bitmap
+from .column import (
+    AIRColumn,
+    Column,
+    DictColumn,
+    FixedColumn,
+    StringColumn,
+    make_column,
+)
+from .dictionary import Dictionary
+from .schema import Database, Reference, ReferencePath
+from .statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    assert_consistent,
+    collect_statistics,
+    statistics_for,
+    validate_references,
+)
+from .table import Table
+from .types import DataType
+from .vector import SelectionVector
+
+__all__ = [
+    "AIRColumn",
+    "assert_consistent",
+    "collect_statistics",
+    "ColumnStatistics",
+    "statistics_for",
+    "TableStatistics",
+    "validate_references",
+    "Bitmap",
+    "Column",
+    "Database",
+    "DataType",
+    "DictColumn",
+    "Dictionary",
+    "FixedColumn",
+    "make_column",
+    "Reference",
+    "ReferencePath",
+    "SelectionVector",
+    "StringColumn",
+    "Table",
+]

@@ -1,0 +1,151 @@
+"""Column and table statistics for cost-based planning.
+
+A-Store's optimizer needs three quantities: predicate selectivities,
+dimension sizes (filter-vs-probe), and group-by cardinalities
+(array-vs-hash).  This module collects them once at load time so repeated
+planning does not re-sample the data; the optimizer falls back to its
+sampling estimators for columns without collected statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import SchemaError
+from .column import AIRColumn, DictColumn, StringColumn
+from .schema import Database
+from .table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics of one column.
+
+    ``distinct`` is exact for dictionary columns and for columns scanned
+    whole; for sampled columns it is a lower bound flagged by
+    ``is_estimate``.
+    """
+
+    rows: int
+    distinct: int
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    is_estimate: bool = False
+
+    @property
+    def density(self) -> float:
+        """Average rows per distinct value."""
+        return self.rows / self.distinct if self.distinct else 0.0
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for every column of one table."""
+
+    rows: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+
+def collect_statistics(db: Database, sample_rows: int = 262_144
+                       ) -> Dict[str, TableStatistics]:
+    """Collect statistics for all tables and attach them to *db*.
+
+    The result is stored on ``db.statistics`` (and returned).  Columns of
+    tables larger than *sample_rows* are sampled evenly; the ``distinct``
+    count is then marked as an estimate.
+    """
+    stats: Dict[str, TableStatistics] = {}
+    for name, table in db.tables.items():
+        stats[name] = _table_statistics(table, sample_rows)
+    db.statistics = stats  # type: ignore[attr-defined]
+    return stats
+
+
+def _table_statistics(table: Table, sample_rows: int) -> TableStatistics:
+    out = TableStatistics(rows=table.num_rows)
+    for col_name, column in table.columns.items():
+        if isinstance(column, DictColumn):
+            out.columns[col_name] = ColumnStatistics(
+                rows=len(column), distinct=column.cardinality)
+            continue
+        if isinstance(column, StringColumn):
+            values = column.values()
+            sampled = len(values) > sample_rows
+            if sampled:
+                idx = np.linspace(0, len(values) - 1, sample_rows).astype(int)
+                values = values[idx]
+            out.columns[col_name] = ColumnStatistics(
+                rows=len(column), distinct=len(set(values)),
+                is_estimate=sampled)
+            continue
+        values = column.values()
+        sampled = len(values) > sample_rows
+        probe = values
+        if sampled:
+            idx = np.linspace(0, len(values) - 1, sample_rows).astype(int)
+            probe = values[idx]
+        distinct = int(len(np.unique(probe)))
+        minimum = float(values.min()) if len(values) else None
+        maximum = float(values.max()) if len(values) else None
+        if isinstance(column, AIRColumn):
+            # an AIR column's domain is the parent table's row space
+            distinct = min(distinct, int(maximum - minimum + 1)) if len(values) else 0
+        out.columns[col_name] = ColumnStatistics(
+            rows=len(column), distinct=distinct, minimum=minimum,
+            maximum=maximum, is_estimate=sampled)
+    return out
+
+
+def statistics_for(db: Database, table: str,
+                   column: str) -> Optional[ColumnStatistics]:
+    """Collected statistics for one column, or None if not collected."""
+    stats = getattr(db, "statistics", None)
+    if stats is None or table not in stats:
+        return None
+    return stats[table].columns.get(column)
+
+
+def validate_references(db: Database) -> list[str]:
+    """Check referential integrity of every AIR column.
+
+    Returns a list of human-readable problems (empty = consistent):
+    out-of-range references, references to deleted parent slots, and
+    declared references that were never AIR-loaded.
+    """
+    problems: list[str] = []
+    for ref in db.references:
+        child = db.table(ref.child_table)
+        column = child[ref.child_column]
+        if not isinstance(column, AIRColumn):
+            problems.append(f"{ref}: child column is not AIR-loaded")
+            continue
+        parent = db.table(ref.parent_table)
+        refs = column.values()
+        live_child = child.live_mask()
+        active = refs[live_child]
+        if len(active) == 0:
+            continue
+        if active.min() < 0 or active.max() >= parent.num_rows:
+            problems.append(f"{ref}: reference out of range "
+                            f"[0, {parent.num_rows})")
+            continue
+        if parent.has_deletes:
+            parent_live = parent.live_mask()
+            dangling = ~parent_live[active]
+            if dangling.any():
+                bad = int(active[dangling][0])
+                problems.append(
+                    f"{ref}: live child rows reference deleted parent "
+                    f"slot {bad}")
+    return problems
+
+
+def assert_consistent(db: Database) -> None:
+    """Raise :class:`SchemaError` if :func:`validate_references` finds
+    any integrity violation."""
+    problems = validate_references(db)
+    if problems:
+        raise SchemaError("; ".join(problems))

@@ -1,0 +1,297 @@
+"""The array-family table (Sections 2 and 4.4 of the paper).
+
+A table is a set of equal-length, fully aligned arrays — one per column.
+The array index is the implicit primary key: tuple *i* is the *i*-th element
+of every array.  Update handling follows the paper:
+
+* **insertion** appends into reserved tail capacity, preferring the slots of
+  previously deleted tuples (slot reuse, enabled by the surrogate key having
+  no semantic meaning);
+* **deletion** is lazy — a deletion bit vector marks tuples out-of-date;
+* **update** is in-place (varchar updates only relocate heap addresses);
+* **consolidation** compacts the arrays and returns the old→new position
+  mapping so the catalog can rewrite incoming AIR references.
+
+Optionally the table tracks per-slot insert/delete versions for MVCC
+snapshot reads (Section 4.4's real-time analytics scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError, StorageError
+from .bitmap import Bitmap
+from .column import AIRColumn, Column, make_column
+from .types import DataType
+
+_NO_DELETE = np.iinfo(np.int64).max
+
+
+class Table:
+    """A named array family with lazy deletion, slot reuse, and MVCC."""
+
+    def __init__(self, name: str, mvcc: bool = False):
+        self.name = name
+        self.columns: Dict[str, Column] = {}
+        self._nrows = 0
+        self._deleted = np.zeros(0, dtype=bool)
+        self._free_slots: list[int] = []
+        self._mvcc = mvcc
+        self._insert_version = np.zeros(0, dtype=np.int64)
+        self._delete_version = np.zeros(0, dtype=np.int64)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_arrays(cls, name: str, data: Mapping[str, Sequence],
+                    dict_threshold: float = 0.1, mvcc: bool = False) -> "Table":
+        """Build a table from ``{column_name: values}`` in one shot.
+
+        Column layouts are chosen per column by
+        :func:`repro.core.column.make_column`.
+        """
+        table = cls(name, mvcc=mvcc)
+        nrows = None
+        for col_name, values in data.items():
+            column = make_column(col_name, values, dict_threshold=dict_threshold)
+            if nrows is None:
+                nrows = len(column)
+            elif len(column) != nrows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(column)} rows, expected {nrows}"
+                )
+            table.columns[col_name] = column
+        table._nrows = nrows or 0
+        table._deleted = np.zeros(table._nrows, dtype=bool)
+        if mvcc:
+            table._insert_version = np.zeros(table._nrows, dtype=np.int64)
+            table._delete_version = np.full(table._nrows, _NO_DELETE, dtype=np.int64)
+        return table
+
+    def add_column(self, column: Column) -> None:
+        """Attach a prebuilt column; its length must match the table."""
+        if self._nrows and len(column) != self._nrows:
+            raise SchemaError(
+                f"column {column.name!r} has {len(column)} rows, "
+                f"table {self.name!r} has {self._nrows}"
+            )
+        if not self.columns:
+            self._nrows = len(column)
+            self._deleted = np.zeros(self._nrows, dtype=bool)
+            if self._mvcc:
+                self._insert_version = np.zeros(self._nrows, dtype=np.int64)
+                self._delete_version = np.full(self._nrows, _NO_DELETE, np.int64)
+        self.columns[column.name] = column
+
+    def replace_column(self, name: str, column: Column) -> None:
+        """Swap a column implementation (used by the AIR loader)."""
+        if name not in self.columns:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}")
+        if len(column) != self._nrows:
+            raise SchemaError("replacement column length mismatch")
+        self.columns[name] = column
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Physical rows, including deleted-but-unreclaimed slots."""
+        return self._nrows
+
+    @property
+    def num_live(self) -> int:
+        """Rows not marked deleted."""
+        return self._nrows - int(self._deleted.sum())
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self.columns
+
+    def __getitem__(self, column_name: str) -> Column:
+        try:
+            return self.columns[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {column_name!r} in table {self.name!r}"
+            ) from None
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in definition order."""
+        return list(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of all columns plus bookkeeping vectors."""
+        total = sum(col.nbytes for col in self.columns.values())
+        total += self._deleted.nbytes
+        if self._mvcc:
+            total += self._insert_version.nbytes + self._delete_version.nbytes
+        return total
+
+    # -- visibility ------------------------------------------------------------
+
+    @property
+    def has_deletes(self) -> bool:
+        """True if any slot is currently marked deleted."""
+        return bool(self._deleted.any())
+
+    def deletion_vector(self) -> Bitmap:
+        """The lazy-deletion bit vector (1 = deleted/out-of-date)."""
+        return Bitmap.from_bool_array(self._deleted)
+
+    def live_mask(self, snapshot: Optional[int] = None) -> np.ndarray:
+        """Boolean mask of rows visible now, or at an MVCC *snapshot*.
+
+        A row is visible at snapshot *s* iff it was inserted at or before
+        *s* and not deleted at or before *s*.
+        """
+        if snapshot is None:
+            return ~self._deleted
+        if not self._mvcc:
+            raise StorageError(
+                f"table {self.name!r} was not created with mvcc=True"
+            )
+        return (self._insert_version <= snapshot) & (self._delete_version > snapshot)
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, rows: Mapping[str, Sequence], version: int = 0,
+               reuse_horizon: Optional[int] = None) -> np.ndarray:
+        """Insert rows, reusing deleted slots first, then appending.
+
+        *rows* maps every column name to an equal-length sequence of values.
+        Returns the array indexes (primary keys) assigned to the new rows.
+
+        With MVCC, reusing a slot physically destroys the old tuple, so a
+        slot is only eligible when its deletion is older than every active
+        snapshot: pass ``reuse_horizon`` = the oldest pinned snapshot and
+        only slots with ``delete_version <= reuse_horizon`` are recycled
+        (``None`` recycles freely — single-version operation).
+        """
+        if set(rows) != set(self.columns):
+            raise SchemaError(
+                f"insert must provide exactly the columns of {self.name!r}: "
+                f"expected {sorted(self.columns)}, got {sorted(rows)}"
+            )
+        counts = {len(v) for v in rows.values()}
+        if len(counts) != 1:
+            raise SchemaError("insert column value lengths differ")
+        n = counts.pop()
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+
+        if self._mvcc and reuse_horizon is not None:
+            eligible = [p for p in self._free_slots
+                        if self._delete_version[p] <= reuse_horizon]
+        else:
+            eligible = self._free_slots
+        reuse = min(len(eligible), n)
+        reused = np.array(eligible[:reuse], dtype=np.int64)
+        taken = set(int(p) for p in reused)
+        self._free_slots = [p for p in self._free_slots if p not in taken]
+        appended = np.arange(self._nrows, self._nrows + (n - reuse), dtype=np.int64)
+
+        for name, values in rows.items():
+            values = list(values) if not isinstance(values, np.ndarray) else values
+            column = self.columns[name]
+            if reuse:
+                column.put(reused, values[:reuse])
+            if n - reuse:
+                column.append(values[reuse:])
+
+        self._nrows += n - reuse
+        self._grow_bookkeeping()
+        positions = np.concatenate([reused, appended]) if reuse else appended
+        self._deleted[positions] = False
+        if self._mvcc:
+            self._insert_version[positions] = version
+            self._delete_version[positions] = _NO_DELETE
+        return positions
+
+    def delete(self, positions: Iterable[int], version: int = 0) -> int:
+        """Lazily delete rows: set their deletion bits and free their slots.
+
+        Returns the number of newly deleted rows (already-deleted positions
+        are ignored, making deletion idempotent).
+        """
+        positions = np.asarray(list(positions) if not isinstance(positions, np.ndarray)
+                               else positions, dtype=np.int64)
+        if len(positions) and (positions.min() < 0 or positions.max() >= self._nrows):
+            raise StorageError("delete position out of range")
+        fresh = positions[~self._deleted[positions]]
+        self._deleted[fresh] = True
+        self._free_slots.extend(int(p) for p in fresh)
+        if self._mvcc:
+            self._delete_version[fresh] = version
+        return len(fresh)
+
+    def update(self, positions: Iterable[int], changes: Mapping[str, Sequence]) -> None:
+        """In-place update of the given columns at the given positions."""
+        positions = np.asarray(list(positions) if not isinstance(positions, np.ndarray)
+                               else positions, dtype=np.int64)
+        if len(positions) and bool(self._deleted[positions].any()):
+            raise StorageError("cannot update a deleted row")
+        for name, values in changes.items():
+            self[name].put(positions, values)
+
+    def consolidate(self) -> np.ndarray:
+        """Compact the table, dropping deleted slots.
+
+        Returns the old→new position mapping (length = old ``num_rows``;
+        -1 for slots that were deleted).  The caller must rewrite every AIR
+        column referencing this table using the mapping — that rewrite is
+        what makes consolidation expensive (see the paper's Table 1), and
+        :meth:`repro.core.schema.Database.consolidate` performs it.
+        """
+        keep = ~self._deleted
+        new_positions = np.cumsum(keep) - 1
+        mapping = np.where(keep, new_positions, -1).astype(np.int64)
+        order = np.flatnonzero(keep).astype(np.int64)
+        for column in self.columns.values():
+            column.reorder(order)
+        self._nrows = len(order)
+        self._deleted = np.zeros(self._nrows, dtype=bool)
+        self._free_slots.clear()
+        if self._mvcc:
+            self._insert_version = self._insert_version[order]
+            self._delete_version = self._delete_version[order]
+        return mapping
+
+    # -- row access ---------------------------------------------------------
+
+    def row(self, position: int) -> dict:
+        """Materialize one tuple as ``{column: value}`` (debug/convenience)."""
+        if not 0 <= position < self._nrows:
+            raise StorageError(f"row {position} out of range")
+        return {name: col.get(position) for name, col in self.columns.items()}
+
+    def gather(self, positions: np.ndarray,
+               columns: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
+        """Positional gather of several columns at once."""
+        names = list(columns) if columns is not None else self.column_names
+        return {name: self[name].take(positions) for name in names}
+
+    def _grow_bookkeeping(self) -> None:
+        if len(self._deleted) < self._nrows:
+            grown = np.zeros(self._nrows, dtype=bool)
+            grown[: len(self._deleted)] = self._deleted
+            self._deleted = grown
+        if self._mvcc and len(self._insert_version) < self._nrows:
+            iv = np.zeros(self._nrows, dtype=np.int64)
+            iv[: len(self._insert_version)] = self._insert_version
+            self._insert_version = iv
+            dv = np.full(self._nrows, _NO_DELETE, dtype=np.int64)
+            dv[: len(self._delete_version)] = self._delete_version
+            self._delete_version = dv
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self._nrows}, "
+            f"live={self.num_live}, columns={len(self.columns)})"
+        )

@@ -1,0 +1,100 @@
+"""Selection vectors (Section 4.1 of the paper).
+
+A *selection vector* records the ids of the tuples that still satisfy every
+predicate evaluated so far.  It is updated after each predicate column: a
+tuple that fails any predicate is removed immediately and never evaluated
+again, which is what saves memory bandwidth compared to per-column bitmaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StorageError
+from .bitmap import Bitmap
+
+
+class SelectionVector:
+    """An ordered vector of selected tuple positions (ascending, unique)."""
+
+    __slots__ = ("_positions", "_domain")
+
+    def __init__(self, positions: np.ndarray, domain: int):
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 1:
+            raise StorageError("selection vector must be one-dimensional")
+        if len(positions) and (positions[0] < 0 or positions[-1] >= domain):
+            raise StorageError("selection vector position out of domain")
+        self._positions = positions
+        self._domain = domain
+
+    @classmethod
+    def full(cls, n: int) -> "SelectionVector":
+        """All *n* tuples selected."""
+        return cls(np.arange(n, dtype=np.int64), n)
+
+    @classmethod
+    def empty(cls, n: int) -> "SelectionVector":
+        """No tuples selected over a domain of *n*."""
+        return cls(np.empty(0, dtype=np.int64), n)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "SelectionVector":
+        """Selected positions are the true entries of the boolean *mask*."""
+        mask = np.asarray(mask, dtype=bool)
+        return cls(np.flatnonzero(mask).astype(np.int64), len(mask))
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def positions(self) -> np.ndarray:
+        """The selected positions (do not mutate)."""
+        return self._positions
+
+    @property
+    def domain(self) -> int:
+        """The total number of tuples in the scanned table."""
+        return self._domain
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of the domain still selected (1.0 for a full vector)."""
+        return len(self) / self._domain if self._domain else 0.0
+
+    # -- refinement ----------------------------------------------------------
+
+    def refine(self, keep: np.ndarray) -> "SelectionVector":
+        """Shrink by a boolean *keep* mask aligned with the current positions.
+
+        This is the core per-predicate update of vector-based column scan:
+        ``keep[i]`` says whether the tuple at ``positions[i]`` passed the
+        predicate just evaluated.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if len(keep) != len(self._positions):
+            raise StorageError(
+                f"refine mask length {len(keep)} != selection length "
+                f"{len(self._positions)}"
+            )
+        return SelectionVector(self._positions[keep], self._domain)
+
+    def intersect(self, other: "SelectionVector") -> "SelectionVector":
+        """Positions selected by both vectors."""
+        if self._domain != other._domain:
+            raise StorageError("selection vectors over different domains")
+        common = np.intersect1d(
+            self._positions, other._positions, assume_unique=True
+        )
+        return SelectionVector(common, self._domain)
+
+    def to_bitmap(self) -> Bitmap:
+        """Convert to a packed bitmap over the full domain."""
+        return Bitmap.from_indices(self._positions, self._domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectionVector(selected={len(self)}, domain={self._domain})"
+        )

@@ -1,0 +1,31 @@
+"""Seeded synthetic data generators for SSB, TPC-H, and TPC-DS subsets."""
+
+from .distributions import choice_column, rng_for, scaled_rows, uniform_keys, zipf_keys
+from .ssb import (
+    MONTH_NAMES,
+    NATION_LIST,
+    NATIONS,
+    REGION_OF_NATION,
+    REGIONS,
+    city_of,
+    generate_ssb,
+)
+from .tpcds import generate_tpcds
+from .tpch import generate_tpch
+
+__all__ = [
+    "choice_column",
+    "city_of",
+    "generate_ssb",
+    "generate_tpcds",
+    "generate_tpch",
+    "MONTH_NAMES",
+    "NATION_LIST",
+    "NATIONS",
+    "REGION_OF_NATION",
+    "REGIONS",
+    "rng_for",
+    "scaled_rows",
+    "uniform_keys",
+    "zipf_keys",
+]

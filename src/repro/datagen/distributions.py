@@ -1,0 +1,52 @@
+"""Seeded distribution helpers shared by the benchmark data generators.
+
+All generators draw from :func:`numpy.random.default_rng` so every dataset
+is reproducible from ``(generator, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def rng_for(seed: int, stream: str) -> np.random.Generator:
+    """A deterministic generator for a named substream.
+
+    Distinct streams (one per table/column group) keep the data stable when
+    one table's generation logic changes.
+    """
+    mixed = np.random.SeedSequence([seed, abs(hash(stream)) % (2**31)])
+    return np.random.default_rng(mixed)
+
+
+def uniform_keys(rng: np.random.Generator, n: int, domain: int) -> np.ndarray:
+    """*n* foreign keys uniformly distributed over ``[0, domain)``."""
+    return rng.integers(0, domain, size=n, dtype=np.int64)
+
+
+def zipf_keys(rng: np.random.Generator, n: int, domain: int,
+              skew: float = 1.1) -> np.ndarray:
+    """*n* foreign keys with a Zipf-like skew, clipped to ``[0, domain)``.
+
+    Used for the skewed join workloads; ranks are shuffled so hot keys are
+    spread across the domain rather than clustered at 0.
+    """
+    raw = rng.zipf(skew, size=n) - 1
+    keys = np.mod(raw, domain).astype(np.int64)
+    perm = rng.permutation(domain)
+    return perm[keys]
+
+
+def choice_column(rng: np.random.Generator, n: int,
+                  values: Sequence[str]) -> np.ndarray:
+    """*n* draws (uniform) from a fixed value pool, as an object array."""
+    pool = np.empty(len(values), dtype=object)
+    pool[:] = list(values)
+    return pool[rng.integers(0, len(values), size=n)]
+
+
+def scaled_rows(base: int, sf: float, minimum: int = 1) -> int:
+    """Row count for a table whose SF=1 size is *base*."""
+    return max(minimum, int(round(base * sf)))

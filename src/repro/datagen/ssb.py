@@ -1,0 +1,172 @@
+"""Star Schema Benchmark (SSB) data generator.
+
+Generates the four SSB tables (``lineorder`` fact; ``date``, ``customer``,
+``supplier``, ``part`` dimensions) with the official schema's value domains
+and cardinality ratios, at a configurable scale factor.  SF=1 corresponds
+to the official 6,000,000-row lineorder; the paper runs SF=100, this repo
+defaults to laptop scales (see DESIGN.md substitution table).
+
+Value domains follow the SSB specification closely enough that the
+original predicate selectivities are preserved:
+
+* 25 nations in 5 regions; city = first 9 characters of the nation name
+  padded to width 9, plus a digit 0-9 (so ``UNITED KI1`` … exist);
+* ``p_mfgr`` in MFGR#1..5, ``p_category`` = mfgr + digit 1..5 (25 values),
+  ``p_brand1`` = category + 1..40 (1000 values);
+* ``lo_discount`` 0..10, ``lo_quantity`` 1..50, 7 years of dates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Database
+from .distributions import choice_column, rng_for, scaled_rows, uniform_keys
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+# 5 nations per region, as in SSB/TPC-H (region -> nations)
+NATIONS = {
+    "AFRICA": ["ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"],
+    "AMERICA": ["ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"],
+    "ASIA": ["CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"],
+    "EUROPE": ["FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"],
+    "MIDDLE EAST": ["EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"],
+}
+
+NATION_LIST = [n for region in REGIONS for n in NATIONS[region]]
+REGION_OF_NATION = {n: r for r, ns in NATIONS.items() for n in ns}
+
+MONTH_NAMES = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+_DAYS_IN_MONTH = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+
+FIRST_YEAR = 1992
+NUM_YEARS = 7  # 1992..1998, as in SSB
+
+# SF=1 table sizes from the SSB specification
+LINEORDER_BASE = 6_000_000
+CUSTOMER_BASE = 30_000
+SUPPLIER_BASE = 2_000
+PART_BASE = 200_000
+
+
+def city_of(nation: str, digit: int) -> str:
+    """SSB city encoding: 9-char nation prefix + a digit (``UNITED KI1``)."""
+    return f"{nation:<9.9}{digit}"
+
+
+def _date_rows() -> dict:
+    """The full 7-year date dimension (fixed size, independent of SF)."""
+    datekey, year, month_num, week = [], [], [], []
+    yearmonthnum, yearmonth, month_name = [], [], []
+    for y in range(FIRST_YEAR, FIRST_YEAR + NUM_YEARS):
+        day_of_year = 0
+        for m in range(12):
+            days = _DAYS_IN_MONTH[m] + (1 if m == 1 and _is_leap(y) else 0)
+            for d in range(1, days + 1):
+                day_of_year += 1
+                datekey.append(y * 10000 + (m + 1) * 100 + d)
+                year.append(y)
+                month_num.append(m + 1)
+                week.append(min(53, (day_of_year - 1) // 7 + 1))
+                yearmonthnum.append(y * 100 + m + 1)
+                yearmonth.append(f"{MONTH_NAMES[m]}{y}")
+                month_name.append(MONTH_NAMES[m])
+    return {
+        "d_datekey": np.array(datekey, dtype=np.int64),
+        "d_year": np.array(year, dtype=np.int32),
+        "d_monthnuminyear": np.array(month_num, dtype=np.int32),
+        "d_weeknuminyear": np.array(week, dtype=np.int32),
+        "d_yearmonthnum": np.array(yearmonthnum, dtype=np.int32),
+        "d_yearmonth": yearmonth,
+        "d_month": month_name,
+    }
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def generate_ssb(sf: float = 0.01, seed: int = 42, airify: bool = True) -> Database:
+    """Generate an SSB database at scale factor *sf*.
+
+    With ``airify=True`` (the A-Store load path) the fact table's foreign
+    keys are converted to array index references; with ``airify=False`` the
+    FKs keep their key values, as a conventional engine would store them.
+    """
+    db = Database(f"ssb_sf{sf}")
+
+    date_data = _date_rows()
+    db.create_table("date", date_data)
+    n_dates = len(date_data["d_datekey"])
+
+    n_customer = scaled_rows(CUSTOMER_BASE, sf)
+    rng = rng_for(seed, "customer")
+    c_nation = choice_column(rng, n_customer, NATION_LIST)
+    db.create_table("customer", {
+        "c_custkey": np.arange(1, n_customer + 1, dtype=np.int64),
+        "c_name": [f"Customer#{i:09d}" for i in range(1, n_customer + 1)],
+        "c_city": [city_of(n, d) for n, d in
+                   zip(c_nation, rng.integers(0, 10, n_customer))],
+        "c_nation": c_nation,
+        "c_region": [REGION_OF_NATION[n] for n in c_nation],
+    }, dict_threshold=0.95)
+
+    n_supplier = scaled_rows(SUPPLIER_BASE, sf)
+    rng = rng_for(seed, "supplier")
+    s_nation = choice_column(rng, n_supplier, NATION_LIST)
+    db.create_table("supplier", {
+        "s_suppkey": np.arange(1, n_supplier + 1, dtype=np.int64),
+        "s_name": [f"Supplier#{i:09d}" for i in range(1, n_supplier + 1)],
+        "s_city": [city_of(n, d) for n, d in
+                   zip(s_nation, rng.integers(0, 10, n_supplier))],
+        "s_nation": s_nation,
+        "s_region": [REGION_OF_NATION[n] for n in s_nation],
+    }, dict_threshold=0.95)
+
+    # part: SF=1 has 200k rows; official growth is logarithmic in SF but a
+    # linear floor keeps small scales meaningful.
+    n_part = scaled_rows(PART_BASE, min(1.0, sf) if sf < 1 else 1 + np.log2(sf) / 7)
+    rng = rng_for(seed, "part")
+    mfgr_idx = rng.integers(1, 6, n_part)
+    cat_idx = rng.integers(1, 6, n_part)
+    brand_idx = rng.integers(1, 41, n_part)
+    db.create_table("part", {
+        "p_partkey": np.arange(1, n_part + 1, dtype=np.int64),
+        "p_mfgr": [f"MFGR#{m}" for m in mfgr_idx],
+        "p_category": [f"MFGR#{m}{c}" for m, c in zip(mfgr_idx, cat_idx)],
+        "p_brand1": [f"MFGR#{m}{c}{b:02d}" for m, c, b in
+                     zip(mfgr_idx, cat_idx, brand_idx)],
+        "p_color": choice_column(rng, n_part, [
+            "red", "green", "blue", "ivory", "maroon", "plum", "powder",
+        ]),
+    }, dict_threshold=0.95)
+
+    n_lineorder = scaled_rows(LINEORDER_BASE, sf)
+    rng = rng_for(seed, "lineorder")
+    quantity = rng.integers(1, 51, n_lineorder).astype(np.int32)
+    discount = rng.integers(0, 11, n_lineorder).astype(np.int32)
+    extendedprice = rng.integers(90_000, 10_000_000, n_lineorder).astype(np.int64)
+    date_pos = uniform_keys(rng, n_lineorder, n_dates)
+    db.create_table("lineorder", {
+        "lo_orderkey": np.arange(1, n_lineorder + 1, dtype=np.int64),
+        "lo_custkey": uniform_keys(rng, n_lineorder, n_customer) + 1,
+        "lo_partkey": uniform_keys(rng, n_lineorder, n_part) + 1,
+        "lo_suppkey": uniform_keys(rng, n_lineorder, n_supplier) + 1,
+        "lo_orderdate": date_data["d_datekey"][date_pos],
+        "lo_quantity": quantity,
+        "lo_extendedprice": extendedprice,
+        "lo_discount": discount,
+        "lo_revenue": (extendedprice * (100 - discount) // 100).astype(np.int64),
+        "lo_supplycost": rng.integers(10_000, 100_000, n_lineorder).astype(np.int64),
+        "lo_tax": rng.integers(0, 9, n_lineorder).astype(np.int32),
+    })
+
+    db.add_reference("lineorder", "lo_custkey", "customer", "c_custkey")
+    db.add_reference("lineorder", "lo_partkey", "part", "p_partkey")
+    db.add_reference("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+    db.add_reference("lineorder", "lo_orderdate", "date", "d_datekey")
+    if airify:
+        db.airify()
+    return db

@@ -1,0 +1,94 @@
+"""TPC-DS subset generator.
+
+The paper's Table 2 microbenchmark joins ``store_sales`` against eight
+dimensions plus ``store_returns``; this generator produces exactly those
+tables with the official SF=1 cardinalities (store 12, date_dim 73,049,
+time_dim 86,400, household_demographics 7,200, ...).  Dimension tables
+whose size the spec fixes are independent of the scale factor, matching
+the paper's setup where e.g. ``store`` has only 402 rows even at SF=100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Database
+from .distributions import rng_for, scaled_rows, uniform_keys
+
+STORE_SALES_BASE = 2_880_404  # SF=1
+STORE_RETURNS_BASE = 287_514
+CUSTOMER_BASE = 100_000
+CUSTOMER_DEMOGRAPHICS_ROWS = 1_920_800  # fixed by spec
+HOUSEHOLD_DEMOGRAPHICS_ROWS = 7_200     # fixed by spec
+DATE_DIM_ROWS = 73_049                  # fixed by spec
+TIME_DIM_ROWS = 86_400                  # fixed by spec
+ITEM_BASE = 18_000
+PROMOTION_BASE = 300
+STORE_BASE = 12
+
+
+def generate_tpcds(sf: float = 0.01, seed: int = 42, airify: bool = True,
+                   full_fixed_dims: bool = False) -> Database:
+    """Generate the TPC-DS subset at scale factor *sf*.
+
+    ``full_fixed_dims=True`` generates the spec-fixed dimension sizes
+    (date_dim 73k, time_dim 86k, customer_demographics 1.92M) regardless of
+    *sf* — used by the Table 2 join microbenchmark; otherwise those tables
+    are scaled down together with the fact table to keep unit tests fast.
+    """
+    db = Database(f"tpcds_sf{sf}")
+    fixed = (lambda n: n) if full_fixed_dims else (lambda n: scaled_rows(n, sf))
+
+    dims = {
+        "store": scaled_rows(STORE_BASE, max(1.0, sf)),
+        "date_dim": fixed(DATE_DIM_ROWS),
+        "time_dim": fixed(TIME_DIM_ROWS),
+        "household_demographics": fixed(HOUSEHOLD_DEMOGRAPHICS_ROWS),
+        "customer_demographics": fixed(CUSTOMER_DEMOGRAPHICS_ROWS),
+        "customer": scaled_rows(CUSTOMER_BASE, sf),
+        "item": scaled_rows(ITEM_BASE, sf),
+        "promotion": scaled_rows(PROMOTION_BASE, sf),
+    }
+
+    key_of = {
+        "store": "s_store_sk", "date_dim": "d_date_sk", "time_dim": "t_time_sk",
+        "household_demographics": "hd_demo_sk",
+        "customer_demographics": "cd_demo_sk", "customer": "c_customer_sk",
+        "item": "i_item_sk", "promotion": "p_promo_sk",
+    }
+    for table, nrows in dims.items():
+        rng = rng_for(seed, f"tpcds.{table}")
+        db.create_table(table, {
+            key_of[table]: np.arange(1, nrows + 1, dtype=np.int64),
+            f"{table}_attr": rng.integers(0, 100, nrows).astype(np.int32),
+        })
+
+    n_sales = scaled_rows(STORE_SALES_BASE, sf)
+    rng = rng_for(seed, "tpcds.store_sales")
+    fact = {"ss_ticket_number": np.arange(1, n_sales + 1, dtype=np.int64)}
+    fk_of = {
+        "store": "ss_store_sk", "date_dim": "ss_sold_date_sk",
+        "time_dim": "ss_sold_time_sk", "household_demographics": "ss_hdemo_sk",
+        "customer_demographics": "ss_cdemo_sk", "customer": "ss_customer_sk",
+        "item": "ss_item_sk", "promotion": "ss_promo_sk",
+    }
+    for table, fk in fk_of.items():
+        fact[fk] = uniform_keys(rng, n_sales, dims[table]) + 1
+    fact["ss_net_paid"] = rng.integers(1, 20_000, n_sales).astype(np.int64)
+    db.create_table("store_sales", fact)
+
+    n_returns = scaled_rows(STORE_RETURNS_BASE, sf)
+    rng = rng_for(seed, "tpcds.store_returns")
+    db.create_table("store_returns", {
+        "sr_ticket_number": np.sort(uniform_keys(rng, n_returns, n_sales) + 1),
+        "sr_return_amt": rng.integers(1, 10_000, n_returns).astype(np.int64),
+    })
+    # store_sales -> store_returns is the paper's Table 2 last join; model
+    # it as a reference from the returns side (returns reference tickets).
+    db.add_reference("store_returns", "sr_ticket_number", "store_sales",
+                     "ss_ticket_number")
+    for table, fk in fk_of.items():
+        db.add_reference("store_sales", fk, table, key_of[table])
+    if airify:
+        db.airify()
+    return db

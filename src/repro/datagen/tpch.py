@@ -1,0 +1,102 @@
+"""TPC-H subset generator (snowflake schema).
+
+Generates the tables the paper's snowflake experiments touch:
+``lineitem → orders → customer → nation → region`` plus ``part`` and
+``supplier``.  This is the schema of the paper's Fig. 3 (its Q3 example
+uses an adapted ``o_price`` attribute on orders, which we generate too).
+SF=1 sizes follow TPC-H (6M lineitem, 1.5M orders, 150k customer, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Database
+from .distributions import rng_for, scaled_rows, uniform_keys
+from .ssb import NATION_LIST, REGIONS, REGION_OF_NATION
+
+LINEITEM_BASE = 6_000_000
+ORDERS_BASE = 1_500_000
+CUSTOMER_BASE = 150_000
+PART_BASE = 200_000
+SUPPLIER_BASE = 10_000
+
+
+def generate_tpch(sf: float = 0.01, seed: int = 42, airify: bool = True) -> Database:
+    """Generate the TPC-H subset at scale factor *sf*.
+
+    The join graph is the snowflake of the paper's Fig. 3:
+    ``lineitem`` is the root; ``orders`` chains to ``customer``, which
+    chains to ``nation`` and ``region``; ``part`` and ``supplier`` hang
+    directly off ``lineitem``.
+    """
+    db = Database(f"tpch_sf{sf}")
+
+    db.create_table("region", {
+        "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+        "r_name": list(REGIONS),
+    })
+
+    region_index = {r: i for i, r in enumerate(REGIONS)}
+    db.create_table("nation", {
+        "n_nationkey": np.arange(len(NATION_LIST), dtype=np.int64),
+        "n_name": list(NATION_LIST),
+        "n_regionkey": np.array(
+            [region_index[REGION_OF_NATION[n]] for n in NATION_LIST],
+            dtype=np.int64,
+        ),
+    })
+
+    n_customer = scaled_rows(CUSTOMER_BASE, sf)
+    rng = rng_for(seed, "tpch.customer")
+    db.create_table("customer", {
+        "c_custkey": np.arange(1, n_customer + 1, dtype=np.int64),
+        "c_nationkey": uniform_keys(rng, n_customer, len(NATION_LIST)),
+        "c_acctbal": rng.uniform(-999.99, 9999.99, n_customer).round(2),
+    })
+
+    n_orders = scaled_rows(ORDERS_BASE, sf)
+    rng = rng_for(seed, "tpch.orders")
+    db.create_table("orders", {
+        "o_orderkey": np.arange(1, n_orders + 1, dtype=np.int64),
+        "o_custkey": uniform_keys(rng, n_orders, n_customer) + 1,
+        # the paper's adapted Fig. 3 query filters on o_price
+        "o_price": rng.integers(1, 1001, n_orders).astype(np.int64),
+        "o_orderdate": (19920101 + rng.integers(0, 7, n_orders) * 10000
+                        ).astype(np.int64),
+    })
+
+    n_part = scaled_rows(PART_BASE, sf)
+    rng = rng_for(seed, "tpch.part")
+    db.create_table("part", {
+        "p_partkey": np.arange(1, n_part + 1, dtype=np.int64),
+        "p_retailprice": rng.uniform(900.0, 2000.0, n_part).round(2),
+    })
+
+    n_supplier = scaled_rows(SUPPLIER_BASE, sf)
+    rng = rng_for(seed, "tpch.supplier")
+    db.create_table("supplier", {
+        "s_suppkey": np.arange(1, n_supplier + 1, dtype=np.int64),
+        "s_nationkey": uniform_keys(rng, n_supplier, len(NATION_LIST)),
+    })
+
+    n_lineitem = scaled_rows(LINEITEM_BASE, sf)
+    rng = rng_for(seed, "tpch.lineitem")
+    db.create_table("lineitem", {
+        "l_orderkey": uniform_keys(rng, n_lineitem, n_orders) + 1,
+        "l_partkey": uniform_keys(rng, n_lineitem, n_part) + 1,
+        "l_suppkey": uniform_keys(rng, n_lineitem, n_supplier) + 1,
+        "l_quantity": rng.integers(1, 51, n_lineitem).astype(np.int32),
+        "l_extendedprice": rng.uniform(900.0, 100_000.0, n_lineitem).round(2),
+        "l_discount": (rng.integers(0, 11, n_lineitem) / 100.0),
+    })
+
+    db.add_reference("nation", "n_regionkey", "region", "r_regionkey")
+    db.add_reference("customer", "c_nationkey", "nation", "n_nationkey")
+    db.add_reference("orders", "o_custkey", "customer", "c_custkey")
+    db.add_reference("lineitem", "l_orderkey", "orders", "o_orderkey")
+    db.add_reference("lineitem", "l_partkey", "part", "p_partkey")
+    db.add_reference("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    if airify:
+        db.airify()
+    return db

@@ -1,0 +1,27 @@
+"""The AIRScan execution engine."""
+
+from .aggregate import AggregationState, array_aggregate, finalize, hash_aggregate
+from .executor import AStoreEngine, EngineOptions, VARIANTS
+from .expression import evaluate_measure, evaluate_predicate, like_to_regex
+from .grouping import GroupAxis, build_axes, combine_codes, total_groups
+from .orderby import sort_indices
+from .pipeline import materialize, result_to_table
+from .result import ExecutionStats, QueryResult
+from .slice import (
+    ArraySlice,
+    DictSlice,
+    PositionalProvider,
+    chain_map,
+    dimension_provider,
+    universal_provider,
+)
+
+__all__ = [
+    "AggregationState", "array_aggregate", "ArraySlice", "AStoreEngine",
+    "build_axes", "chain_map", "combine_codes", "dimension_provider",
+    "DictSlice", "EngineOptions", "evaluate_measure", "evaluate_predicate",
+    "ExecutionStats", "finalize", "GroupAxis", "hash_aggregate",
+    "like_to_regex", "materialize", "PositionalProvider", "QueryResult",
+    "result_to_table", "sort_indices",
+    "total_groups", "universal_provider", "VARIANTS",
+]

@@ -1,0 +1,555 @@
+"""The AIRScan executor: A-Store's generic SPJGA query processor.
+
+Every query runs the paper's three-phase model over the virtual universal
+table (Section 3):
+
+1. **Leaf processing** — evaluate dimension predicates once, producing
+   packed predicate vectors, and build group vectors for GROUP BY columns
+   on dimensions (Sections 4.2, 4.3);
+2. **Scan and filter** — scan the root (fact) table with a selection
+   vector, evaluating predicates in increasing-selectivity order; dimension
+   predicates are answered by probing the predicate vectors through the
+   AIR columns (or by direct AIR probing when the optimizer chose not to
+   build a filter); group codes are combined into the Measure Index;
+3. **Aggregation** — scan the measure columns at the selected positions
+   only and scatter into the multidimensional aggregation array (or the
+   hash fallback); sort for ORDER BY at the end.
+
+The five query-processor variants of the paper's Table 6 are exposed as
+:data:`VARIANTS` — configuration presets over the same executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Bitmap, Database, SelectionVector
+from ..errors import ExecutionError
+from ..plan.binder import LogicalPlan, bind
+from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
+from ..plan.optimizer import CacheModel, PhysicalPlan, optimize
+from .aggregate import (
+    AggregationState,
+    array_aggregate,
+    finalize,
+    hash_aggregate,
+)
+from .expression import evaluate_measure, evaluate_predicate
+from .grouping import (
+    GroupAxis,
+    build_axes,
+    single_axis,
+    combine_codes,
+    decode_group_columns,
+    total_groups,
+)
+from .orderby import sort_indices, top_k_indices
+from .result import ExecutionStats, QueryResult
+from .slice import (
+    ArraySlice,
+    PositionalProvider,
+    dimension_provider,
+    universal_provider,
+)
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Executor configuration (one row of the paper's Table 6).
+
+    * ``scan`` — ``"column"`` for vector-based column-wise scan,
+      ``"row"`` for chunked row-wise scan (full-tuple materialization);
+    * ``use_predicate_filter`` — build packed predicate vectors for
+      dimension predicates (Section 4.2);
+    * ``use_array_aggregation`` — ``True``/``False``/``"auto"`` (the
+      cache-model decision of Section 4.3);
+    * ``workers`` — horizontal fact-table partitions processed
+      independently and merged (Section 5); 1 = serial;
+    * ``parallel_backend`` — ``"thread"`` or ``"serial"`` partition loop.
+    """
+
+    scan: str = "column"
+    use_predicate_filter: bool = True
+    use_array_aggregation: object = "auto"
+    cache: CacheModel = field(default_factory=CacheModel)
+    workers: int = 1
+    parallel_backend: str = "thread"
+    chunk_rows: int = 65536
+    sample_size: int = 4096
+    variant_name: str = "AIRScan_C_P_G"
+
+
+#: The five query processors of the paper's Table 6.
+VARIANTS: Dict[str, EngineOptions] = {
+    "AIRScan_R": EngineOptions(
+        scan="row", use_predicate_filter=False, use_array_aggregation=False,
+        variant_name="AIRScan_R"),
+    "AIRScan_R_P": EngineOptions(
+        scan="row", use_predicate_filter=True, use_array_aggregation=False,
+        variant_name="AIRScan_R_P"),
+    "AIRScan_C": EngineOptions(
+        scan="column", use_predicate_filter=False, use_array_aggregation=False,
+        variant_name="AIRScan_C"),
+    "AIRScan_C_P": EngineOptions(
+        scan="column", use_predicate_filter=True, use_array_aggregation=False,
+        variant_name="AIRScan_C_P"),
+    "AIRScan_C_P_G": EngineOptions(
+        scan="column", use_predicate_filter=True, use_array_aggregation="auto",
+        variant_name="AIRScan_C_P_G"),
+}
+
+
+class PredicateFilter:
+    """A dimension predicate vector (Section 4.2).
+
+    Stores both the packed bit vector (whose size drives the optimizer's
+    fit-in-cache decision and the paper's LLC argument) and the unpacked
+    boolean array used for the actual probe — a probe is then a single
+    positional gather, ``mask[air_positions]``.
+    """
+
+    __slots__ = ("packed", "_mask")
+
+    def __init__(self, mask: np.ndarray):
+        self._mask = np.ascontiguousarray(mask, dtype=bool)
+        self.packed = Bitmap.from_bool_array(self._mask)
+
+    def probe(self, positions: np.ndarray) -> np.ndarray:
+        """Which of the given dimension positions pass the predicate."""
+        return self._mask[positions]
+
+    @property
+    def density(self) -> float:
+        """Fraction of dimension rows passing (probe selectivity)."""
+        return float(self._mask.mean()) if len(self._mask) else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Packed size — what must stay cache-resident."""
+        return self.packed.nbytes
+
+
+@dataclass
+class _LeafState:
+    """Outcome of the leaf-processing stage."""
+
+    filters: Dict[str, PredicateFilter] = field(default_factory=dict)
+    filter_density: Dict[str, float] = field(default_factory=dict)
+    probes: Dict[str, BoundExpression] = field(default_factory=dict)
+    probe_selectivity: Dict[str, float] = field(default_factory=dict)
+    axes: List[GroupAxis] = field(default_factory=list)
+
+
+class AStoreEngine:
+    """A-Store's OLAP engine over a loaded (airified) database."""
+
+    def __init__(self, db: Database, options: Optional[EngineOptions] = None):
+        self.db = db
+        self.options = options or EngineOptions()
+
+    @classmethod
+    def variant(cls, db: Database, name: str, **overrides) -> "AStoreEngine":
+        """An engine configured as one of the paper's Table 6 variants."""
+        if name not in VARIANTS:
+            raise ExecutionError(
+                f"unknown variant {name!r}; choose from {sorted(VARIANTS)}"
+            )
+        options = VARIANTS[name]
+        if overrides:
+            options = replace(options, **overrides)
+        return cls(db, options)
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(self, query) -> PhysicalPlan:
+        """Bind and optimize a SQL string (or parsed statement)."""
+        logical = bind(query, self.db)
+        return optimize(
+            logical, self.db,
+            cache=self.options.cache,
+            use_predicate_filter=self.options.use_predicate_filter,
+            array_agg=self.options.use_array_aggregation,
+            sample_size=self.options.sample_size,
+        )
+
+    def explain(self, query) -> str:
+        """The optimizer's plan description for *query*."""
+        return self.plan(query).explain()
+
+    # -- execution ----------------------------------------------------------
+
+    def query(self, query, snapshot: Optional[int] = None) -> QueryResult:
+        """Plan and execute *query*; see :meth:`execute`."""
+        return self.execute(self.plan(query), snapshot=snapshot)
+
+    def execute(self, physical: PhysicalPlan,
+                snapshot: Optional[int] = None) -> QueryResult:
+        """Run a physical plan, optionally against an MVCC *snapshot*."""
+        t_total = time.perf_counter()
+        logical = physical.logical
+        stats = ExecutionStats(variant=self.options.variant_name)
+        for dd in physical.dim_decisions:
+            stats.filter_modes[dd.first_dim] = (
+                "vector" if dd.use_filter else "probe"
+            )
+
+        t0 = time.perf_counter()
+        leaf = self._leaf_stage(physical, snapshot)
+        stats.leaf_seconds = time.perf_counter() - t0
+
+        base = self._base_positions(logical.root, snapshot)
+        stats.rows_scanned = len(base)
+
+        if logical.is_projection:
+            result = self._execute_projection(physical, leaf, base, stats)
+        elif self.options.scan == "row":
+            result = self._execute_row_scan(physical, leaf, base, stats)
+        else:
+            result = self._execute_column_scan(physical, leaf, base, stats)
+        stats.total_seconds = time.perf_counter() - t_total
+        return result
+
+    # -- stage 1: leaf processing ------------------------------------------------
+
+    def _leaf_stage(self, physical: PhysicalPlan,
+                    snapshot: Optional[int]) -> _LeafState:
+        logical = physical.logical
+        leaf = _LeafState()
+        for dd in physical.dim_decisions:
+            if not dd.use_filter:
+                leaf.probes[dd.first_dim] = dd.predicate
+                leaf.probe_selectivity[dd.first_dim] = dd.estimated_selectivity
+                continue
+            provider = dimension_provider(self.db, dd.first_dim, logical.paths)
+            mask = evaluate_predicate(dd.predicate, provider)
+            dim = self.db.table(dd.first_dim)
+            if snapshot is not None or dim.has_deletes:
+                mask = mask & dim.live_mask(snapshot)
+            pf = PredicateFilter(mask)
+            leaf.filters[dd.first_dim] = pf
+            leaf.filter_density[dd.first_dim] = pf.density
+        if logical.group_keys and not logical.is_projection:
+            leaf.axes = build_axes(self.db, logical)
+        return leaf
+
+    def _base_positions(self, root: str, snapshot: Optional[int]) -> np.ndarray:
+        table = self.db.table(root)
+        if snapshot is not None or table.has_deletes:
+            return np.flatnonzero(table.live_mask(snapshot)).astype(np.int64)
+        return np.arange(table.num_rows, dtype=np.int64)
+
+    # -- stage 2: scan and filter ---------------------------------------------
+
+    def _selection_steps(self, physical: PhysicalPlan,
+                         leaf: _LeafState) -> List[tuple]:
+        """All filtering steps, ordered by estimated selectivity."""
+        steps = []
+        for expr, sel in physical.fact_conjuncts:
+            steps.append((sel, "fact", expr))
+        for first_dim, pf in leaf.filters.items():
+            steps.append((leaf.filter_density[first_dim], "filter",
+                          (first_dim, pf)))
+        for first_dim, predicate in leaf.probes.items():
+            steps.append((leaf.probe_selectivity[first_dim], "probe",
+                          predicate))
+        steps.sort(key=lambda s: s[0])
+        return steps
+
+    def _scan_select(self, physical: PhysicalPlan, leaf: _LeafState,
+                     base: np.ndarray) -> np.ndarray:
+        """Vector-based column-wise scan: shrink the selection vector."""
+        logical = physical.logical
+        nrows = self.db.table(logical.root).num_rows
+        sel = SelectionVector(base, nrows)
+        for _, kind, payload in self._selection_steps(physical, leaf):
+            if len(sel) == 0:
+                break
+            provider = universal_provider(
+                self.db, logical.root, logical.paths, sel.positions)
+            if kind == "fact":
+                mask = evaluate_predicate(payload, provider)
+            elif kind == "filter":
+                first_dim, pf = payload
+                mask = pf.probe(provider.positions_for(first_dim))
+            else:  # probe: evaluate on dimension columns through AIR
+                mask = evaluate_predicate(payload, provider)
+            sel = sel.refine(mask)
+        return sel.positions
+
+    # -- stages 2b+3: grouping and aggregation for one partition -----------------
+
+    def _scan_partition(self, physical: PhysicalPlan, leaf: _LeafState,
+                        base: np.ndarray) -> tuple:
+        """Scan-and-filter plus Measure Index for one fact partition."""
+        logical = physical.logical
+        t0 = time.perf_counter()
+        selected = self._scan_select(physical, leaf, base)
+        provider = universal_provider(
+            self.db, logical.root, logical.paths, selected)
+        cards = [axis.card for axis in leaf.axes]
+        if leaf.axes:
+            codes = [axis.fact_codes(provider) for axis in leaf.axes]
+            composite = combine_codes(codes, cards)
+        else:
+            composite = np.zeros(len(selected), dtype=np.int64)
+        return provider, composite, time.perf_counter() - t0
+
+    def _aggregate_scanned(self, physical: PhysicalPlan, leaf: _LeafState,
+                           scanned: tuple, use_array: bool) -> tuple:
+        """Measure-column aggregation for one scanned partition."""
+        logical = physical.logical
+        provider, composite, _ = scanned
+        t1 = time.perf_counter()
+        measures = self._evaluate_measures(logical, provider)
+        if use_array or not leaf.axes:
+            cards = [axis.card for axis in leaf.axes]
+            ngroups = total_groups(cards) if leaf.axes else 1
+            state = array_aggregate(logical.aggregates, measures,
+                                    composite, ngroups)
+        else:
+            state = hash_aggregate(logical.aggregates, measures, composite)
+        return state, time.perf_counter() - t1
+
+    def _evaluate_measures(self, logical: LogicalPlan,
+                           provider: PositionalProvider) -> Dict[str, np.ndarray]:
+        measures = {}
+        for spec in logical.aggregates:
+            if spec.expr is not None:
+                measures[spec.name] = evaluate_measure(spec.expr, provider)
+        return measures
+
+    # -- column-wise execution ---------------------------------------------------
+
+    def _execute_column_scan(self, physical: PhysicalPlan, leaf: _LeafState,
+                             base: np.ndarray, stats: ExecutionStats) -> QueryResult:
+        partitions = self._partition(base)
+        scanned = self._run_partitions(
+            partitions,
+            lambda part: self._scan_partition(physical, leaf, part),
+        )
+        total_selected = 0
+        for provider, _, t_scan in scanned:
+            total_selected += provider.length
+            stats.scan_seconds += t_scan
+        stats.rows_selected = total_selected
+
+        # Section 4.3's sparsity check, made with the *actual* selection
+        # size: the dense array is only worthwhile when it is not hugely
+        # larger than the number of tuples feeding it.
+        use_array = bool(physical.use_array_agg and leaf.axes)
+        if use_array:
+            ngroups = total_groups([axis.card for axis in leaf.axes])
+            use_array = ngroups <= max(4096, 8 * total_selected)
+        stats.used_array_aggregation = use_array or not leaf.axes
+
+        outcomes = self._run_partitions(
+            scanned,
+            lambda part: self._aggregate_scanned(physical, leaf, part,
+                                                 use_array),
+        )
+        state: Optional[AggregationState] = None
+        for part_state, t_agg in outcomes:
+            stats.aggregation_seconds += t_agg
+            state = part_state if state is None else state.merge(part_state)
+        return self._assemble(physical, leaf, state, stats)
+
+    def _partition(self, base: np.ndarray) -> List[np.ndarray]:
+        workers = max(1, self.options.workers)
+        if workers == 1 or len(base) < workers:
+            return [base]
+        return [chunk for chunk in np.array_split(base, workers)
+                if len(chunk)]
+
+    def _run_partitions(self, partitions, fn):
+        if len(partitions) == 1 or self.options.parallel_backend == "serial":
+            return [fn(part) for part in partitions]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=len(partitions)) as pool:
+            return list(pool.map(fn, partitions))
+
+    # -- row-wise execution -----------------------------------------------------
+
+    def _execute_row_scan(self, physical: PhysicalPlan, leaf: _LeafState,
+                          base: np.ndarray, stats: ExecutionStats) -> QueryResult:
+        """Chunked row-wise scan: materialize the full tuple, then filter.
+
+        Every referenced column — including dimension attributes reached
+        through AIR — is fetched for *every* row of the chunk before any
+        predicate is applied.  This reproduces the cost profile of
+        tuple-at-a-time processing (no selection-vector skipping) without
+        a per-row interpreter loop.
+        """
+        logical = physical.logical
+        needed = self._referenced_columns(physical, leaf)
+        group_values: List[List[np.ndarray]] = [
+            [] for _ in logical.group_keys]
+        measure_values: Dict[str, List[np.ndarray]] = {
+            spec.name: [] for spec in logical.aggregates if spec.expr is not None
+        }
+        predicates = [expr for expr, _ in physical.fact_conjuncts]
+        predicates += list(leaf.probes.values())
+
+        for start in range(0, len(base), self.options.chunk_rows):
+            chunk = base[start: start + self.options.chunk_rows]
+            t0 = time.perf_counter()
+            provider = universal_provider(
+                self.db, logical.root, logical.paths, chunk)
+            materialized = {
+                column: provider.fetch(column.table, column.name).decode()
+                for column in needed
+            }
+            mprov = _MaterializedProvider(materialized)
+            mask = np.ones(len(chunk), dtype=bool)
+            for expr in predicates:
+                mask &= evaluate_predicate(expr, mprov)
+            for first_dim, pf in leaf.filters.items():
+                mask &= pf.probe(provider.positions_for(first_dim))
+            stats.scan_seconds += time.perf_counter() - t0
+
+            t1 = time.perf_counter()
+            passing = _MaterializedProvider(
+                {column: values[mask] for column, values in materialized.items()}
+            )
+            for i, key in enumerate(logical.group_keys):
+                group_values[i].append(
+                    passing.fetch(key.column.table, key.column.name).decode()
+                )
+            for spec in logical.aggregates:
+                if spec.expr is not None:
+                    measure_values[spec.name].append(
+                        evaluate_measure(spec.expr, passing))
+            stats.rows_selected += int(mask.sum())
+            stats.aggregation_seconds += time.perf_counter() - t1
+
+        t2 = time.perf_counter()
+        axes: List[GroupAxis] = []
+        codes: List[np.ndarray] = []
+        for i, key in enumerate(logical.group_keys):
+            values = (np.concatenate(group_values[i]) if group_values[i]
+                      else np.empty(0, dtype=object))
+            uniq, inverse = np.unique(values, return_inverse=True)
+            axes.append(single_axis(key, len(uniq), uniq))
+            codes.append(inverse.astype(np.int64))
+        measures = {
+            name: (np.concatenate(chunks) if chunks
+                   else np.empty(0, dtype=np.float64))
+            for name, chunks in measure_values.items()
+        }
+        if axes:
+            composite = combine_codes(codes, [a.card for a in axes])
+            state = hash_aggregate(logical.aggregates, measures, composite)
+        else:
+            composite = np.zeros(stats.rows_selected, dtype=np.int64)
+            state = array_aggregate(logical.aggregates, measures, composite, 1)
+        stats.used_array_aggregation = not axes
+        stats.aggregation_seconds += time.perf_counter() - t2
+        leaf_row = _LeafState(axes=axes)
+        return self._assemble(physical, leaf_row, state, stats)
+
+    def _referenced_columns(self, physical: PhysicalPlan,
+                            leaf: _LeafState) -> List[BoundColumn]:
+        logical = physical.logical
+        needed: List[BoundColumn] = []
+        seen = set()
+
+        def add(expr):
+            for column in bound_columns(expr):
+                if column not in seen:
+                    seen.add(column)
+                    needed.append(column)
+
+        for expr, _ in physical.fact_conjuncts:
+            add(expr)
+        for predicate in leaf.probes.values():
+            add(predicate)
+        for key in logical.group_keys:
+            add(key.column)
+        for spec in logical.aggregates:
+            if spec.expr is not None:
+                add(spec.expr)
+        for key in logical.projection_columns:
+            add(key.column)
+        return needed
+
+    # -- projection (pure SPJ) ----------------------------------------------------
+
+    def _execute_projection(self, physical: PhysicalPlan, leaf: _LeafState,
+                            base: np.ndarray, stats: ExecutionStats) -> QueryResult:
+        logical = physical.logical
+        t0 = time.perf_counter()
+        selected = self._scan_select(physical, leaf, base)
+        stats.rows_selected = len(selected)
+        stats.scan_seconds = time.perf_counter() - t0
+        provider = universal_provider(
+            self.db, logical.root, logical.paths, selected)
+        columns = {
+            key.name: provider.fetch(key.column.table, key.column.name).decode()
+            for key in logical.projection_columns
+        }
+        stats.groups = len(selected)
+        return self._finish(logical, columns, stats)
+
+    # -- result assembly -----------------------------------------------------------
+
+    def _assemble(self, physical: PhysicalPlan, leaf: _LeafState,
+                  state: Optional[AggregationState],
+                  stats: ExecutionStats) -> QueryResult:
+        logical = physical.logical
+        if state is None:
+            raise ExecutionError("no aggregation state produced")
+        ids, aggs = finalize(state)
+        if not logical.group_keys and len(ids) == 0:
+            # scalar aggregate over an empty selection: one all-zero row
+            ids = np.zeros(1, dtype=np.int64)
+            aggs = {spec.name: _empty_scalar(spec.func)
+                    for spec in logical.aggregates}
+        columns: Dict[str, np.ndarray] = {}
+        if leaf.axes:
+            columns.update(decode_group_columns(leaf.axes, ids))
+        columns.update(aggs)
+        stats.groups = len(ids)
+        return self._finish(logical, columns, stats)
+
+    def _finish(self, logical: LogicalPlan, columns: Dict[str, np.ndarray],
+                stats: ExecutionStats) -> QueryResult:
+        ordered = {name: columns[name] for name in logical.output_order}
+        nrows = len(next(iter(ordered.values()), []))
+        if logical.order_by and nrows > 1:
+            if logical.limit is not None and logical.limit < nrows:
+                perm = top_k_indices(ordered, logical.order_by,
+                                     logical.limit)
+            else:
+                perm = sort_indices(ordered, logical.order_by)
+            ordered = {name: values[perm] for name, values in ordered.items()}
+        if logical.limit is not None:
+            ordered = {name: values[: logical.limit]
+                       for name, values in ordered.items()}
+        return QueryResult(logical.output_order, ordered, stats)
+
+
+def _empty_scalar(func: str) -> np.ndarray:
+    if func == "COUNT":
+        return np.zeros(1, dtype=np.int64)
+    if func in ("SUM",):
+        return np.zeros(1, dtype=np.int64)
+    return np.array([np.nan])
+
+
+class _MaterializedProvider:
+    """Provider over already-materialized (decoded) column arrays."""
+
+    def __init__(self, columns: Dict[BoundColumn, np.ndarray]):
+        self._columns = columns
+
+    def fetch(self, table: str, name: str) -> ArraySlice:
+        try:
+            return ArraySlice(self._columns[BoundColumn(table, name)])
+        except KeyError:
+            raise ExecutionError(
+                f"column {table}.{name} was not materialized"
+            ) from None

@@ -1,0 +1,70 @@
+"""ORDER BY support: multi-key stable sorting with per-key direction."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..plan.binder import OrderKey  # noqa: F401
+
+
+def sort_indices(columns: Dict[str, np.ndarray],
+                 keys: Sequence[OrderKey]) -> np.ndarray:
+    """Row permutation ordering *columns* by *keys* (first key primary).
+
+    Implemented as repeated stable sorts from the least significant key to
+    the most significant one.  Descending keys invert their sort codes
+    (numeric negation, or rank negation for strings) so stability between
+    equal keys is preserved.
+    """
+    if not keys:
+        raise ExecutionError("sort_indices called without keys")
+    first = next(iter(columns.values()))
+    order = np.arange(len(first), dtype=np.int64)
+    for key in reversed(list(keys)):
+        if key.output not in columns:
+            raise ExecutionError(f"unknown sort column {key.output!r}")
+        values = columns[key.output][order]
+        codes = _sort_codes(values, key.descending)
+        order = order[np.argsort(codes, kind="stable")]
+    return order
+
+
+def top_k_indices(columns: Dict[str, np.ndarray], keys: Sequence[OrderKey],
+                  k: int) -> np.ndarray:
+    """The first *k* rows of the full ordering (LIMIT pushdown).
+
+    For a single sort key over a large result, ``np.argpartition``
+    preselects k candidates in O(n) before the O(k log k) sort; ties at
+    the cut keep the same rows the full stable sort would keep only for
+    strict orderings, so the multi-key (or small-input) case falls back
+    to :func:`sort_indices`.
+    """
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    first = columns[keys[0].output] if keys and keys[0].output in columns \
+        else next(iter(columns.values()))
+    n = len(first)
+    if len(keys) != 1 or n <= max(64, 4 * k):
+        return sort_indices(columns, keys)[:k]
+    key = keys[0]
+    if key.output not in columns:
+        raise ExecutionError(f"unknown sort column {key.output!r}")
+    codes = _sort_codes(columns[key.output], key.descending)
+    if codes.dtype.kind not in ("i", "u", "f"):
+        return sort_indices(columns, keys)[:k]
+    candidates = np.argpartition(codes, k - 1)[:k]
+    # order the k candidates; break ties by original position (stability)
+    order = np.lexsort((candidates, codes[candidates]))
+    return candidates[order].astype(np.int64)
+
+
+def _sort_codes(values: np.ndarray, descending: bool) -> np.ndarray:
+    if values.dtype.kind in ("i", "u", "f", "b"):
+        return -values if descending else values
+    # strings/objects: rank them, then optionally invert the rank
+    uniq, inverse = np.unique(values, return_inverse=True)
+    del uniq
+    return -inverse if descending else inverse

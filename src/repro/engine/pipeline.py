@@ -1,0 +1,56 @@
+"""Query decomposition support (Section 3 of the paper).
+
+Benchmarks contain nested queries whose join graphs are not single
+rooted; the paper's answer is to "decompose the join graph into multiple
+single rooted subgraphs; then the subgraphs can be pipelined and
+processed separately".  This module provides the pipelining primitive:
+materialize one sub-query's result as a new array-family table (its row
+number becoming the primary key), register it in a database, and declare
+references so the next stage can query it like any other table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import Database, Table
+from ..core.column import make_column
+from ..errors import ExecutionError
+from .result import QueryResult
+
+
+def result_to_table(result: QueryResult, name: str,
+                    dict_threshold: float = 0.5) -> Table:
+    """Materialize a query result as an array-family table."""
+    data = {}
+    for col_name in result.column_order:
+        values = result.columns[col_name]
+        if values.dtype.kind == "O":
+            data[col_name] = list(values)
+        else:
+            data[col_name] = values
+    table = Table(name)
+    for col_name, values in data.items():
+        table.add_column(make_column(col_name, values,
+                                     dict_threshold=dict_threshold))
+    return table
+
+
+def materialize(engine, query, name: str,
+                into: Optional[Database] = None) -> Database:
+    """Run *query* on *engine* and register its result as table *name*.
+
+    Returns the database holding the new table (*into*, or a fresh one).
+    Use :meth:`repro.core.Database.add_reference` plus ``airify()`` to
+    connect the staged table to further tables, then query it with a new
+    engine — that is the paper's pipelined processing of multi-rooted
+    join graphs.
+    """
+    result = engine.query(query)
+    if len(result.column_order) == 0:
+        raise ExecutionError("cannot materialize an empty projection")
+    db = into if into is not None else Database(f"staged_{name}")
+    db.add_table(result_to_table(result, name))
+    return db

@@ -1,0 +1,84 @@
+"""Query results and per-stage execution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+@dataclass
+class ExecutionStats:
+    """Timings and counters for one query execution.
+
+    The three stage timers mirror the paper's Fig. 10 breakdown:
+    leaf-table processing (predicate vectors + group vectors), fact scan
+    (FK columns, filters, Measure Index), and aggregation (measure columns
+    + the aggregation array / hash table).
+    """
+
+    variant: str = ""
+    leaf_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    aggregation_seconds: float = 0.0
+    total_seconds: float = 0.0
+    rows_scanned: int = 0
+    rows_selected: int = 0
+    groups: int = 0
+    used_array_aggregation: bool = False
+    filter_modes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of scanned rows surviving all predicates."""
+        return self.rows_selected / self.rows_scanned if self.rows_scanned else 0.0
+
+
+class QueryResult:
+    """A finished query: named output columns plus execution statistics."""
+
+    def __init__(self, column_order: Sequence[str],
+                 columns: Dict[str, np.ndarray],
+                 stats: ExecutionStats):
+        self.column_order = list(column_order)
+        self.columns = columns
+        self.stats = stats
+
+    def __len__(self) -> int:
+        if not self.column_order:
+            return 0
+        return len(self.columns[self.column_order[0]])
+
+    def column(self, name: str) -> np.ndarray:
+        """One output column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"no output column {name!r}") from None
+
+    def rows(self) -> List[tuple]:
+        """All rows as tuples, in output order."""
+        arrays = [self.columns[name] for name in self.column_order]
+        return [tuple(a[i].item() if hasattr(a[i], "item") else a[i]
+                      for a in arrays) for i in range(len(self))]
+
+    def to_dicts(self) -> List[dict]:
+        """All rows as ``{column: value}`` dictionaries."""
+        return [dict(zip(self.column_order, row)) for row in self.rows()]
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        if len(self) != 1 or len(self.column_order) != 1:
+            raise ExecutionError(
+                f"scalar() on a {len(self)}x{len(self.column_order)} result"
+            )
+        return self.rows()[0][0]
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult(rows={len(self)}, columns={self.column_order}, "
+            f"total={self.stats.total_seconds * 1e3:.2f}ms)"
+        )

@@ -1,0 +1,87 @@
+"""CSV import/export for array-family tables.
+
+``load_csv`` infers per-column types (int → float → string), chooses
+column layouts through :func:`repro.core.column.make_column`, and attaches
+the result to a database; ``dump_csv`` writes any table (or query result)
+back out.  Delimiters default to ``|``, the format of the dbgen family of
+benchmark generators.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..core import Database, Table
+from ..engine.result import QueryResult
+from ..errors import StorageError
+
+
+def load_csv(db: Database, table_name: str, path: Union[str, Path],
+             columns: Optional[Sequence[str]] = None, delimiter: str = "|",
+             has_header: bool = True, dict_threshold: float = 0.1) -> Table:
+    """Read *path* into a new table registered on *db*.
+
+    With ``has_header=False`` the column names must be supplied via
+    *columns*.  Values are parsed as int where every row parses as int,
+    else float where every row parses as float, else kept as strings.
+    """
+    path = Path(path)
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise StorageError(f"{path} is empty")
+    if has_header:
+        header, rows = rows[0], rows[1:]
+    elif columns is None:
+        raise StorageError("has_header=False requires explicit column names")
+    else:
+        header = list(columns)
+    if columns is not None and has_header:
+        header = list(columns)
+    # dbgen files end each line with a trailing delimiter -> empty field
+    width = len(header)
+    rows = [row[:width] if len(row) > width else row for row in rows]
+    for row in rows:
+        if len(row) != width:
+            raise StorageError(
+                f"{path}: row width {len(row)} != {width} columns")
+
+    data = {
+        name: _parse_column([row[i] for row in rows])
+        for i, name in enumerate(header)
+    }
+    return db.create_table(table_name, data, dict_threshold=dict_threshold)
+
+
+def dump_csv(source: Union[Table, QueryResult], path: Union[str, Path],
+             delimiter: str = "|") -> int:
+    """Write a table or query result to CSV; returns the row count."""
+    path = Path(path)
+    if isinstance(source, QueryResult):
+        names = source.column_order
+        rows = source.rows()
+    else:
+        names = source.column_names
+        live = source.live_mask()
+        columns = [source[c].values() for c in names]
+        rows = [tuple(col[i] for col in columns)
+                for i in range(source.num_rows) if live[i]]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(names)
+        writer.writerows(rows)
+    return len(rows)
+
+
+def _parse_column(values: list):
+    try:
+        return [int(v) for v in values]
+    except ValueError:
+        pass
+    try:
+        return [float(v) for v in values]
+    except ValueError:
+        return values

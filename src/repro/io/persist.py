@@ -1,0 +1,133 @@
+"""Database persistence: save/load the array-family storage to disk.
+
+The on-disk format is one ``.npz`` archive per database: every column's
+backing array plus a JSON manifest describing tables, column layouts,
+dictionaries, string heaps, and references.  Loading rebuilds the exact
+in-memory structures — including AIR columns — without re-running
+``airify()``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core import Database, Table
+from ..core.column import (
+    AIRColumn,
+    DictColumn,
+    FixedColumn,
+    StringColumn,
+)
+from ..core.dictionary import Dictionary
+from ..core.types import DataType
+from ..errors import StorageError
+
+FORMAT_VERSION = 1
+
+
+def save_database(db: Database, path: Union[str, Path]) -> None:
+    """Serialize *db* to a single ``.npz`` archive at *path*.
+
+    Deleted rows are preserved (the deletion vector is stored), so a
+    loaded database resumes exactly where the saved one stopped — free
+    slots included.  MVCC version vectors are stored when present.
+    """
+    path = Path(path)
+    arrays: dict = {}
+    manifest: dict = {"version": FORMAT_VERSION, "name": db.name,
+                      "tables": {}, "references": []}
+
+    for table_name, table in db.tables.items():
+        entry: dict = {"num_rows": table.num_rows, "mvcc": table._mvcc,
+                       "columns": []}
+        arrays[f"{table_name}//$deleted"] = table._deleted
+        entry["free_slots"] = list(table._free_slots)
+        if table._mvcc:
+            arrays[f"{table_name}//$insert_version"] = table._insert_version
+            arrays[f"{table_name}//$delete_version"] = table._delete_version
+        for col_name, column in table.columns.items():
+            key = f"{table_name}//{col_name}"
+            if isinstance(column, AIRColumn):
+                entry["columns"].append({
+                    "name": col_name, "layout": "air",
+                    "referenced_table": column.referenced_table})
+                arrays[key] = column.values()
+            elif isinstance(column, DictColumn):
+                entry["columns"].append({
+                    "name": col_name, "layout": "dict",
+                    "dictionary": list(column.dictionary.values)})
+                arrays[key] = column.codes()
+            elif isinstance(column, StringColumn):
+                entry["columns"].append({
+                    "name": col_name, "layout": "string",
+                    "heap": list(column._heap)})
+                arrays[key] = column._addr.values()
+            elif isinstance(column, FixedColumn):
+                entry["columns"].append({
+                    "name": col_name, "layout": "fixed",
+                    "dtype": column.dtype.value})
+                arrays[key] = column.values()
+            else:
+                raise StorageError(
+                    f"cannot persist column layout {type(column).__name__}")
+        manifest["tables"][table_name] = entry
+
+    for ref in db.references:
+        manifest["references"].append({
+            "child_table": ref.child_table, "child_column": ref.child_column,
+            "parent_table": ref.parent_table, "parent_key": ref.parent_key})
+
+    arrays["$manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_database(path: Union[str, Path]) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        manifest = json.loads(bytes(archive["$manifest"]).decode("utf-8"))
+        if manifest.get("version") != FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported archive version {manifest.get('version')!r}")
+        db = Database(manifest["name"])
+        for table_name, entry in manifest["tables"].items():
+            table = Table(table_name, mvcc=entry["mvcc"])
+            for col_entry in entry["columns"]:
+                data = archive[f"{table_name}//{col_entry['name']}"]
+                table.add_column(_rebuild_column(col_entry, data))
+            table._deleted = archive[f"{table_name}//$deleted"].astype(bool)
+            table._free_slots = [int(p) for p in entry["free_slots"]]
+            if entry["mvcc"]:
+                table._insert_version = archive[
+                    f"{table_name}//$insert_version"].astype(np.int64)
+                table._delete_version = archive[
+                    f"{table_name}//$delete_version"].astype(np.int64)
+            db.add_table(table)
+        for ref in manifest["references"]:
+            db.add_reference(ref["child_table"], ref["child_column"],
+                             ref["parent_table"], ref["parent_key"])
+    return db
+
+
+def _rebuild_column(entry: dict, data: np.ndarray):
+    layout = entry["layout"]
+    name = entry["name"]
+    if layout == "air":
+        return AIRColumn(name, entry["referenced_table"], data=data)
+    if layout == "dict":
+        return DictColumn(name, dictionary=Dictionary(entry["dictionary"]),
+                          codes=data.astype(np.int32))
+    if layout == "string":
+        column = StringColumn(name)
+        column._heap = list(entry["heap"])
+        column._addr = FixedColumn(name + "$addr", DataType.INT64, data=data)
+        return column
+    if layout == "fixed":
+        return FixedColumn(name, DataType(entry["dtype"]), data=data)
+    raise StorageError(f"unknown column layout {layout!r} in archive")

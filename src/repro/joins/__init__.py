@@ -1,0 +1,21 @@
+"""PK–FK join algorithms: AIR positional, NPO/PRO hash, sort-merge."""
+
+from .algorithms import (
+    ALGORITHMS,
+    JoinResult,
+    air_join,
+    npo_hash_join,
+    pro_hash_join,
+    sort_merge_join,
+)
+from .hashtable import IntHashTable
+
+__all__ = [
+    "air_join",
+    "ALGORITHMS",
+    "IntHashTable",
+    "JoinResult",
+    "npo_hash_join",
+    "pro_hash_join",
+    "sort_merge_join",
+]

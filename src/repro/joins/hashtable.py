@@ -1,0 +1,104 @@
+"""A vectorized open-addressing hash table for integer join keys.
+
+This is the substrate of the NPO and PRO hash joins (Balkesen et al. [7],
+re-implemented here as the paper's comparison baselines).  Keys must be
+non-negative; they are expected to be primary keys, and if duplicates are
+inserted a probe returns one of the matches.  Build and probe run in
+collision-resolution *rounds*, each round a fully vectorized step; the
+number of rounds grows with the load factor and table size, which is what
+makes large hash tables slower than positional AIR access — the effect the
+paper's Table 2 measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+_EMPTY = np.int64(-1)
+# Fibonacci hashing multiplier (Knuth): 2^64 / golden ratio, as uint64.
+_MULT = np.uint64(11400714819323198485)
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(4, (n - 1).bit_length())
+
+
+class IntHashTable:
+    """Open-addressing (linear probing) table mapping int key → int value."""
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray | None = None,
+                 load_factor: float = 0.5):
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        if len(keys) and keys.min() < 0:
+            raise ExecutionError("hash join keys must be non-negative")
+        if values is None:
+            values = np.arange(len(keys), dtype=np.int64)
+        else:
+            values = np.ascontiguousarray(values, dtype=np.int64)
+        if len(values) != len(keys):
+            raise ExecutionError("hash table keys/values length mismatch")
+        self._size = _next_pow2(int(len(keys) / load_factor) + 1)
+        self._mask = np.uint64(self._size - 1)
+        self._keys = np.full(self._size, _EMPTY, dtype=np.int64)
+        self._values = np.zeros(self._size, dtype=np.int64)
+        self.build_rounds = 0
+        if len(keys):
+            self._build(keys, values)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the slot arrays (cache-fit analysis)."""
+        return int(self._keys.nbytes + self._values.nbytes)
+
+    def _hash(self, keys: np.ndarray) -> np.ndarray:
+        return ((keys.astype(np.uint64) * _MULT) & self._mask).astype(np.int64)
+
+    def _build(self, keys: np.ndarray, values: np.ndarray) -> None:
+        slot = self._hash(keys)
+        pending = np.arange(len(keys), dtype=np.int64)
+        while len(pending):
+            self.build_rounds += 1
+            if self.build_rounds > self._size:
+                raise ExecutionError("hash build did not converge "
+                                     "(duplicate keys?)")
+            cur = slot[pending]
+            # blind scatter into empty slots: when several pending items
+            # aim at one slot, the last write wins that slot this round
+            empty = self._keys[cur] == _EMPTY
+            cand = pending[empty]
+            self._keys[slot[cand]] = keys[cand]
+            won = self._keys[slot[cand]] == keys[cand]
+            winners = cand[won]
+            self._values[slot[winners]] = values[winners]
+            placed = np.zeros(len(keys), dtype=bool)
+            placed[winners] = True
+            # anything not placed advances past the (now occupied) slot
+            pending = pending[~placed[pending]]
+            slot[pending] = (slot[pending] + 1) % self._size
+
+    def probe(self, probe_keys: np.ndarray) -> np.ndarray:
+        """Look up every probe key; returns values, -1 where absent."""
+        probe_keys = np.ascontiguousarray(probe_keys, dtype=np.int64)
+        n = len(probe_keys)
+        result = np.full(n, _EMPTY, dtype=np.int64)
+        if n == 0 or self._size == 0:
+            return result
+        slot = self._hash(probe_keys)
+        active = np.arange(n, dtype=np.int64)
+        rounds = 0
+        while len(active):
+            rounds += 1
+            if rounds > self._size + 1:
+                raise ExecutionError("hash probe did not converge")
+            stored = self._keys[slot[active]]
+            hit = stored == probe_keys[active]
+            result[active[hit]] = self._values[slot[active[hit]]]
+            alive = ~hit & (stored != _EMPTY)
+            active = active[alive]
+            slot[active] = (slot[active] + 1) % self._size
+        return result
+
+    def __len__(self) -> int:
+        return int((self._keys != _EMPTY).sum())

@@ -1,0 +1,28 @@
+"""Query planning: binding, logical plans, and the cache-aware optimizer."""
+
+from .binder import AggSpec, GroupKey, LogicalPlan, OrderKey, bind
+from .expressions import (
+    BoundAnd,
+    BoundArith,
+    BoundBetween,
+    BoundColumn,
+    BoundCompare,
+    BoundExpression,
+    BoundIn,
+    BoundLike,
+    BoundLiteral,
+    BoundNot,
+    BoundOr,
+    bound_columns,
+    bound_walk,
+    tables_of,
+)
+from .optimizer import CacheModel, DimDecision, PhysicalPlan, optimize
+
+__all__ = [
+    "AggSpec", "bind", "bound_columns", "bound_walk", "BoundAnd",
+    "BoundArith", "BoundBetween", "BoundColumn", "BoundCompare",
+    "BoundExpression", "BoundIn", "BoundLike", "BoundLiteral", "BoundNot",
+    "BoundOr", "CacheModel", "DimDecision", "GroupKey", "LogicalPlan",
+    "optimize", "OrderKey", "PhysicalPlan", "tables_of",
+]

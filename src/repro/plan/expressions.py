@@ -1,0 +1,113 @@
+"""Bound expression trees.
+
+The binder rewrites parser AST nodes into *bound* nodes whose column
+references carry their resolved table.  Bound trees are what the engine's
+vectorized evaluator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """A column resolved to its owning table."""
+
+    table: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}"
+
+
+@dataclass(frozen=True)
+class BoundLiteral:
+    value: Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class BoundArith:
+    op: str  # + - * / %
+    left: "BoundExpression"
+    right: "BoundExpression"
+
+
+@dataclass(frozen=True)
+class BoundCompare:
+    op: str  # = <> < <= > >=
+    left: "BoundExpression"
+    right: "BoundExpression"
+
+
+@dataclass(frozen=True)
+class BoundBetween:
+    expr: "BoundExpression"
+    low: "BoundExpression"
+    high: "BoundExpression"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoundIn:
+    expr: "BoundExpression"
+    values: Tuple[Union[int, float, str], ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoundLike:
+    expr: "BoundExpression"
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoundAnd:
+    terms: Tuple["BoundExpression", ...]
+
+
+@dataclass(frozen=True)
+class BoundOr:
+    terms: Tuple["BoundExpression", ...]
+
+
+@dataclass(frozen=True)
+class BoundNot:
+    term: "BoundExpression"
+
+
+BoundExpression = Union[
+    BoundColumn, BoundLiteral, BoundArith, BoundCompare, BoundBetween,
+    BoundIn, BoundLike, BoundAnd, BoundOr, BoundNot,
+]
+
+
+def bound_walk(expr: BoundExpression):
+    """Yield *expr* and all sub-expressions, depth-first."""
+    yield expr
+    if isinstance(expr, (BoundArith, BoundCompare)):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, BoundBetween):
+        children = (expr.expr, expr.low, expr.high)
+    elif isinstance(expr, (BoundIn, BoundLike)):
+        children = (expr.expr,)
+    elif isinstance(expr, (BoundAnd, BoundOr)):
+        children = expr.terms
+    elif isinstance(expr, BoundNot):
+        children = (expr.term,)
+    else:
+        children = ()
+    for child in children:
+        yield from bound_walk(child)
+
+
+def bound_columns(expr: BoundExpression) -> list[BoundColumn]:
+    """All bound column references inside *expr* (in order)."""
+    return [e for e in bound_walk(expr) if isinstance(e, BoundColumn)]
+
+
+def tables_of(expr: BoundExpression) -> set[str]:
+    """The set of tables an expression touches."""
+    return {c.table for c in bound_columns(expr)}

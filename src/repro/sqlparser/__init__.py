@@ -1,0 +1,31 @@
+"""SQL front-end: tokenizer, AST, and parser for the SPJGA dialect."""
+
+from .ast import (
+    Aggregate,
+    And,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    column_refs,
+    has_aggregate,
+    walk,
+)
+from .parser import parse
+from .tokenizer import Token, TokenType, tokenize
+
+__all__ = [
+    "Aggregate", "And", "Between", "BinaryOp", "ColumnRef", "Comparison",
+    "column_refs", "Expression", "has_aggregate", "InList", "Like",
+    "Literal", "Not", "Or", "OrderItem", "parse", "SelectItem",
+    "SelectStatement", "Token", "tokenize", "TokenType", "walk",
+]

@@ -1,0 +1,135 @@
+"""Tokenizer for the SPJGA SQL dialect.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers keep their original spelling but compare
+case-insensitively during binding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AS", "AND", "OR",
+    "NOT", "BETWEEN", "IN", "LIKE", "ASC", "DESC", "LIMIT", "COUNT", "SUM",
+    "AVG", "MIN", "MAX", "DISTINCT", "NULL",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    DOT = "dot"
+    STAR = "star"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "/", "%")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Convert *sql* into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql[i : i + 2] == "--":  # line comment
+            nl = sql.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            # support '' escaping inside string literals
+            literal = []
+            j = i + 1
+            while True:
+                end = sql.find("'", j)
+                if end < 0:
+                    raise ParseError("unterminated string literal", i)
+                literal.append(sql[j:end])
+                if sql[end : end + 2] == "''":
+                    literal.append("'")
+                    j = end + 2
+                    continue
+                break
+            tokens.append(Token(TokenType.STRING, "".join(literal), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[j] == "."
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token(TokenType.DOT, ".", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == ";":
+            i += 1
+            continue
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenType.OPERATOR, value, i))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,5 @@
+"""Update handling and MVCC snapshot isolation."""
+
+from .mvcc import TransactionManager, WriteBatch
+
+__all__ = ["TransactionManager", "WriteBatch"]

@@ -1,0 +1,35 @@
+"""Benchmark workloads: the 13 SSB queries and the paper's microbenchmarks."""
+
+from .micro import (
+    GROUPING_QUERY,
+    JoinCase,
+    PREDICATE_SELECTIVITIES,
+    TABLE2_JOINS,
+    fkpk_join_query,
+    generate_join_inputs,
+    predicate_workload,
+)
+from .tpch_queries import TPCH_QUERIES
+from .ssb_queries import (
+    QUERY_GROUPS,
+    SSB_QUERIES,
+    denormalize_query,
+    star_join_query,
+    validate_queries,
+)
+
+__all__ = [
+    "denormalize_query",
+    "fkpk_join_query",
+    "generate_join_inputs",
+    "GROUPING_QUERY",
+    "JoinCase",
+    "PREDICATE_SELECTIVITIES",
+    "predicate_workload",
+    "QUERY_GROUPS",
+    "SSB_QUERIES",
+    "star_join_query",
+    "TABLE2_JOINS",
+    "TPCH_QUERIES",
+    "validate_queries",
+]

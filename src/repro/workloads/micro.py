@@ -1,0 +1,114 @@
+"""Micro-benchmark workloads from the paper's Section 6.1.
+
+* :func:`predicate_workload` — the Table 3 predicate-processing queries:
+  four fact-table predicate columns whose combined selectivity sweeps
+  (1/2)^4, (1/4)^4, (1/8)^4, (1/16)^4;
+* :data:`TABLE2_JOINS` — the 19 PK–FK join pairs of Table 2 (SSB, TPC-H,
+  TPC-DS) plus the synthetic workloads A and B of Balkesen et al. [7];
+* :func:`grouping_workload` — the Table 3 group-by query
+  (``select count(*), lo_discount, lo_tax … group by lo_discount, lo_tax``,
+  99 groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..datagen.distributions import rng_for, uniform_keys
+
+
+def predicate_workload(fraction_inverse: int) -> str:
+    """The Table 3 predicate query at per-column selectivity ``1/k``.
+
+    Four fact columns are filtered at selectivity ``1/k`` each, giving the
+    paper's combined ``(1/k)^4``.  Uses the SSB fact columns whose domains
+    allow those cuts: quantity (1-50), discount (0-10), tax (0-8) and
+    extendedprice (90k-10M).
+    """
+    k = fraction_inverse
+    qty_hi = max(1, round(50 / k))            # quantity in [1, 50]
+    disc_hi = max(0, round(11 / k) - 1)       # discount in [0, 10]
+    tax_hi = max(0, round(9 / k) - 1)         # tax in [0, 8]
+    price_hi = 90_000 + round((10_000_000 - 90_000) / k)
+    return f"""
+        SELECT count(*) AS n FROM lineorder
+        WHERE lo_quantity <= {qty_hi}
+          AND lo_discount <= {disc_hi}
+          AND lo_tax <= {tax_hi}
+          AND lo_extendedprice <= {price_hi}
+    """
+
+
+PREDICATE_SELECTIVITIES = (2, 4, 8, 16)
+
+GROUPING_QUERY = """
+    SELECT count(*) AS n, lo_discount, lo_tax
+    FROM lineorder
+    GROUP BY lo_discount, lo_tax
+"""
+
+
+@dataclass(frozen=True)
+class JoinCase:
+    """One Table 2 row: a fact/dimension pair with SF=100 cardinalities.
+
+    ``fact_rows``/``dim_rows`` are the paper's sizes; the harness scales
+    them by its own factor before generating keys.
+    """
+
+    name: str
+    benchmark: str
+    fact_rows: int
+    dim_rows: int
+
+
+TABLE2_JOINS: Tuple[JoinCase, ...] = (
+    JoinCase("lineorder-date", "SSB", 600_000_000, 2_555),
+    JoinCase("lineorder-part", "SSB", 600_000_000, 1_528_771),
+    JoinCase("lineorder-supplier", "SSB", 600_000_000, 200_000),
+    JoinCase("lineorder-customer", "SSB", 600_000_000, 3_000_000),
+    JoinCase("lineitem-part", "TPC-H", 600_000_000, 20_000_000),
+    JoinCase("lineitem-supplier", "TPC-H", 600_000_000, 1_000_000),
+    JoinCase("orders-customer", "TPC-H", 150_000_000, 15_000_000),
+    JoinCase("lineitem-order", "TPC-H", 600_000_000, 150_000_000),
+    JoinCase("store_sales-store", "TPC-DS", 287_997_024, 402),
+    JoinCase("store_sales-date_dim", "TPC-DS", 287_997_024, 73_094),
+    JoinCase("store_sales-time_dim", "TPC-DS", 287_997_024, 86_400),
+    JoinCase("store_sales-household_demographics", "TPC-DS", 287_997_024, 7_200),
+    JoinCase("store_sales-customer_demographics", "TPC-DS", 287_997_024, 1_920_800),
+    JoinCase("store_sales-customer", "TPC-DS", 287_997_024, 2_000_000),
+    JoinCase("store_sales-item", "TPC-DS", 287_997_024, 204_000),
+    JoinCase("store_sales-promotion", "TPC-DS", 287_997_024, 1_000),
+    JoinCase("store_sales-store_return", "TPC-DS", 287_997_024, 28_795_080),
+    JoinCase("workload-A", "[7]", 268_435_456, 16_777_216),
+    JoinCase("workload-B", "[7]", 128_000_000, 128_000_000),
+)
+
+
+def generate_join_inputs(case: JoinCase, scale: float = 1e-3,
+                         seed: int = 42) -> Dict[str, np.ndarray]:
+    """Scaled key arrays for one Table 2 join.
+
+    Returns ``dim_keys`` (a shuffled dense key domain — primary keys),
+    ``fact_keys`` (uniform FKs drawn from that domain) and ``fact_refs``
+    (the same FKs as array index references, i.e. dimension positions),
+    so every algorithm joins exactly the same logical data.
+    """
+    rng = rng_for(seed, f"join.{case.name}")
+    dim_rows = max(2, int(case.dim_rows * scale))
+    fact_rows = max(2, int(case.fact_rows * scale))
+    dim_keys = rng.permutation(dim_rows * 2)[:dim_rows].astype(np.int64)
+    refs = uniform_keys(rng, fact_rows, dim_rows)
+    return {
+        "dim_keys": dim_keys,
+        "fact_keys": dim_keys[refs],
+        "fact_refs": refs,
+    }
+
+
+def fkpk_join_query(fact: str, fk: str, dim: str, pk: str) -> str:
+    """The Fig. 8 column-join form: ``select count(*) from A, B where fk=pk``."""
+    return f"SELECT count(*) AS n FROM {fact}, {dim} WHERE {fk} = {pk}"

@@ -1,0 +1,249 @@
+"""The 13 Star Schema Benchmark queries (Q1.1 – Q4.3).
+
+``SSB_QUERIES`` holds the normalized (joined) SQL used against the star
+schema; :func:`denormalize_query` mechanically rewrites any of them for a
+materialized universal table (drop join predicates, FROM the wide table) —
+the form used by the paper's ``*_D`` engine variants.
+
+``STAR_JOIN_QUERIES`` are the paper's Table 3 star-join microbenchmark
+forms: the same queries with the aggregation replaced by ``count(*)`` and
+GROUP BY removed.
+"""
+
+from __future__ import annotations
+
+from ..core import Database
+from ..errors import PlanError
+from ..sqlparser import ast as A
+from ..sqlparser.parser import parse
+
+SSB_QUERIES: dict[str, str] = {
+    "Q1.1": """
+        SELECT sum(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, date
+        WHERE lo_orderdate = d_datekey
+          AND d_year = 1993
+          AND lo_discount BETWEEN 1 AND 3
+          AND lo_quantity < 25
+    """,
+    "Q1.2": """
+        SELECT sum(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, date
+        WHERE lo_orderdate = d_datekey
+          AND d_yearmonthnum = 199401
+          AND lo_discount BETWEEN 4 AND 6
+          AND lo_quantity BETWEEN 26 AND 35
+    """,
+    "Q1.3": """
+        SELECT sum(lo_extendedprice * lo_discount) AS revenue
+        FROM lineorder, date
+        WHERE lo_orderdate = d_datekey
+          AND d_weeknuminyear = 6 AND d_year = 1994
+          AND lo_discount BETWEEN 5 AND 7
+          AND lo_quantity BETWEEN 26 AND 35
+    """,
+    "Q2.1": """
+        SELECT sum(lo_revenue) AS revenue, d_year, p_brand1
+        FROM lineorder, date, part, supplier
+        WHERE lo_orderdate = d_datekey
+          AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey
+          AND p_category = 'MFGR#12'
+          AND s_region = 'AMERICA'
+        GROUP BY d_year, p_brand1
+        ORDER BY d_year, p_brand1
+    """,
+    "Q2.2": """
+        SELECT sum(lo_revenue) AS revenue, d_year, p_brand1
+        FROM lineorder, date, part, supplier
+        WHERE lo_orderdate = d_datekey
+          AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey
+          AND p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'
+          AND s_region = 'ASIA'
+        GROUP BY d_year, p_brand1
+        ORDER BY d_year, p_brand1
+    """,
+    "Q2.3": """
+        SELECT sum(lo_revenue) AS revenue, d_year, p_brand1
+        FROM lineorder, date, part, supplier
+        WHERE lo_orderdate = d_datekey
+          AND lo_partkey = p_partkey
+          AND lo_suppkey = s_suppkey
+          AND p_brand1 = 'MFGR#2239'
+          AND s_region = 'EUROPE'
+        GROUP BY d_year, p_brand1
+        ORDER BY d_year, p_brand1
+    """,
+    "Q3.1": """
+        SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue
+        FROM customer, lineorder, supplier, date
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_region = 'ASIA' AND s_region = 'ASIA'
+          AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_nation, s_nation, d_year
+        ORDER BY d_year ASC, revenue DESC
+    """,
+    "Q3.2": """
+        SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue
+        FROM customer, lineorder, supplier, date
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_nation = 'UNITED STATES' AND s_nation = 'UNITED STATES'
+          AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year ASC, revenue DESC
+    """,
+    "Q3.3": """
+        SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue
+        FROM customer, lineorder, supplier, date
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_city IN ('UNITED KI1', 'UNITED KI5')
+          AND s_city IN ('UNITED KI1', 'UNITED KI5')
+          AND d_year >= 1992 AND d_year <= 1997
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year ASC, revenue DESC
+    """,
+    "Q3.4": """
+        SELECT c_city, s_city, d_year, sum(lo_revenue) AS revenue
+        FROM customer, lineorder, supplier, date
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_orderdate = d_datekey
+          AND c_city IN ('UNITED KI1', 'UNITED KI5')
+          AND s_city IN ('UNITED KI1', 'UNITED KI5')
+          AND d_yearmonth = 'Dec1997'
+        GROUP BY c_city, s_city, d_year
+        ORDER BY d_year ASC, revenue DESC
+    """,
+    "Q4.1": """
+        SELECT d_year, c_nation, sum(lo_revenue - lo_supplycost) AS profit
+        FROM date, customer, supplier, part, lineorder
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey
+          AND lo_orderdate = d_datekey
+          AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+          AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d_year, c_nation
+        ORDER BY d_year, c_nation
+    """,
+    "Q4.2": """
+        SELECT d_year, s_nation, p_category,
+               sum(lo_revenue - lo_supplycost) AS profit
+        FROM date, customer, supplier, part, lineorder
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey
+          AND lo_orderdate = d_datekey
+          AND c_region = 'AMERICA' AND s_region = 'AMERICA'
+          AND d_year IN (1997, 1998)
+          AND p_mfgr IN ('MFGR#1', 'MFGR#2')
+        GROUP BY d_year, s_nation, p_category
+        ORDER BY d_year, s_nation, p_category
+    """,
+    "Q4.3": """
+        SELECT d_year, s_city, p_brand1,
+               sum(lo_revenue - lo_supplycost) AS profit
+        FROM date, customer, supplier, part, lineorder
+        WHERE lo_custkey = c_custkey
+          AND lo_suppkey = s_suppkey
+          AND lo_partkey = p_partkey
+          AND lo_orderdate = d_datekey
+          AND c_region = 'AMERICA'
+          AND s_nation = 'UNITED STATES'
+          AND d_year IN (1997, 1998)
+          AND p_category = 'MFGR#14'
+        GROUP BY d_year, s_city, p_brand1
+        ORDER BY d_year, s_city, p_brand1
+    """,
+}
+
+QUERY_GROUPS = {
+    "Q1": ("Q1.1", "Q1.2", "Q1.3"),
+    "Q2": ("Q2.1", "Q2.2", "Q2.3"),
+    "Q3": ("Q3.1", "Q3.2", "Q3.3", "Q3.4"),
+    "Q4": ("Q4.1", "Q4.2", "Q4.3"),
+}
+
+
+def star_join_query(query_id: str) -> str:
+    """The paper's Table 3 star-join form: ``count(*)``, no grouping.
+
+    "we simplified the SSB queries by using count() instead of other
+    aggregation expression and eliminating all group-by clauses."
+    """
+    stmt = parse(SSB_QUERIES[query_id])
+    count = A.SelectItem(A.Aggregate("COUNT", None), alias="n")
+    simplified = A.SelectStatement(
+        items=(count,),
+        tables=stmt.tables,
+        where=stmt.where,
+        group_by=(),
+        order_by=(),
+        limit=None,
+    )
+    return simplified
+
+
+STAR_JOIN_QUERY_IDS = tuple(SSB_QUERIES)
+
+
+def denormalize_query(sql_or_id: str, db: Database,
+                      table_name: str = "universal") -> A.SelectStatement:
+    """Rewrite a normalized SSB query for a materialized universal table.
+
+    Join predicates (``fk = pk`` equalities matching a declared reference
+    in *db*) are dropped and the FROM clause is replaced by *table_name* —
+    this is how the paper produced the ``*_D`` workloads.
+    """
+    sql = SSB_QUERIES.get(sql_or_id, sql_or_id)
+    stmt = sql if isinstance(sql, A.SelectStatement) else parse(sql)
+    where = stmt.where
+    conjuncts = (list(where.terms) if isinstance(where, A.And)
+                 else ([where] if where is not None else []))
+    kept = [c for c in conjuncts if not _is_join_conjunct(c, db, stmt.tables)]
+    if not kept:
+        new_where = None
+    elif len(kept) == 1:
+        new_where = kept[0]
+    else:
+        new_where = A.And(tuple(kept))
+    return A.SelectStatement(
+        items=stmt.items,
+        tables=(table_name,),
+        where=new_where,
+        group_by=stmt.group_by,
+        order_by=stmt.order_by,
+        limit=stmt.limit,
+    )
+
+
+def _is_join_conjunct(conjunct: A.Expression, db: Database, tables) -> bool:
+    if not (isinstance(conjunct, A.Comparison) and conjunct.op == "="
+            and isinstance(conjunct.left, A.ColumnRef)
+            and isinstance(conjunct.right, A.ColumnRef)):
+        return False
+    names = {conjunct.left.name, conjunct.right.name}
+    for ref in db.references:
+        if ref.parent_key is None:
+            continue
+        if {ref.child_column, ref.parent_key} == names:
+            return True
+    return False
+
+
+def validate_queries(db: Database) -> None:
+    """Bind every SSB query against *db*, raising on any mismatch."""
+    from ..plan.binder import bind
+
+    for query_id, sql in SSB_QUERIES.items():
+        try:
+            bind(sql, db)
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            raise PlanError(f"{query_id} failed to bind: {exc}") from exc

@@ -1,0 +1,59 @@
+"""SPJGA-adapted TPC-H queries over the snowflake subset.
+
+A-Store handles the SPJGA fragment of TPC-H (Section 3: it can serve as
+an auxiliary OLAP engine for such queries or sub-queries).  These four
+queries follow the paper's adaptation style — the Fig. 3 example *is*
+``Q3_ADAPTED`` — and all run on the :func:`repro.datagen.generate_tpch`
+schema.
+"""
+
+from __future__ import annotations
+
+TPCH_QUERIES: dict[str, str] = {
+    # pricing summary in the spirit of TPC-H Q1 (our lineitem has no
+    # returnflag/linestatus; quantity buckets give a stable group space)
+    "Q1-like": """
+        SELECT l_quantity, count(*) AS order_count,
+               sum(l_extendedprice) AS gross,
+               sum(l_extendedprice * (1 - l_discount)) AS discounted,
+               avg(l_discount) AS avg_discount
+        FROM lineitem
+        WHERE l_quantity <= 25
+        GROUP BY l_quantity
+        ORDER BY l_quantity
+    """,
+    # the paper's Fig. 3 snowflake query, verbatim structure
+    "Q3-adapted": """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer, lineitem, orders, nation, region
+        WHERE o_custkey = c_custkey
+          AND l_orderkey = o_orderkey
+          AND c_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey
+          AND r_name = 'ASIA'
+          AND o_price >= 800
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """,
+    # local-supplier volume in the spirit of TPC-H Q5 (the original's
+    # s_nationkey = c_nationkey side condition is a non-PK-FK join that
+    # A-Store excludes by design; the adaptation drops it)
+    "Q5-like": """
+        SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem, orders, customer, nation, region
+        WHERE l_orderkey = o_orderkey
+          AND o_custkey = c_custkey
+          AND c_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey
+          AND r_name = 'EUROPE'
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """,
+    # forecast revenue change, TPC-H Q6 structure verbatim
+    "Q6-like": """
+        SELECT sum(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_discount BETWEEN 0.05 AND 0.07
+          AND l_quantity < 24
+    """,
+}

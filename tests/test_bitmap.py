@@ -1,0 +1,134 @@
+"""Unit tests for the packed Bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bitmap
+from repro.errors import StorageError
+
+
+class TestConstruction:
+    def test_empty(self):
+        bm = Bitmap(0)
+        assert len(bm) == 0
+        assert bm.count() == 0
+
+    def test_zero_filled(self):
+        bm = Bitmap(100)
+        assert len(bm) == 100
+        assert bm.count() == 0
+
+    def test_one_filled(self):
+        bm = Bitmap(100, fill=True)
+        assert bm.count() == 100
+
+    def test_fill_masks_tail_bits(self):
+        bm = Bitmap(3, fill=True)
+        assert bm.count() == 3
+        assert bm.to_indices().tolist() == [0, 1, 2]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StorageError):
+            Bitmap(-1)
+
+    def test_from_bool_array_roundtrip(self):
+        mask = np.array([True, False, True, True, False] * 30)
+        bm = Bitmap.from_bool_array(mask)
+        assert np.array_equal(bm.to_bool_array(), mask)
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(np.array([0, 5, 64, 127]), 128)
+        assert bm.to_indices().tolist() == [0, 5, 64, 127]
+
+    def test_copy_is_independent(self):
+        bm = Bitmap(10)
+        other = bm.copy()
+        other.set(3)
+        assert not bm.get(3)
+        assert other.get(3)
+
+
+class TestBitAccess:
+    def test_set_and_get(self):
+        bm = Bitmap(70)
+        bm.set(0)
+        bm.set(63)
+        bm.set(64)
+        assert bm.get(0) and bm.get(63) and bm.get(64)
+        assert not bm.get(1)
+
+    def test_clear(self):
+        bm = Bitmap(10, fill=True)
+        bm.set(4, False)
+        assert not bm.get(4)
+        assert bm.count() == 9
+
+    def test_getitem(self):
+        bm = Bitmap(8)
+        bm.set(2)
+        assert bm[2] and not bm[3]
+
+    def test_out_of_range(self):
+        bm = Bitmap(8)
+        with pytest.raises(StorageError):
+            bm.get(8)
+        with pytest.raises(StorageError):
+            bm.set(-1)
+
+    def test_set_many_and_test(self):
+        bm = Bitmap(200)
+        bm.set_many(np.array([1, 65, 130, 199]))
+        probe = bm.test(np.array([0, 1, 65, 66, 130, 199]))
+        assert probe.tolist() == [False, True, True, False, True, True]
+
+    def test_set_many_same_word_collision(self):
+        # multiple updates landing in one uint64 word must all apply
+        bm = Bitmap(64)
+        bm.set_many(np.array([0, 1, 2, 3, 62, 63]))
+        assert bm.count() == 6
+
+    def test_set_many_clear(self):
+        bm = Bitmap(64, fill=True)
+        bm.set_many(np.array([0, 1]), value=False)
+        assert bm.count() == 62
+
+    def test_set_many_out_of_range(self):
+        bm = Bitmap(8)
+        with pytest.raises(StorageError):
+            bm.set_many(np.array([8]))
+
+
+class TestLogical:
+    def test_and(self):
+        a = Bitmap.from_indices([0, 1, 2], 100)
+        b = Bitmap.from_indices([1, 2, 3], 100)
+        assert (a & b).to_indices().tolist() == [1, 2]
+
+    def test_or(self):
+        a = Bitmap.from_indices([0], 100)
+        b = Bitmap.from_indices([99], 100)
+        assert (a | b).to_indices().tolist() == [0, 99]
+
+    def test_invert_respects_length(self):
+        a = Bitmap.from_indices([0, 1], 67)
+        inv = ~a
+        assert inv.count() == 65
+        assert not inv.get(0) and inv.get(66)
+
+    def test_size_mismatch(self):
+        with pytest.raises(StorageError):
+            Bitmap(4) & Bitmap(5)
+
+    def test_equality(self):
+        a = Bitmap.from_indices([3, 4], 10)
+        b = Bitmap.from_indices([3, 4], 10)
+        assert a == b
+        b.set(5)
+        assert a != b
+
+
+class TestSize:
+    def test_nbytes_is_packed(self):
+        # 1 million bits should be ~125 KB, not 1 MB
+        bm = Bitmap(1_000_000)
+        assert bm.nbytes <= 1_000_000 // 8 + 8

@@ -1,0 +1,212 @@
+"""Unit tests for column layouts, dictionaries, and selection vectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AIRColumn,
+    DataType,
+    DictColumn,
+    Dictionary,
+    FixedColumn,
+    SelectionVector,
+    StringColumn,
+    make_column,
+)
+from repro.errors import StorageError
+
+
+class TestDictionary:
+    def test_first_seen_order(self):
+        d = Dictionary(["b", "a", "b", "c"])
+        assert d.values == ["b", "a", "c"]
+
+    def test_encode_decode_roundtrip(self):
+        d = Dictionary()
+        codes = d.encode(["x", "y", "x", "z"])
+        assert codes.tolist() == [0, 1, 0, 2]
+        assert d.decode(codes).tolist() == ["x", "y", "x", "z"]
+
+    def test_lookup_missing(self):
+        d = Dictionary(["a"])
+        assert d.lookup("a") == 0
+        assert d.lookup("nope") == -1
+
+    def test_lookup_many(self):
+        d = Dictionary(["a", "b"])
+        assert d.lookup_many(["b", "zz", "a"]).tolist() == [1, -1, 0]
+
+    def test_decode_one_bounds(self):
+        d = Dictionary(["a"])
+        assert d.decode_one(0) == "a"
+        with pytest.raises(StorageError):
+            d.decode_one(1)
+
+    def test_contains(self):
+        d = Dictionary(["a"])
+        assert "a" in d and "b" not in d
+
+
+class TestFixedColumn:
+    def test_append_and_values(self):
+        col = FixedColumn("x", DataType.INT64)
+        col.append([1, 2, 3])
+        col.append([4])
+        assert col.values().tolist() == [1, 2, 3, 4]
+        assert len(col) == 4
+
+    def test_capacity_reserved(self):
+        col = FixedColumn("x", DataType.INT64, data=np.arange(10))
+        assert col.capacity >= 10
+
+    def test_take(self):
+        col = FixedColumn("x", DataType.INT64, data=np.arange(100))
+        assert col.take(np.array([5, 0, 99])).tolist() == [5, 0, 99]
+
+    def test_get_bounds(self):
+        col = FixedColumn("x", DataType.INT64, data=[1])
+        assert col.get(0) == 1
+        with pytest.raises(StorageError):
+            col.get(1)
+
+    def test_put(self):
+        col = FixedColumn("x", DataType.INT64, data=[1, 2, 3])
+        col.put(np.array([0, 2]), [10, 30])
+        assert col.values().tolist() == [10, 2, 30]
+
+    def test_put_out_of_range(self):
+        col = FixedColumn("x", DataType.INT64, data=[1])
+        with pytest.raises(StorageError):
+            col.put(np.array([5]), [9])
+
+    def test_reorder(self):
+        col = FixedColumn("x", DataType.INT64, data=[10, 20, 30, 40])
+        col.reorder(np.array([3, 1]))
+        assert col.values().tolist() == [40, 20]
+
+    def test_string_dtype_rejected(self):
+        with pytest.raises(StorageError):
+            FixedColumn("s", DataType.STRING)
+
+    def test_growth_across_many_appends(self):
+        col = FixedColumn("x", DataType.INT32)
+        for i in range(50):
+            col.append([i])
+        assert col.values().tolist() == list(range(50))
+
+
+class TestAIRColumn:
+    def test_tags_reference(self):
+        col = AIRColumn("lo_custkey", "customer", data=np.array([0, 2, 1]))
+        assert col.referenced_table == "customer"
+        assert col.dtype == DataType.INT64
+        assert col.take(np.array([1])).tolist() == [2]
+
+
+class TestDictColumn:
+    def test_roundtrip(self):
+        col = DictColumn("region", values=["ASIA", "EUROPE", "ASIA"])
+        assert col.values().tolist() == ["ASIA", "EUROPE", "ASIA"]
+        assert col.cardinality == 2
+
+    def test_codes_are_array_indexes(self):
+        col = DictColumn("region", values=["A", "B", "A", "C"])
+        assert col.codes().tolist() == [0, 1, 0, 2]
+
+    def test_take_and_get(self):
+        col = DictColumn("region", values=["A", "B", "C"])
+        assert col.take(np.array([2, 0])).tolist() == ["C", "A"]
+        assert col.get(1) == "B"
+
+    def test_put_extends_dictionary(self):
+        col = DictColumn("region", values=["A", "B"])
+        col.put(np.array([0]), ["NEW"])
+        assert col.values().tolist() == ["NEW", "B"]
+        assert col.cardinality == 3
+
+    def test_reorder(self):
+        col = DictColumn("region", values=["A", "B", "C"])
+        col.reorder(np.array([2, 0]))
+        assert col.values().tolist() == ["C", "A"]
+
+
+class TestStringColumn:
+    def test_roundtrip(self):
+        col = StringColumn("name", values=["alpha", "beta"])
+        assert col.values().tolist() == ["alpha", "beta"]
+
+    def test_in_place_update_via_heap(self):
+        col = StringColumn("name", values=["alpha", "beta"])
+        col.put(np.array([1]), ["a-much-longer-string"])
+        assert col.get(1) == "a-much-longer-string"
+        assert col.get(0) == "alpha"
+
+    def test_take(self):
+        col = StringColumn("name", values=["a", "b", "c"])
+        assert col.take(np.array([2, 2, 0])).tolist() == ["c", "c", "a"]
+
+    def test_reorder(self):
+        col = StringColumn("name", values=["a", "b", "c"])
+        col.reorder(np.array([1]))
+        assert col.values().tolist() == ["b"]
+
+
+class TestMakeColumn:
+    def test_integers(self):
+        col = make_column("x", [1, 2, 3])
+        assert isinstance(col, FixedColumn)
+
+    def test_floats(self):
+        col = make_column("x", [1.5, 2.5])
+        assert col.dtype == DataType.FLOAT64
+
+    def test_low_cardinality_strings_dict_compressed(self):
+        col = make_column("region", ["ASIA"] * 50 + ["EUROPE"] * 50)
+        assert isinstance(col, DictColumn)
+
+    def test_high_cardinality_strings_heap(self):
+        col = make_column("name", [f"name{i}" for i in range(100)])
+        assert isinstance(col, StringColumn)
+
+
+class TestSelectionVector:
+    def test_full_and_empty(self):
+        assert len(SelectionVector.full(5)) == 5
+        assert len(SelectionVector.empty(5)) == 0
+
+    def test_from_mask(self):
+        sv = SelectionVector.from_mask(np.array([True, False, True]))
+        assert sv.positions.tolist() == [0, 2]
+        assert sv.domain == 3
+
+    def test_refine_shrinks(self):
+        sv = SelectionVector.full(4)
+        sv2 = sv.refine(np.array([True, False, True, False]))
+        assert sv2.positions.tolist() == [0, 2]
+        # original untouched
+        assert len(sv) == 4
+
+    def test_refine_length_mismatch(self):
+        with pytest.raises(StorageError):
+            SelectionVector.full(4).refine(np.array([True]))
+
+    def test_selectivity(self):
+        sv = SelectionVector.from_mask(np.array([True, False, False, False]))
+        assert sv.selectivity == 0.25
+
+    def test_intersect(self):
+        a = SelectionVector(np.array([0, 1, 5]), 10)
+        b = SelectionVector(np.array([1, 5, 7]), 10)
+        assert a.intersect(b).positions.tolist() == [1, 5]
+
+    def test_intersect_domain_mismatch(self):
+        with pytest.raises(StorageError):
+            SelectionVector.full(3).intersect(SelectionVector.full(4))
+
+    def test_to_bitmap(self):
+        sv = SelectionVector(np.array([2, 3]), 6)
+        assert sv.to_bitmap().to_indices().tolist() == [2, 3]
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(StorageError):
+            SelectionVector(np.array([7]), 5)

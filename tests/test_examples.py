@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "revenue by product class and city" in out
+        assert "array aggregation: True" in out
+
+    def test_ssb_analytics_small_scale(self):
+        out = run_example("ssb_analytics.py", "0.002")
+        assert "Q4.3" in out and "AVG" in out
+        assert "engines disagree" not in out
+
+    def test_snowflake_tpch_small_scale(self):
+        out = run_example("snowflake_tpch.py", "0.002")
+        assert "lineitem -> orders -> customer -> nation -> region" in out
+        assert "revenue by region" in out
+
+    def test_realtime_updates(self):
+        out = run_example("realtime_updates.py")
+        assert "analyst snapshot" in out
+        assert "consolidation" in out

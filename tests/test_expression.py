@@ -1,0 +1,201 @@
+"""Tests for the vectorized expression evaluator (incl. the dictionary
+predicate trick) and the providers over the virtual universal table."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    dimension_provider,
+    evaluate_measure,
+    evaluate_predicate,
+    like_to_regex,
+    universal_provider,
+)
+from repro.engine.slice import DictSlice
+from repro.errors import ExecutionError
+from repro.plan import bind
+from repro.plan.expressions import (
+    BoundAnd,
+    BoundArith,
+    BoundBetween,
+    BoundColumn,
+    BoundCompare,
+    BoundIn,
+    BoundLike,
+    BoundLiteral,
+    BoundNot,
+    BoundOr,
+)
+
+C = BoundColumn
+L = BoundLiteral
+
+
+class TestProviders:
+    def test_root_column_direct(self, tiny_star):
+        p = universal_provider(tiny_star, "lineorder",
+                               bind("SELECT count(*) FROM lineorder, date",
+                                    tiny_star).paths)
+        sl = p.fetch("lineorder", "lo_revenue")
+        assert sl.values.tolist() == [10, 20, 30, 40, 50, 60, 70, 80]
+
+    def test_dim_column_through_air(self, tiny_star):
+        paths = bind("SELECT count(*) FROM lineorder, date",
+                     tiny_star).paths
+        p = universal_provider(tiny_star, "lineorder", paths,
+                               np.array([0, 4]))
+        sl = p.fetch("date", "d_year")
+        assert sl.values.tolist() == [1997, 1998]
+
+    def test_chain_gather_snowflake(self, tiny_snowflake):
+        paths = bind(
+            "SELECT count(*) FROM lineitem, orders, customer, nation, region",
+            tiny_snowflake).paths
+        p = universal_provider(tiny_snowflake, "lineitem", paths)
+        # lineitem rows -> orders(0,0,1,2,3,3) -> cust(7,7,8,9,7,7)
+        # -> nation(CHINA,CHINA,FRANCE,JAPAN,CHINA,CHINA)
+        sl = p.fetch("nation", "n_name")
+        assert list(sl.decode()) == [
+            "CHINA", "CHINA", "FRANCE", "JAPAN", "CHINA", "CHINA"]
+        region = p.fetch("region", "r_name")
+        assert list(region.decode()) == [
+            "ASIA", "ASIA", "EUROPE", "ASIA", "ASIA", "ASIA"]
+
+    def test_positions_cached_across_columns(self, tiny_star):
+        paths = bind("SELECT count(*) FROM lineorder, customer",
+                     tiny_star).paths
+        p = universal_provider(tiny_star, "lineorder", paths, np.array([0]))
+        p.fetch("customer", "c_region")
+        assert "customer" in p._cache
+
+    def test_dict_columns_stay_encoded(self, tiny_star):
+        paths = bind("SELECT count(*) FROM lineorder, customer",
+                     tiny_star).paths
+        p = universal_provider(tiny_star, "lineorder", paths)
+        sl = p.fetch("customer", "c_region")
+        assert isinstance(sl, DictSlice)
+
+    def test_unreachable_table_rejected(self, tiny_star):
+        p = universal_provider(tiny_star, "lineorder", ())
+        with pytest.raises(ExecutionError):
+            p.positions_for("customer")
+
+    def test_rebase_composes(self, tiny_star):
+        paths = bind("SELECT count(*) FROM lineorder, date", tiny_star).paths
+        p = universal_provider(tiny_star, "lineorder", paths,
+                               np.array([4, 5, 6]))
+        sub = p.rebase(np.array([2]))  # -> base row 6
+        assert sub.fetch("lineorder", "lo_revenue").values.tolist() == [70]
+
+
+class TestPredicates:
+    def _dim(self, db, table):
+        return dimension_provider(db, table, ())
+
+    def test_numeric_compare(self, tiny_star):
+        p = self._dim(tiny_star, "lineorder")
+        mask = evaluate_predicate(
+            BoundCompare("<", C("lineorder", "lo_revenue"), L(35)), p)
+        assert mask.tolist() == [True, True, True] + [False] * 5
+
+    def test_dict_equality_uses_codes(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundCompare("=", C("customer", "c_region"), L("ASIA")), p)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_dict_equality_unknown_value(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundCompare("=", C("customer", "c_region"), L("NOWHERE")), p)
+        assert not mask.any()
+
+    def test_dict_range(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundBetween(C("customer", "c_region"), L("AMERICA"), L("ASIA")),
+            p)
+        # AMERICA <= x <= ASIA lexicographically
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_in_list_on_dict(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundIn(C("customer", "c_nation"), ("CHINA", "BRAZIL")), p)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_negated_in(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundIn(C("customer", "c_nation"), ("CHINA",), negated=True), p)
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_like(self, tiny_star):
+        p = self._dim(tiny_star, "customer")
+        mask = evaluate_predicate(
+            BoundLike(C("customer", "c_nation"), "%AN%"), p)
+        # JAPAN, FRANCE contain AN
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_and_or_not(self, tiny_star):
+        p = self._dim(tiny_star, "lineorder")
+        expr = BoundAnd((
+            BoundCompare(">=", C("lineorder", "lo_revenue"), L(30)),
+            BoundOr((
+                BoundCompare("=", C("lineorder", "lo_discount"), L(1)),
+                BoundNot(BoundCompare("<", C("lineorder", "lo_quantity"),
+                                      L(40))),
+            )),
+        ))
+        mask = evaluate_predicate(expr, p)
+        # rows with rev>=30: idx 2..7; discount==1 at idx 4; quantity>=40 idx 7
+        assert mask.tolist() == [False, False, False, False, True,
+                                 False, False, True]
+
+    def test_between_numeric(self, tiny_star):
+        p = self._dim(tiny_star, "lineorder")
+        mask = evaluate_predicate(
+            BoundBetween(C("lineorder", "lo_discount"), L(2), L(3)), p)
+        assert mask.sum() == 4
+
+    def test_non_predicate_rejected(self, tiny_star):
+        p = self._dim(tiny_star, "lineorder")
+        with pytest.raises(ExecutionError):
+            evaluate_predicate(C("lineorder", "lo_revenue"), p)
+
+
+class TestMeasures:
+    def test_arithmetic(self, tiny_star):
+        p = dimension_provider(tiny_star, "lineorder", ())
+        expr = BoundArith("*", C("lineorder", "lo_revenue"),
+                          C("lineorder", "lo_discount"))
+        values = evaluate_measure(expr, p)
+        assert values.tolist() == [10, 40, 90, 160, 50, 120, 210, 320]
+
+    def test_paper_q3_shape(self, tiny_snowflake):
+        p = dimension_provider(tiny_snowflake, "lineitem", ())
+        expr = BoundArith(
+            "*", C("lineitem", "l_extendedprice"),
+            BoundArith("-", L(1), C("lineitem", "l_discount")))
+        values = evaluate_measure(expr, p)
+        assert values.tolist() == pytest.approx(
+            [10.0, 10.0, 27.0, 40.0, 40.0, 30.0])
+
+    def test_predicate_as_measure_rejected(self, tiny_star):
+        p = dimension_provider(tiny_star, "lineorder", ())
+        with pytest.raises(ExecutionError):
+            evaluate_measure(
+                BoundCompare("=", C("lineorder", "lo_discount"), L(1)), p)
+
+
+class TestLikeRegex:
+    @pytest.mark.parametrize("pattern,value,expected", [
+        ("MFGR#12%", "MFGR#1201", True),
+        ("MFGR#12%", "MFGR#2201", False),
+        ("%KI_", "UNITED KI1", True),
+        ("%KI_", "UNITED KINGDOM", False),
+        ("a.b", "a.b", True),
+        ("a.b", "axb", False),  # '.' must be literal
+    ])
+    def test_translation(self, pattern, value, expected):
+        assert bool(like_to_regex(pattern).match(value)) is expected

@@ -1,0 +1,90 @@
+"""Tests for the functional-dependency fusion of group axes.
+
+Group keys reaching the fact table through the same first-level dimension
+share one axis over their *observed* value combinations, shrinking the
+aggregation array (the paper's dimensionality-reduction remark in
+Section 4.3) without changing any result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import AStoreEngine, build_axes
+from repro.engine.grouping import total_groups
+from repro.plan import bind
+
+
+class TestAxisFusion:
+    def test_same_dim_keys_fused(self, ssb_air):
+        logical = bind(
+            "SELECT d_year, d_yearmonth, count(*) AS n FROM lineorder, date "
+            "GROUP BY d_year, d_yearmonth", ssb_air)
+        axes = build_axes(ssb_air, logical)
+        assert len(axes) == 1  # fused into one axis
+        # observed (year, yearmonth) pairs = 84 months, far below 7 * 84
+        assert axes[0].card == 84
+        assert set(axes[0].columns) == {"d_year", "d_yearmonth"}
+
+    def test_fd_consistency_of_decoded_pairs(self, ssb_air):
+        logical = bind(
+            "SELECT d_year, d_yearmonth, count(*) AS n FROM lineorder, date "
+            "GROUP BY d_year, d_yearmonth", ssb_air)
+        axes = build_axes(ssb_air, logical)
+        years = axes[0].columns["d_year"]
+        months = axes[0].columns["d_yearmonth"]
+        for year, month in zip(years, months):
+            assert str(year) in str(month)  # 'Mar1992' contains '1992'
+
+    def test_snowflake_chain_keys_fused(self, tpch_air):
+        logical = bind(
+            "SELECT n_name, r_name, count(*) AS n "
+            "FROM lineitem, orders, customer, nation, region "
+            "GROUP BY n_name, r_name", tpch_air)
+        axes = build_axes(tpch_air, logical)
+        # n_name and r_name both fold onto orders -> one axis of 25 pairs
+        assert len(axes) == 1
+        assert axes[0].card == 25
+
+    def test_different_dims_not_fused(self, ssb_air):
+        logical = bind(
+            "SELECT c_nation, s_nation, count(*) AS n "
+            "FROM lineorder, customer, supplier "
+            "GROUP BY c_nation, s_nation", ssb_air)
+        axes = build_axes(ssb_air, logical)
+        assert len(axes) == 2
+
+    def test_fact_keys_not_fused(self, ssb_air):
+        logical = bind(
+            "SELECT lo_discount, lo_tax, count(*) AS n FROM lineorder "
+            "GROUP BY lo_discount, lo_tax", ssb_air)
+        axes = build_axes(ssb_air, logical)
+        assert len(axes) == 2
+
+    def test_fused_results_match_hash_agg(self, ssb_air):
+        sql = ("SELECT d_year, d_yearmonth, sum(lo_revenue) AS s "
+               "FROM lineorder, date WHERE lo_discount <= 3 "
+               "GROUP BY d_year, d_yearmonth ORDER BY d_year, d_yearmonth")
+        array_rows = AStoreEngine.variant(ssb_air, "AIRScan_C_P_G").query(
+            sql).rows()
+        hash_rows = AStoreEngine.variant(ssb_air, "AIRScan_C_P").query(
+            sql).rows()
+        row_rows = AStoreEngine.variant(ssb_air, "AIRScan_R").query(
+            sql).rows()
+        assert array_rows == hash_rows == row_rows
+
+    def test_fusion_shrinks_measure_index_domain(self, ssb_air):
+        fused = bind(
+            "SELECT d_year, d_yearmonth, count(*) AS n FROM lineorder, date "
+            "GROUP BY d_year, d_yearmonth", ssb_air)
+        axes = build_axes(ssb_air, fused)
+        assert total_groups([a.card for a in axes]) == 84
+
+    def test_three_keys_same_dim(self, ssb_air):
+        sql = ("SELECT d_year, d_month, d_yearmonth, count(*) AS n "
+               "FROM lineorder, date GROUP BY d_year, d_month, d_yearmonth "
+               "ORDER BY d_yearmonth")
+        result = AStoreEngine(ssb_air).query(sql)
+        assert len(result) == 84
+        # every (year, month) matches its yearmonth label
+        for row in result.to_dicts():
+            assert row["d_yearmonth"] == f"{row['d_month']}{row['d_year']}"

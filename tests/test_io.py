@@ -1,0 +1,154 @@
+"""Tests for persistence (npz archives) and CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro import AStoreEngine
+from repro.core import AIRColumn, DictColumn, Database, StringColumn
+from repro.errors import StorageError
+from repro.io import dump_csv, load_csv, load_database, save_database
+
+from .conftest import build_tiny_star
+
+
+class TestPersistRoundtrip:
+    def test_roundtrip_preserves_rows(self, tmp_path):
+        db = build_tiny_star()
+        save_database(db, tmp_path / "tiny.npz")
+        loaded = load_database(tmp_path / "tiny.npz")
+        assert set(loaded.tables) == set(db.tables)
+        for name in db.tables:
+            orig, back = db.table(name), loaded.table(name)
+            assert back.num_rows == orig.num_rows
+            for col in orig.column_names:
+                assert list(back[col].values()) == list(orig[col].values())
+
+    def test_roundtrip_preserves_layouts(self, tmp_path):
+        db = build_tiny_star()
+        save_database(db, tmp_path / "tiny.npz")
+        loaded = load_database(tmp_path / "tiny.npz")
+        lo = loaded.table("lineorder")
+        assert isinstance(lo["lo_custkey"], AIRColumn)
+        assert lo["lo_custkey"].referenced_table == "customer"
+        assert isinstance(loaded.table("customer")["c_region"], DictColumn)
+
+    def test_roundtrip_preserves_references(self, tmp_path):
+        db = build_tiny_star()
+        save_database(db, tmp_path / "tiny.npz")
+        loaded = load_database(tmp_path / "tiny.npz")
+        assert len(loaded.references) == 2
+        # and the engine runs on the loaded database without airify()
+        total = AStoreEngine(loaded).query(
+            "SELECT sum(lo_revenue) AS s FROM lineorder, customer "
+            "WHERE lo_custkey = c_custkey AND c_region = 'ASIA'").scalar()
+        assert total == 140
+
+    def test_roundtrip_preserves_deletes_and_free_slots(self, tmp_path):
+        db = build_tiny_star()
+        db.table("lineorder").delete([2, 5])
+        save_database(db, tmp_path / "tiny.npz")
+        loaded = load_database(tmp_path / "tiny.npz")
+        lo = loaded.table("lineorder")
+        assert lo.num_live == 6
+        # the freed slots survive: reuse happens on insert
+        pos = lo.insert({name: [0] for name in lo.column_names})
+        assert pos.tolist() == [2]
+
+    def test_roundtrip_preserves_mvcc(self, tmp_path):
+        db = build_tiny_star(mvcc=True)
+        db.table("lineorder").delete([0], version=7)
+        save_database(db, tmp_path / "tiny.npz")
+        loaded = load_database(tmp_path / "tiny.npz")
+        assert loaded.table("lineorder").live_mask(snapshot=5)[0]
+        assert not loaded.table("lineorder").live_mask(snapshot=9)[0]
+
+    def test_roundtrip_ssb_query_equivalence(self, tmp_path, ssb_air):
+        save_database(ssb_air, tmp_path / "ssb.npz")
+        loaded = load_database(tmp_path / "ssb.npz")
+        sql = ("SELECT d_year, sum(lo_revenue) AS s FROM lineorder, date "
+               "GROUP BY d_year ORDER BY d_year")
+        assert (AStoreEngine(loaded).query(sql).rows()
+                == AStoreEngine(ssb_air).query(sql).rows())
+
+    def test_string_heap_columns(self, tmp_path):
+        db = Database("s")
+        db.create_table("t", {"name": [f"n{i}" for i in range(50)]})
+        assert isinstance(db.table("t")["name"], StringColumn)
+        save_database(db, tmp_path / "s.npz")
+        loaded = load_database(tmp_path / "s.npz")
+        assert loaded.table("t")["name"].get(7) == "n7"
+
+    def test_version_check(self, tmp_path):
+        db = build_tiny_star()
+        save_database(db, tmp_path / "t.npz")
+        import json
+
+        with np.load(tmp_path / "t.npz") as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["$manifest"]).decode())
+        manifest["version"] = 99
+        arrays["$manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8)
+        with open(tmp_path / "bad.npz", "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "bad.npz")
+
+
+class TestCSV:
+    def test_load_with_header(self, tmp_path):
+        path = tmp_path / "dim.csv"
+        path.write_text("k|name|price\n1|alpha|10\n2|beta|2.5\n")
+        db = Database("csv")
+        table = load_csv(db, "dim", path)
+        assert table.num_rows == 2
+        assert table["k"].values().tolist() == [1, 2]
+        assert table["price"].values().tolist() == [10.0, 2.5]
+        assert table["name"].get(1) == "beta"
+
+    def test_load_without_header(self, tmp_path):
+        path = tmp_path / "raw.tbl"
+        path.write_text("1|x|\n2|y|\n")  # dbgen trailing delimiter
+        db = Database("csv")
+        table = load_csv(db, "raw", path, columns=["k", "v"],
+                         has_header=False)
+        assert table.num_rows == 2
+        assert table["v"].values().tolist() == ["x", "y"]
+
+    def test_load_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_csv(Database("x"), "t", path)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a|b\n1|2\n3\n")
+        with pytest.raises(StorageError):
+            load_csv(Database("x"), "t", path)
+
+    def test_dump_table_skips_deleted(self, tmp_path):
+        db = build_tiny_star()
+        db.table("customer").delete([1])
+        n = dump_csv(db.table("customer"), tmp_path / "c.csv")
+        assert n == 3
+        text = (tmp_path / "c.csv").read_text()
+        assert "JAPAN" not in text and "CHINA" in text
+
+    def test_dump_query_result(self, tmp_path, tiny_star):
+        result = AStoreEngine(tiny_star).query(
+            "SELECT d_year, sum(lo_revenue) AS s FROM lineorder, date "
+            "GROUP BY d_year ORDER BY d_year")
+        n = dump_csv(result, tmp_path / "out.csv")
+        assert n == 2
+        lines = (tmp_path / "out.csv").read_text().strip().splitlines()
+        assert lines[0] == "d_year|s"
+
+    def test_csv_roundtrip_through_engine(self, tmp_path):
+        db = build_tiny_star()
+        dump_csv(db.table("lineorder"), tmp_path / "lo.csv")
+        db2 = Database("again")
+        load_csv(db2, "lineorder", tmp_path / "lo.csv")
+        total = AStoreEngine(db2).query(
+            "SELECT sum(lo_revenue) AS s FROM lineorder").scalar()
+        assert total == 360

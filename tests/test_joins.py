@@ -1,0 +1,151 @@
+"""Unit + property tests for the join algorithms and the hash table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.joins import (
+    IntHashTable,
+    air_join,
+    npo_hash_join,
+    pro_hash_join,
+    sort_merge_join,
+)
+
+
+def reference_join(fact_keys, dim_keys):
+    """Oracle: dict-based join."""
+    lookup = {int(k): i for i, k in enumerate(dim_keys)}
+    return np.array([lookup.get(int(k), -1) for k in fact_keys], dtype=np.int64)
+
+
+class TestIntHashTable:
+    def test_build_and_probe(self):
+        keys = np.array([5, 17, 3, 99])
+        table = IntHashTable(keys)
+        assert table.probe(np.array([3, 5, 42])).tolist() == [2, 0, -1]
+
+    def test_empty_table(self):
+        table = IntHashTable(np.array([], dtype=np.int64))
+        assert table.probe(np.array([1, 2])).tolist() == [-1, -1]
+
+    def test_custom_values(self):
+        table = IntHashTable(np.array([7, 8]), values=np.array([70, 80]))
+        assert table.probe(np.array([8, 7])).tolist() == [80, 70]
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ExecutionError):
+            IntHashTable(np.array([-1]))
+
+    def test_duplicate_keys_probe_one_match(self):
+        table = IntHashTable(np.array([4, 4, 4, 4]))
+        assert int(table.probe(np.array([4]))[0]) in (0, 1, 2, 3)
+
+    def test_many_collisions(self):
+        # keys all congruent modulo a power of two stress linear probing
+        keys = np.arange(0, 1 << 14, 1 << 6, dtype=np.int64)
+        table = IntHashTable(keys)
+        assert np.array_equal(table.probe(keys), np.arange(len(keys)))
+
+    def test_len(self):
+        assert len(IntHashTable(np.arange(100))) == 100
+
+    @given(st.sets(st.integers(min_value=0, max_value=10**9),
+                   min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_probe_matches_dict(self, key_set):
+        keys = np.array(sorted(key_set), dtype=np.int64)
+        table = IntHashTable(keys)
+        probes = np.concatenate([keys, keys + 1]) if len(keys) else np.array([0])
+        expected = reference_join(probes, keys)
+        assert np.array_equal(table.probe(probes), expected)
+
+
+class TestAirJoin:
+    def test_positions_pass_through(self):
+        refs = np.array([0, 2, 1])
+        assert air_join(refs, 3).dim_positions.tolist() == [0, 2, 1]
+
+    def test_validation_marks_out_of_range(self):
+        refs = np.array([0, 5, -1])
+        assert air_join(refs, 3).dim_positions.tolist() == [0, -1, -1]
+
+    def test_novalidate_is_identity(self):
+        refs = np.array([0, 5])
+        assert air_join(refs, 3, validate=False).dim_positions.tolist() == [0, 5]
+
+    def test_count(self):
+        assert air_join(np.array([0, 1, 9]), 5).count() == 2
+
+
+@pytest.mark.parametrize("join", [npo_hash_join, pro_hash_join, sort_merge_join],
+                         ids=["NPO", "PRO", "SORT_MERGE"])
+class TestKeyJoins:
+    def test_basic(self, join):
+        dim = np.array([100, 200, 300])
+        fact = np.array([300, 100, 100, 999])
+        assert join(fact, dim).dim_positions.tolist() == [2, 0, 0, -1]
+
+    def test_empty_fact(self, join):
+        out = join(np.array([], dtype=np.int64), np.array([1, 2]))
+        assert len(out.dim_positions) == 0
+
+    def test_empty_dim(self, join):
+        out = join(np.array([5, 6]), np.array([], dtype=np.int64))
+        assert out.dim_positions.tolist() == [-1, -1]
+
+    def test_large_random(self, join):
+        rng = np.random.default_rng(0)
+        dim = rng.permutation(50_000)[:10_000].astype(np.int64)
+        fact = rng.integers(0, 60_000, size=5_000).astype(np.int64)
+        expected = reference_join(fact, dim)
+        assert np.array_equal(join(fact, dim).dim_positions, expected)
+
+    @given(
+        dim=st.sets(st.integers(min_value=0, max_value=5000),
+                    min_size=1, max_size=200),
+        fact=st.lists(st.integers(min_value=0, max_value=5000),
+                      min_size=0, max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle(self, join, dim, fact):
+        dim = np.array(sorted(dim), dtype=np.int64)
+        fact = np.array(fact, dtype=np.int64)
+        expected = reference_join(fact, dim)
+        assert np.array_equal(join(fact, dim).dim_positions, expected)
+
+
+class TestPRODetails:
+    def test_explicit_radix_bits(self):
+        dim = np.arange(1000, dtype=np.int64)
+        fact = np.array([0, 999, 500, 1001])
+        out = pro_hash_join(fact, dim, radix_bits=4)
+        assert out.dim_positions.tolist() == [0, 999, 500, -1]
+
+    def test_zero_bits_degenerates_to_npo(self):
+        dim = np.array([3, 8, 1])
+        fact = np.array([8, 8, 2])
+        out = pro_hash_join(fact, dim, radix_bits=0)
+        assert out.dim_positions.tolist() == [1, 1, -1]
+
+
+class TestSortMergeDetails:
+    def test_duplicate_dim_keys_rejected(self):
+        with pytest.raises(ExecutionError):
+            sort_merge_join(np.array([1]), np.array([2, 2]))
+
+
+class TestAgreementAcrossAlgorithms:
+    def test_all_algorithms_agree_on_air_encoded_data(self):
+        """When FKs are positions, key-based joins over arange agree with AIR."""
+        rng = np.random.default_rng(1)
+        dim_size = 2_000
+        refs = rng.integers(0, dim_size, size=3_000).astype(np.int64)
+        ident = np.arange(dim_size, dtype=np.int64)
+        a = air_join(refs, dim_size).dim_positions
+        n = npo_hash_join(refs, ident).dim_positions
+        p = pro_hash_join(refs, ident).dim_positions
+        s = sort_merge_join(refs, ident).dim_positions
+        assert np.array_equal(a, n) and np.array_equal(n, p) and np.array_equal(p, s)

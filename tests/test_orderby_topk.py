@@ -1,0 +1,82 @@
+"""Tests for multi-key sorting and the top-k (LIMIT pushdown) path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import AStoreEngine
+from repro.engine.orderby import sort_indices, top_k_indices
+from repro.errors import ExecutionError
+from repro.plan.binder import OrderKey
+
+
+class TestTopK:
+    def test_matches_full_sort_single_key(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 10_000, 5_000)
+        columns = {"x": values}
+        keys = [OrderKey("x", False)]
+        full = sort_indices(columns, keys)[:50]
+        topk = top_k_indices(columns, keys, 50)
+        assert np.array_equal(values[full], values[topk])
+
+    def test_descending(self):
+        values = np.arange(1000)
+        np.random.default_rng(0).shuffle(values)
+        topk = top_k_indices({"x": values}, [OrderKey("x", True)], 10)
+        assert values[topk].tolist() == list(range(999, 989, -1))
+
+    def test_k_zero(self):
+        assert len(top_k_indices({"x": np.arange(5)},
+                                 [OrderKey("x", False)], 0)) == 0
+
+    def test_k_exceeds_rows_falls_back(self):
+        values = np.array([3, 1, 2])
+        topk = top_k_indices({"x": values}, [OrderKey("x", False)], 10)
+        assert values[topk].tolist() == [1, 2, 3]
+
+    def test_multi_key_falls_back_to_full_sort(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 100, 2000)
+        columns = {"a": a, "b": b}
+        keys = [OrderKey("a", False), OrderKey("b", True)]
+        full = sort_indices(columns, keys)[:20]
+        topk = top_k_indices(columns, keys, 20)
+        assert np.array_equal(full, topk)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ExecutionError):
+            top_k_indices({"x": np.arange(1000)},
+                          [OrderKey("nope", False)], 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=st.lists(st.integers(-10_000, 10_000),
+                           min_size=1, max_size=2000),
+           k=st.integers(1, 50), descending=st.booleans())
+    def test_property_topk_values_match(self, values, k, descending):
+        arr = np.array(values, dtype=np.int64)
+        topk = top_k_indices({"x": arr}, [OrderKey("x", descending)], k)
+        expected = sorted(values, reverse=descending)[:k]
+        assert arr[topk].tolist() == expected
+
+
+class TestLimitPushdownThroughEngine:
+    def test_top_revenue_query(self, ssb_air):
+        sql_limited = ("SELECT lo_orderkey, lo_revenue FROM lineorder "
+                       "ORDER BY lo_revenue DESC LIMIT 10")
+        sql_full = ("SELECT lo_orderkey, lo_revenue FROM lineorder "
+                    "ORDER BY lo_revenue DESC")
+        engine = AStoreEngine(ssb_air)
+        limited = engine.query(sql_limited).rows()
+        full = engine.query(sql_full).rows()[:10]
+        assert [r[1] for r in limited] == [r[1] for r in full]
+
+    def test_grouped_query_with_limit(self, ssb_air):
+        sql = ("SELECT c_nation, sum(lo_revenue) AS s FROM lineorder, "
+               "customer GROUP BY c_nation ORDER BY s DESC LIMIT 3")
+        rows = AStoreEngine(ssb_air).query(sql).rows()
+        assert len(rows) == 3
+        sums = [r[1] for r in rows]
+        assert sums == sorted(sums, reverse=True)

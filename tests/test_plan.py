@@ -1,0 +1,209 @@
+"""Tests for the binder and optimizer."""
+
+import pytest
+
+from repro.errors import BindError, PlanError
+from repro.plan import CacheModel, bind, optimize
+from repro.plan.expressions import BoundColumn
+
+
+class TestBinderRoot:
+    def test_star_root(self, tiny_star):
+        plan = bind("SELECT count(*) FROM lineorder, date "
+                    "WHERE lo_orderdate = d_datekey", tiny_star)
+        assert plan.root == "lineorder"
+        assert [p.leaf for p in plan.paths] == ["date"]
+
+    def test_root_without_explicit_joins(self, tiny_star):
+        # joins are implied by the schema references
+        plan = bind("SELECT count(*) FROM lineorder, date, customer",
+                    tiny_star)
+        assert plan.root == "lineorder"
+        assert {p.leaf for p in plan.paths} == {"date", "customer"}
+
+    def test_snowflake_root(self, tiny_snowflake):
+        plan = bind(
+            "SELECT count(*) FROM lineitem, orders, customer, nation, region",
+            tiny_snowflake)
+        assert plan.root == "lineitem"
+        assert plan.first_level_dims == ["orders"]
+
+    def test_disconnected_tables_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT count(*) FROM date, customer", tiny_star)
+
+    def test_self_join_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT count(*) FROM lineorder, lineorder", tiny_star)
+
+    def test_unknown_table(self, tiny_star):
+        with pytest.raises(BindError):
+            bind("SELECT count(*) FROM ghosts", tiny_star)
+
+
+class TestBinderColumns:
+    def test_unqualified_resolution(self, tiny_star):
+        plan = bind("SELECT d_year, sum(lo_revenue) FROM lineorder, date "
+                    "GROUP BY d_year", tiny_star)
+        assert plan.group_keys[0].column == BoundColumn("date", "d_year")
+
+    def test_unknown_column(self, tiny_star):
+        with pytest.raises(BindError):
+            bind("SELECT nonsense FROM lineorder", tiny_star)
+
+    def test_qualified_wrong_table(self, tiny_star):
+        with pytest.raises(BindError):
+            bind("SELECT date.lo_revenue FROM lineorder, date", tiny_star)
+
+    def test_ungrouped_column_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT d_year, sum(lo_revenue) FROM lineorder, date",
+                 tiny_star)
+
+    def test_duplicate_output_rejected(self, tiny_star):
+        with pytest.raises(BindError):
+            bind("SELECT sum(lo_revenue) AS x, count(*) AS x FROM lineorder",
+                 tiny_star)
+
+
+class TestWhereSplitting:
+    def test_fact_vs_dim_conjuncts(self, tiny_star):
+        plan = bind("""
+            SELECT count(*) FROM lineorder, date, customer
+            WHERE lo_orderdate = d_datekey AND lo_custkey = c_custkey
+              AND lo_discount <= 2 AND d_year = 1997 AND c_region = 'ASIA'
+        """, tiny_star)
+        assert len(plan.fact_conjuncts) == 1
+        assert set(plan.dim_conjuncts) == {"date", "customer"}
+
+    def test_join_predicates_consumed(self, tiny_star):
+        plan = bind("SELECT count(*) FROM lineorder, date "
+                    "WHERE lo_orderdate = d_datekey", tiny_star)
+        assert plan.fact_conjuncts == ()
+        assert plan.dim_conjuncts == {}
+
+    def test_undeclared_join_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT count(*) FROM lineorder, date "
+                 "WHERE lo_revenue = d_datekey", tiny_star)
+
+    def test_snowflake_predicate_folds_to_first_dim(self, tiny_snowflake):
+        plan = bind("""
+            SELECT count(*) FROM lineitem, orders, customer, nation, region
+            WHERE r_name = 'ASIA' AND o_price >= 800
+        """, tiny_snowflake)
+        # both predicates fold onto the orders path (its first-level dim)
+        assert set(plan.dim_conjuncts) == {"orders"}
+        assert len(plan.dim_conjuncts["orders"]) == 2
+
+    def test_cross_path_predicate_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT count(*) FROM lineorder, date, customer "
+                 "WHERE d_year = 1997 OR c_region = 'ASIA'", tiny_star)
+
+
+class TestSelectShapes:
+    def test_scalar_aggregate(self, tiny_star):
+        plan = bind("SELECT sum(lo_revenue) FROM lineorder", tiny_star)
+        assert plan.group_keys == ()
+        assert plan.aggregates[0].func == "SUM"
+
+    def test_projection_plan(self, tiny_star):
+        plan = bind("SELECT lo_orderkey, c_nation FROM lineorder, customer "
+                    "WHERE lo_custkey = c_custkey", tiny_star)
+        assert plan.is_projection
+        assert [k.name for k in plan.projection_columns] == [
+            "lo_orderkey", "c_nation"]
+
+    def test_count_distinct_rejected(self, tiny_star):
+        with pytest.raises(PlanError):
+            bind("SELECT count(DISTINCT lo_custkey) FROM lineorder", tiny_star)
+
+    def test_order_by_alias_and_aggregate(self, tiny_star):
+        plan = bind("""
+            SELECT d_year, sum(lo_revenue) AS revenue FROM lineorder, date
+            GROUP BY d_year ORDER BY d_year ASC, sum(lo_revenue) DESC
+        """, tiny_star)
+        assert plan.order_by[0].output == "d_year"
+        assert plan.order_by[1].output == "revenue"
+        assert plan.order_by[1].descending
+
+    def test_order_by_unknown_rejected(self, tiny_star):
+        with pytest.raises(BindError):
+            bind("SELECT d_year, sum(lo_revenue) FROM lineorder, date "
+                 "GROUP BY d_year ORDER BY mystery", tiny_star)
+
+    def test_default_aggregate_names(self, tiny_star):
+        plan = bind("SELECT sum(lo_revenue), count(*) FROM lineorder",
+                    tiny_star)
+        assert plan.output_order == ("sum_lo_revenue", "count")
+
+
+class TestOptimizer:
+    def test_predicate_ordering_by_selectivity(self, tiny_star):
+        logical = bind("""
+            SELECT count(*) FROM lineorder
+            WHERE lo_discount <= 4 AND lo_quantity <= 5
+        """, tiny_star)
+        physical = optimize(logical, tiny_star)
+        # quantity <= 5 keeps 1/8 rows; discount <= 4 keeps all 8
+        first_expr, first_sel = physical.fact_conjuncts[0]
+        assert first_sel <= physical.fact_conjuncts[1][1]
+        assert "lo_quantity" in str(first_expr)
+
+    def test_filter_vs_probe_decision(self, tiny_star):
+        logical = bind("SELECT count(*) FROM lineorder, customer "
+                       "WHERE c_region = 'ASIA'", tiny_star)
+        fits = optimize(logical, tiny_star,
+                        cache=CacheModel(llc_bytes=1 << 20))
+        assert fits.dim_decisions[0].use_filter
+        tiny_cache = optimize(logical, tiny_star,
+                              cache=CacheModel(llc_bytes=0))
+        assert not tiny_cache.dim_decisions[0].use_filter
+
+    def test_filter_disabled_globally(self, tiny_star):
+        logical = bind("SELECT count(*) FROM lineorder, customer "
+                       "WHERE c_region = 'ASIA'", tiny_star)
+        physical = optimize(logical, tiny_star, use_predicate_filter=False)
+        assert not physical.dim_decisions[0].use_filter
+
+    def test_array_agg_auto_accepts_small_group_space(self, tiny_star):
+        logical = bind("SELECT d_year, count(*) FROM lineorder, date "
+                       "GROUP BY d_year", tiny_star)
+        physical = optimize(logical, tiny_star)
+        assert physical.use_array_agg
+        assert physical.estimated_groups == 2  # 1997, 1998
+
+    def test_array_agg_rejected_when_too_big(self, tiny_star):
+        logical = bind("SELECT d_year, count(*) FROM lineorder, date "
+                       "GROUP BY d_year", tiny_star)
+        physical = optimize(logical, tiny_star,
+                            cache=CacheModel(llc_bytes=4))
+        assert not physical.use_array_agg
+
+    def test_forced_hash_agg(self, tiny_star):
+        logical = bind("SELECT d_year, count(*) FROM lineorder, date "
+                       "GROUP BY d_year", tiny_star)
+        physical = optimize(logical, tiny_star, array_agg=False)
+        assert not physical.use_array_agg
+
+    def test_explain_mentions_decisions(self, tiny_star):
+        logical = bind("""
+            SELECT d_year, sum(lo_revenue) FROM lineorder, date, customer
+            WHERE c_region = 'ASIA' AND lo_discount <= 2
+            GROUP BY d_year
+        """, tiny_star)
+        text = optimize(logical, tiny_star).explain()
+        assert "root: lineorder" in text
+        assert "predicate-vector" in text
+        assert "aggregation: array" in text
+
+    def test_estimated_groups_multi_axis(self, ssb_air):
+        logical = bind("""
+            SELECT c_nation, d_year, count(*) FROM lineorder, customer, date
+            GROUP BY c_nation, d_year
+        """, ssb_air)
+        physical = optimize(logical, ssb_air)
+        nations = len(set(ssb_air.table("customer")["c_nation"].values()))
+        years = len(set(ssb_air.table("date")["d_year"].values()))
+        assert physical.estimated_groups == nations * years

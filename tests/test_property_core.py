@@ -1,0 +1,126 @@
+"""Property-based tests on core data-structure invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Bitmap, Dictionary, SelectionVector
+from repro.engine.orderby import sort_indices
+from repro.plan.binder import OrderKey
+
+mask_strategy = st.lists(st.booleans(), min_size=0, max_size=400)
+
+
+class TestBitmapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(mask=mask_strategy)
+    def test_pack_unpack_roundtrip(self, mask):
+        arr = np.array(mask, dtype=bool)
+        assert np.array_equal(Bitmap.from_bool_array(arr).to_bool_array(), arr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mask=mask_strategy)
+    def test_count_matches_sum(self, mask):
+        arr = np.array(mask, dtype=bool)
+        assert Bitmap.from_bool_array(arr).count() == int(arr.sum())
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=mask_strategy, b=mask_strategy)
+    def test_logical_ops_match_numpy(self, a, b):
+        n = min(len(a), len(b))
+        arr_a = np.array(a[:n], dtype=bool)
+        arr_b = np.array(b[:n], dtype=bool)
+        bm_a, bm_b = Bitmap.from_bool_array(arr_a), Bitmap.from_bool_array(arr_b)
+        assert np.array_equal((bm_a & bm_b).to_bool_array(), arr_a & arr_b)
+        assert np.array_equal((bm_a | bm_b).to_bool_array(), arr_a | arr_b)
+        assert np.array_equal((~bm_a).to_bool_array(), ~arr_a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mask=mask_strategy, data=st.data())
+    def test_probe_matches_unpacked(self, mask, data):
+        arr = np.array(mask, dtype=bool)
+        if len(arr) == 0:
+            return
+        positions = np.array(data.draw(st.lists(
+            st.integers(min_value=0, max_value=len(arr) - 1),
+            min_size=0, max_size=100)), dtype=np.int64)
+        bm = Bitmap.from_bool_array(arr)
+        assert np.array_equal(bm.test(positions), arr[positions])
+
+
+class TestSelectionVectorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(mask=mask_strategy)
+    def test_from_mask_positions_sorted_unique(self, mask):
+        sv = SelectionVector.from_mask(np.array(mask, dtype=bool))
+        positions = sv.positions
+        assert np.all(np.diff(positions) > 0) if len(positions) > 1 else True
+        assert len(sv) == sum(mask)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mask=mask_strategy, data=st.data())
+    def test_refine_composes_like_and(self, mask, data):
+        arr = np.array(mask, dtype=bool)
+        sv = SelectionVector.from_mask(arr)
+        keep = np.array(data.draw(st.lists(
+            st.booleans(), min_size=len(sv), max_size=len(sv))), dtype=bool)
+        refined = sv.refine(keep)
+        # refining equals AND-ing the masks
+        full = arr.copy()
+        full[sv.positions[~keep]] = False
+        assert np.array_equal(refined.positions, np.flatnonzero(full))
+
+
+class TestDictionaryProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.text(max_size=8), min_size=0, max_size=200))
+    def test_encode_decode_identity(self, values):
+        d = Dictionary()
+        codes = d.encode(values)
+        assert list(d.decode(codes)) == values
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.text(max_size=8), min_size=0, max_size=200))
+    def test_codes_bounded_by_cardinality(self, values):
+        d = Dictionary()
+        codes = d.encode(values)
+        assert len(d) == len(set(values))
+        if len(codes):
+            assert codes.max() < len(d) and codes.min() >= 0
+
+
+class TestSortProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+           descending=st.booleans())
+    def test_single_key_sort_matches_sorted(self, values, descending):
+        columns = {"x": np.array(values, dtype=np.int64)}
+        order = sort_indices(columns, [OrderKey("x", descending)])
+        got = columns["x"][order].tolist()
+        assert got == sorted(values, reverse=descending)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(st.tuples(st.integers(0, 5), st.integers(-50, 50)),
+                         min_size=1, max_size=200))
+    def test_two_key_sort_matches_python(self, rows):
+        a = np.array([r[0] for r in rows], dtype=np.int64)
+        b = np.array([r[1] for r in rows], dtype=np.int64)
+        order = sort_indices({"a": a, "b": b},
+                             [OrderKey("a", False), OrderKey("b", True)])
+        got = [(int(a[i]), int(b[i])) for i in order]
+        assert got == sorted(rows, key=lambda r: (r[0], -r[1]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=st.lists(
+        st.tuples(st.sampled_from(["x", "y", "z"]), st.integers(0, 9)),
+        min_size=1, max_size=120))
+    def test_string_key_desc_matches_python(self, rows):
+        names = np.empty(len(rows), dtype=object)
+        names[:] = [r[0] for r in rows]
+        nums = np.array([r[1] for r in rows], dtype=np.int64)
+        order = sort_indices({"s": names, "n": nums},
+                             [OrderKey("s", True), OrderKey("n", False)])
+        got = [(names[i], int(nums[i])) for i in order]
+        expected = sorted(rows, key=lambda r: r[1])
+        expected = sorted(expected, key=lambda r: r[0], reverse=True)
+        assert got == expected

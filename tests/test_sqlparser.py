@@ -1,0 +1,206 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlparser import (
+    Aggregate,
+    And,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    column_refs,
+    has_aggregate,
+    parse,
+    tokenize,
+    TokenType,
+)
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_spelling(self):
+        tokens = tokenize("Lo_Revenue")
+        assert tokens[0].type == TokenType.IDENT
+        assert tokens[0].value == "Lo_Revenue"
+
+    def test_string_literal(self):
+        tokens = tokenize("'ASIA'")
+        assert tokens[0].type == TokenType.STRING
+        assert tokens[0].value == "ASIA"
+
+    def test_string_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:2]] == ["42", "3.14"]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("a >= 1 and b <> 2 and c != 3")]
+        assert ">=" in values
+        assert values.count("<>") == 2  # != normalized to <>
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- comment\n x from t")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "x"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+
+
+class TestParserBasics:
+    def test_minimal(self):
+        stmt = parse("SELECT a FROM t")
+        assert stmt.tables == ("t",)
+        assert stmt.items[0].expr == ColumnRef("a")
+
+    def test_multiple_tables(self):
+        stmt = parse("SELECT a FROM t1, t2, t3")
+        assert stmt.tables == ("t1", "t2", "t3")
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT sum(x) AS total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_bare_alias(self):
+        stmt = parse("SELECT sum(x) total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_qualified_column(self):
+        stmt = parse("SELECT t.a FROM t")
+        assert stmt.items[0].expr == ColumnRef("a", table="t")
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        agg = stmt.items[0].expr
+        assert isinstance(agg, Aggregate) and agg.func == "COUNT" and agg.arg is None
+
+    def test_count_empty_parens(self):
+        # the paper writes count() in several queries
+        agg = parse("SELECT count() FROM t").items[0].expr
+        assert isinstance(agg, Aggregate) and agg.arg is None
+
+    def test_group_order_limit(self):
+        stmt = parse(
+            "SELECT a, sum(b) FROM t GROUP BY a ORDER BY a ASC, sum(b) DESC LIMIT 10"
+        )
+        assert stmt.group_by == (ColumnRef("a"),)
+        assert stmt.order_by[0].descending is False
+        assert stmt.order_by[1].descending is True
+        assert stmt.limit == 10
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t nonsense extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse("SELECT a + b * c FROM t").items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = parse("SELECT (a + b) * c FROM t").items[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+
+    def test_paper_q3_expression(self):
+        expr = parse(
+            "SELECT sum(l_extendedprice * (1 - l_discount)) FROM lineitem"
+        ).items[0].expr
+        assert isinstance(expr, Aggregate)
+        inner = expr.arg
+        assert isinstance(inner, BinaryOp) and inner.op == "*"
+        assert isinstance(inner.right, BinaryOp) and inner.right.op == "-"
+
+    def test_unary_minus_literal(self):
+        expr = parse("SELECT a FROM t WHERE a > -5").where
+        assert expr.right == Literal(-5)
+
+    def test_where_and_flattening(self):
+        where = parse(
+            "SELECT a FROM t WHERE a = 1 AND b = 2 AND c = 3"
+        ).where
+        assert isinstance(where, And) and len(where.terms) == 3
+
+    def test_or_precedence(self):
+        where = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").where
+        assert isinstance(where, Or)
+        assert isinstance(where.terms[1], And)
+
+    def test_not(self):
+        where = parse("SELECT a FROM t WHERE NOT a = 1").where
+        assert isinstance(where, Not)
+
+    def test_between(self):
+        where = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 3").where
+        assert isinstance(where, Between)
+        assert where.low == Literal(1) and where.high == Literal(3)
+
+    def test_not_between(self):
+        where = parse("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 3").where
+        assert isinstance(where, Between) and where.negated
+
+    def test_in_list(self):
+        where = parse("SELECT a FROM t WHERE r IN ('x', 'y')").where
+        assert isinstance(where, InList)
+        assert [v.value for v in where.values] == ["x", "y"]
+
+    def test_like(self):
+        where = parse("SELECT a FROM t WHERE name LIKE 'MFGR#12%'").where
+        assert isinstance(where, Like) and where.pattern == "MFGR#12%"
+
+    def test_comparison_between_columns(self):
+        where = parse("SELECT a FROM t, u WHERE t.fk = u.pk").where
+        assert isinstance(where, Comparison)
+        assert where.left == ColumnRef("fk", "t")
+        assert where.right == ColumnRef("pk", "u")
+
+
+class TestPaperQueries:
+    def test_q1_from_paper(self):
+        stmt = parse("""
+            SELECT c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+            FROM customer, lineorder, supplier, date
+            WHERE lo_custkey = c_custkey
+              AND lo_suppkey = s_suppkey
+              AND lo_orderdate = d_datekey
+              AND c_region = 'ASIA' AND s_region = 'ASIA'
+              AND d_year >= 1992 AND d_year <= 1997
+            GROUP BY c_nation, s_nation, d_year
+            ORDER BY d_year asc, revenue desc
+        """)
+        assert len(stmt.tables) == 4
+        assert len(stmt.group_by) == 3
+        assert stmt.order_by[1].expr == ColumnRef("revenue")
+        assert isinstance(stmt.where, And) and len(stmt.where.terms) == 7
+
+    def test_helpers(self):
+        stmt = parse("SELECT sum(a + b) FROM t WHERE c = 1")
+        assert has_aggregate(stmt.items[0].expr)
+        refs = column_refs(stmt.items[0].expr)
+        assert {r.name for r in refs} == {"a", "b"}

@@ -1,0 +1,98 @@
+"""Tests for statistics collection and referential-integrity validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AIRColumn,
+    Database,
+    assert_consistent,
+    collect_statistics,
+    statistics_for,
+    validate_references,
+)
+from repro.errors import SchemaError
+
+from .conftest import build_tiny_star
+
+
+class TestCollect:
+    def test_dict_column_exact(self, tiny_star):
+        stats = collect_statistics(tiny_star)
+        c_region = stats["customer"].columns["c_region"]
+        assert c_region.distinct == 3
+        assert not c_region.is_estimate
+
+    def test_numeric_min_max(self, tiny_star):
+        stats = collect_statistics(tiny_star)
+        rev = stats["lineorder"].columns["lo_revenue"]
+        assert rev.minimum == 10 and rev.maximum == 80
+        assert rev.distinct == 8
+
+    def test_density(self, tiny_star):
+        stats = collect_statistics(tiny_star)
+        disc = stats["lineorder"].columns["lo_discount"]
+        assert disc.distinct == 4
+        assert disc.density == 2.0
+
+    def test_attached_to_database(self, tiny_star):
+        collect_statistics(tiny_star)
+        assert statistics_for(tiny_star, "date", "d_year").distinct == 2
+        assert statistics_for(tiny_star, "date", "missing") is None
+
+    def test_not_collected_returns_none(self):
+        db = build_tiny_star()
+        assert statistics_for(db, "date", "d_year") is None
+
+    def test_sampling_flags_estimate(self):
+        db = Database("big")
+        db.create_table("t", {"x": np.arange(5000)})
+        stats = collect_statistics(db, sample_rows=100)
+        assert stats["t"].columns["x"].is_estimate
+
+    def test_optimizer_uses_collected_stats(self, tiny_star):
+        from repro.plan import bind, optimize
+
+        collect_statistics(tiny_star)
+        logical = bind("SELECT d_year, count(*) FROM lineorder, date "
+                       "GROUP BY d_year", tiny_star)
+        physical = optimize(logical, tiny_star)
+        assert physical.estimated_groups == 2
+
+
+class TestValidate:
+    def test_consistent_database(self, tiny_star):
+        assert validate_references(tiny_star) == []
+        assert_consistent(tiny_star)  # must not raise
+
+    def test_not_airified_reported(self):
+        db = Database("raw")
+        db.create_table("dim", {"k": [1, 2]})
+        db.create_table("fact", {"fk": [1, 2]})
+        db.add_reference("fact", "fk", "dim", "k")
+        problems = validate_references(db)
+        assert len(problems) == 1 and "not AIR-loaded" in problems[0]
+
+    def test_out_of_range_detected(self, tiny_star):
+        lo = tiny_star.table("lineorder")
+        lo.replace_column("lo_custkey", AIRColumn(
+            "lo_custkey", "customer",
+            data=np.array([0, 1, 2, 3, 0, 1, 2, 99])))
+        problems = validate_references(tiny_star)
+        assert any("out of range" in p for p in problems)
+        with pytest.raises(SchemaError):
+            assert_consistent(tiny_star)
+
+    def test_dangling_to_deleted_parent(self, tiny_star):
+        tiny_star.table("customer").delete([0])
+        problems = validate_references(tiny_star)
+        assert any("deleted parent" in p for p in problems)
+
+    def test_deleted_child_rows_ignored(self, tiny_star):
+        # delete the fact rows pointing at customer 0, then customer 0:
+        # stale references on *deleted* child rows are not a violation
+        lo = tiny_star.table("lineorder")
+        refs = lo["lo_custkey"].values()
+        lo.delete(np.flatnonzero(refs == 0))
+        tiny_star.table("customer").delete([0])
+        assert validate_references(tiny_star) == []

@@ -1,0 +1,120 @@
+"""Tests for the workload definitions (SSB queries, micro workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AStoreEngine
+from repro.sqlparser import ast as A
+from repro.workloads import (
+    GROUPING_QUERY,
+    PREDICATE_SELECTIVITIES,
+    SSB_QUERIES,
+    TABLE2_JOINS,
+    denormalize_query,
+    fkpk_join_query,
+    generate_join_inputs,
+    predicate_workload,
+    star_join_query,
+)
+
+
+class TestSSBQueryCatalog:
+    def test_thirteen_queries(self):
+        assert len(SSB_QUERIES) == 13
+        assert set(SSB_QUERIES) == {
+            "Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3",
+            "Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"}
+
+    def test_star_join_form_strips_grouping(self):
+        stmt = star_join_query("Q3.1")
+        assert stmt.group_by == ()
+        assert stmt.order_by == ()
+        agg = stmt.items[0].expr
+        assert isinstance(agg, A.Aggregate) and agg.func == "COUNT"
+
+    def test_star_join_form_keeps_predicates(self):
+        stmt = star_join_query("Q1.1")
+        assert stmt.where is not None
+
+
+class TestDenormalizeRewrite:
+    def test_drops_join_predicates(self, ssb_air):
+        stmt = denormalize_query("Q3.1", ssb_air)
+        assert stmt.tables == ("universal",)
+        text = str(stmt.where)
+        assert "custkey" not in text  # join conjuncts removed
+        assert "ASIA" in text         # filters kept
+
+    def test_keeps_group_and_order(self, ssb_air):
+        stmt = denormalize_query("Q3.1", ssb_air)
+        assert len(stmt.group_by) == 3
+        assert len(stmt.order_by) == 2
+
+    def test_q1_rewrite_no_where_joins(self, ssb_air):
+        stmt = denormalize_query("Q1.1", ssb_air)
+        conjuncts = stmt.where.terms if isinstance(stmt.where, A.And) else (
+            stmt.where,)
+        for c in conjuncts:
+            if isinstance(c, A.Comparison):
+                assert not (isinstance(c.left, A.ColumnRef)
+                            and isinstance(c.right, A.ColumnRef))
+
+    def test_accepts_raw_sql(self, ssb_air):
+        stmt = denormalize_query(
+            "SELECT count(*) FROM lineorder, date "
+            "WHERE lo_orderdate = d_datekey AND d_year = 1997", ssb_air)
+        assert stmt.tables == ("universal",)
+
+
+class TestPredicateWorkload:
+    @pytest.mark.parametrize("k", PREDICATE_SELECTIVITIES)
+    def test_selectivity_scales(self, ssb_air, k):
+        engine = AStoreEngine(ssb_air)
+        result = engine.query(predicate_workload(k))
+        selectivity = result.stats.selectivity
+        expected = (1 / k) ** 4
+        # generous tolerance: small-sample selectivities wobble
+        assert selectivity == pytest.approx(expected, rel=0.6, abs=2e-4)
+
+    def test_monotone_in_k(self, ssb_air):
+        engine = AStoreEngine(ssb_air)
+        counts = [engine.query(predicate_workload(k)).scalar()
+                  for k in PREDICATE_SELECTIVITIES]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_grouping_query_shape(self, ssb_air):
+        result = AStoreEngine(ssb_air).query(GROUPING_QUERY)
+        # paper: 99 groups (11 discounts x 9 taxes)
+        assert len(result) == 99
+
+
+class TestJoinWorkloads:
+    def test_table2_catalog(self):
+        assert len(TABLE2_JOINS) == 19
+        names = {c.name for c in TABLE2_JOINS}
+        assert "workload-A" in names and "workload-B" in names
+
+    def test_join_inputs_consistent(self):
+        case = TABLE2_JOINS[0]
+        data = generate_join_inputs(case, scale=1e-3, seed=1)
+        # fact_keys must be the dim keys at the ref positions
+        assert np.array_equal(data["dim_keys"][data["fact_refs"]],
+                              data["fact_keys"])
+        assert len(np.unique(data["dim_keys"])) == len(data["dim_keys"])
+
+    def test_join_inputs_deterministic(self):
+        case = TABLE2_JOINS[3]
+        a = generate_join_inputs(case, scale=1e-4, seed=9)
+        b = generate_join_inputs(case, scale=1e-4, seed=9)
+        assert np.array_equal(a["fact_keys"], b["fact_keys"])
+
+    def test_fkpk_query_renders(self):
+        sql = fkpk_join_query("lineorder", "lo_custkey", "customer",
+                              "c_custkey")
+        assert "count(*)" in sql and "lo_custkey = c_custkey" in sql
+
+    def test_fkpk_query_runs(self, ssb_air):
+        sql = fkpk_join_query("lineorder", "lo_custkey", "customer",
+                              "c_custkey")
+        n = AStoreEngine(ssb_air).query(sql).scalar()
+        assert n == ssb_air.table("lineorder").num_rows
