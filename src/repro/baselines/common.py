@@ -8,7 +8,8 @@ still hold key values.
 :class:`HashJoinProvider` mirrors the AIR engine's positional provider —
 ``(table, column)`` resolution along reference chains — but every hop is a
 hash-table probe instead of a positional gather.  Because both engines
-share the expression evaluator and aggregation kernels, measured
+share the expression evaluator, the operator layer
+(:mod:`repro.engine.operators`), and the aggregation kernels, measured
 differences between A-Store and a baseline isolate exactly what the paper
 varies: the join mechanism and the scan strategy.
 """
@@ -16,21 +17,15 @@ varies: the join mechanism and the scan strategy.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core import Database
 from ..core.schema import Reference
-from ..engine.aggregate import array_aggregate, finalize, hash_aggregate
-from ..engine.expression import evaluate_measure, evaluate_predicate
-from ..engine.grouping import (
-    GroupAxis,
-    combine_codes,
-    decode_group_columns,
-    single_axis,
-)
+from ..engine.aggregate import finalize
+from ..engine.expression import evaluate_predicate
+from ..engine.grouping import GroupAxis, decode_group_columns
 from ..engine.orderby import sort_indices
 from ..engine.result import ExecutionStats, QueryResult
 from ..engine.slice import ArraySlice, DictSlice, chain_map
@@ -138,59 +133,6 @@ def dim_pass_mask(db: Database, logical: LogicalPlan, first_dim: str,
     for predicate in predicates:
         mask &= evaluate_predicate(predicate, provider)
     return mask
-
-
-@dataclass
-class GatherBuffers:
-    """Accumulators for block-at-a-time engines."""
-
-    group_values: List[List[np.ndarray]] = field(default_factory=list)
-    measure_values: Dict[str, List[np.ndarray]] = field(default_factory=dict)
-    selected: int = 0
-
-
-def gather_groups_and_measures(logical: LogicalPlan, provider,
-                               buffers: GatherBuffers) -> None:
-    """Append decoded group values and measures for the provider's rows."""
-    if not buffers.group_values:
-        buffers.group_values = [[] for _ in logical.group_keys]
-    for i, key in enumerate(logical.group_keys):
-        buffers.group_values[i].append(
-            provider.fetch(key.column.table, key.column.name).decode())
-    for spec in logical.aggregates:
-        if spec.expr is None:
-            continue
-        buffers.measure_values.setdefault(spec.name, []).append(
-            evaluate_measure(spec.expr, provider))
-    buffers.selected += provider.length
-
-
-def hash_aggregate_buffers(logical: LogicalPlan,
-                           buffers: GatherBuffers):
-    """np.unique-based grouping over accumulated values (hash-agg model)."""
-    axes: List[GroupAxis] = []
-    codes: List[np.ndarray] = []
-    for i, key in enumerate(logical.group_keys):
-        chunks = buffers.group_values[i] if buffers.group_values else []
-        values = (np.concatenate(chunks) if chunks
-                  else np.empty(0, dtype=object))
-        uniq, inverse = np.unique(values, return_inverse=True)
-        axes.append(single_axis(key, len(uniq), uniq))
-        codes.append(inverse.astype(np.int64))
-    measures = {}
-    for spec in logical.aggregates:
-        if spec.expr is None:
-            continue
-        chunks = buffers.measure_values.get(spec.name, [])
-        measures[spec.name] = (np.concatenate(chunks) if chunks
-                               else np.empty(0, dtype=np.float64))
-    if axes:
-        composite = combine_codes(codes, [a.card for a in axes])
-        state = hash_aggregate(logical.aggregates, measures, composite)
-    else:
-        composite = np.zeros(buffers.selected, dtype=np.int64)
-        state = array_aggregate(logical.aggregates, measures, composite, 1)
-    return axes, state
 
 
 def assemble(logical: LogicalPlan, axes: Sequence[GroupAxis], state,

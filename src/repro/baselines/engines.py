@@ -1,56 +1,71 @@
 """The three comparison engines of the paper's Section 6.
 
-Each models the execution style of one evaluated MMDB, over the same
-storage and with the same expression/aggregation kernels as A-Store, so
-the measured deltas isolate the execution-model differences:
+Each models the execution style of one evaluated MMDB — but all three
+are now *DAG shapes* over the shared physical operators of
+:mod:`repro.engine.operators`, running on the same storage and with the
+same expression/aggregation kernels as A-Store, so the measured deltas
+isolate the execution-model differences:
 
 * :class:`MaterializingEngine` (MonetDB-like) — operator-at-a-time with
-  **full materialization**: every predicate is evaluated over the whole
-  column into a bitmap (no selection-vector short-circuit), every join
-  materializes its position map for all fact rows, and bitmaps are
-  combined at the end.  This reproduces MonetDB's BAT-algebra cost
-  profile, including its poor predicate-processing behaviour on wide
-  scans (the paper's Tables 3–5).
+  **full materialization**: a single whole-table morsel through an
+  :class:`~repro.engine.operators.IntersectScan` — every predicate is
+  evaluated over the whole column into a candidate OID list (no
+  selection-vector short-circuit) and the lists are joined pairwise.
+  This reproduces MonetDB's BAT-algebra cost profile, including its
+  poor predicate-processing behaviour on wide scans (Tables 3–5).
 * :class:`VectorizedPipelineEngine` (Vectorwise-like) — block-at-a-time
-  pipeline: dimension predicates are pushed into the dimension hash
-  tables (semi-join reduction), fact blocks stream through
-  filter→probe→aggregate with an in-block selection vector.
-* :class:`FusedEngine` (Hyper-like) — one fused pass over the fact table
-  (the Python analogue of a JIT-compiled pipeline): a single
-  selection-vector scan with short-circuiting, hash joins resolved only
-  for surviving rows, then hash aggregation.
+  pipeline: dimension predicates are pushed into semi-join reduction
+  masks, and fixed-size fact morsels stream through the
+  filter→probe→gather chain with an in-block selection vector.
+* :class:`FusedEngine` (Hyper-like) — the same operator chain over one
+  fused whole-table morsel (the Python analogue of a JIT-compiled
+  pipeline): a single selection-vector scan with short-circuiting, hash
+  joins resolved only for surviving rows.
 
-All three aggregate with the sort-based hash-aggregation stand-in, as
+All three aggregate with the sort-based hash-aggregation stand-in
+(:class:`~repro.engine.operators.ValueGather` + ``value_grouping``), as
 "traditional OLAP engines usually perform hash based grouping and
-aggregation" (Section 4.3).
+aggregation" (Section 4.3).  The dimension hops are hash-table probes
+(:class:`~repro.baselines.common.HashJoinProvider`), not AIR gathers —
+that is the variable the paper's comparison isolates.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from ..core import Database
-from ..engine.expression import evaluate_predicate
+from ..engine.operators import (
+    AIRProbe,
+    Filter,
+    FilterLike,
+    IntersectScan,
+    MaskFilter,
+    Morsel,
+    MorselDispatcher,
+    Operator,
+    PredicateFilter,
+    ValueGather,
+    merge_timings,
+    value_grouping,
+)
 from ..engine.result import ExecutionStats, QueryResult
 from ..errors import PlanError
 from ..plan.binder import LogicalPlan
 from .common import (
-    GatherBuffers,
     Timer,
     assemble,
     bind_for_baseline,
     build_hash_tables,
     dim_pass_mask,
     fact_provider,
-    gather_groups_and_measures,
-    hash_aggregate_buffers,
 )
 
 
 class BaselineEngine:
-    """Common driver: bind, execute, assemble."""
+    """Common driver: bind, build the DAG shape, dispatch, assemble."""
 
     name = "baseline"
 
@@ -72,7 +87,75 @@ class BaselineEngine:
 
     def _execute(self, logical: LogicalPlan, stats: ExecutionStats,
                  timer: Timer) -> QueryResult:
-        raise NotImplementedError
+        hash_tables = build_hash_tables(self.db, logical)
+        nrows = self.db.table(logical.root).num_rows
+        stats.rows_scanned = nrows
+
+        # Leaf side: full predicate masks per first-level dimension
+        # (semi-join reduction), wrapped as predicate vectors.
+        dim_filters = {
+            first_dim: PredicateFilter(
+                dim_pass_mask(self.db, logical, first_dim, preds, hash_tables))
+            for first_dim, preds in logical.dim_conjuncts.items()
+        }
+        stats.leaf_seconds = timer.lap()
+
+        def rebind(positions):
+            return fact_provider(self.db, logical, hash_tables, positions)
+
+        morsels = self._morsels(logical, nrows, rebind)
+        stats.morsels = len(morsels)
+
+        def pipeline() -> List[Operator]:
+            ops = self._shape(logical, dim_filters)
+            ops.append(ValueGather(logical))
+            return ops
+
+        results = MorselDispatcher("serial").run(morsels, pipeline)
+        merge_timings(stats, results)
+        gathered = None
+        for result in results:
+            stats.scan_seconds += sum(
+                seconds for label, seconds in result.timings.items()
+                if not label.startswith("gather"))
+            stats.aggregation_seconds += result.timings.get("gather", 0.0)
+            for partial in result.finishes.values():
+                gathered = (partial if gathered is None
+                            else gathered.merge(partial))
+        stats.rows_selected = gathered.selected
+        timer.lap()
+
+        axes, state = value_grouping(logical, gathered)
+        stats.aggregation_seconds += timer.lap()
+        return assemble(logical, axes, state, stats)
+
+    # -- the DAG shape each engine customizes -------------------------------
+
+    def _morsels(self, logical: LogicalPlan, nrows: int,
+                 rebind) -> List[Morsel]:
+        """The morsel layout: whole-table by default."""
+        base = self._base_mask(logical)
+        positions = (np.flatnonzero(base) if base is not None
+                     else np.arange(nrows, dtype=np.int64)).astype(np.int64)
+        return [Morsel(positions, rebind(positions))]
+
+    def _shape(self, logical: LogicalPlan,
+               dim_filters) -> List[Operator]:
+        """The scan-and-filter operator chain (selection-vector style)."""
+        return list(self._filter_steps(logical, dim_filters))
+
+    def _filter_steps(self, logical: LogicalPlan,
+                      dim_filters) -> List[FilterLike]:
+        """Fact predicates, semi-join probes, then existence probes."""
+        steps: List[FilterLike] = []
+        for expr in logical.fact_conjuncts:
+            steps.append(Filter(expr))
+        for first_dim, pf in dim_filters.items():
+            steps.append(AIRProbe(first_dim, "vector", pf))
+        for first_dim in logical.first_level_dims:
+            if first_dim not in dim_filters:
+                steps.append(AIRProbe(first_dim, "exists"))
+        return steps
 
     def _base_mask(self, logical: LogicalPlan) -> Optional[np.ndarray]:
         table = self.db.table(logical.root)
@@ -84,53 +167,20 @@ class MaterializingEngine(BaselineEngine):
 
     name = "materializing"
 
-    def _execute(self, logical, stats, timer):
-        db = self.db
-        hash_tables = build_hash_tables(db, logical)
-        nrows = db.table(logical.root).num_rows
-        stats.rows_scanned = nrows
+    def _morsels(self, logical: LogicalPlan, nrows: int,
+                 rebind) -> List[Morsel]:
+        # One whole-table morsel whose provider scans full columns
+        # (positions=None — no gather), the BAT-algebra access pattern.
+        return [Morsel(np.arange(nrows, dtype=np.int64), rebind(None))]
 
-        # Dimension side: full predicate masks per first-level dimension.
-        dim_masks = {
-            first_dim: dim_pass_mask(db, logical, first_dim, preds, hash_tables)
-            for first_dim, preds in logical.dim_conjuncts.items()
-        }
-        stats.leaf_seconds = timer.lap()
-
-        # Fact side, BAT-algebra style: every predicate is evaluated over
-        # the full column and materialized as a candidate OID list; the
-        # lists are then joined pairwise (sorted intersection), which is
-        # the cost profile the paper attributes to MonetDB ("BAT.join()
-        # instead of selection vector to integrate multiple results of
-        # predicate processing").
-        full = fact_provider(db, logical, hash_tables, None)
+    def _shape(self, logical: LogicalPlan,
+               dim_filters) -> List[Operator]:
+        steps: List[FilterLike] = []
         base = self._base_mask(logical)
-        oid_lists = [] if base is None else [np.flatnonzero(base)]
-        for expr in logical.fact_conjuncts:
-            mask = evaluate_predicate(expr, full)           # full-column scan
-            oid_lists.append(np.flatnonzero(mask))          # materialized OIDs
-        for first_dim, mask in dim_masks.items():
-            positions = full.positions_for(first_dim)       # full join map
-            oid_lists.append(np.flatnonzero(mask[positions]))
-        for first_dim in logical.first_level_dims:
-            if first_dim in dim_masks:
-                continue
-            positions = full.positions_for(first_dim)       # join probe
-            oid_lists.append(np.flatnonzero(positions >= 0))
-        selected = np.arange(nrows, dtype=np.int64)
-        for oids in oid_lists:
-            selected = np.intersect1d(selected, oids,
-                                      assume_unique=True)   # BAT join
-        selected = selected.astype(np.int64)
-        stats.rows_selected = len(selected)
-        stats.scan_seconds = timer.lap()
-
-        buffers = GatherBuffers()
-        gather_groups_and_measures(
-            logical, full.rebase(selected), buffers)
-        axes, state = hash_aggregate_buffers(logical, buffers)
-        stats.aggregation_seconds = timer.lap()
-        return assemble(logical, axes, state, stats)
+        if base is not None:
+            steps.append(MaskFilter(base, label="mask-filter[live]"))
+        steps.extend(self._filter_steps(logical, dim_filters))
+        return [IntersectScan(steps)]
 
 
 class FusedEngine(BaselineEngine):
@@ -138,45 +188,7 @@ class FusedEngine(BaselineEngine):
 
     name = "fused"
 
-    def _execute(self, logical, stats, timer):
-        db = self.db
-        hash_tables = build_hash_tables(db, logical)
-        nrows = db.table(logical.root).num_rows
-        stats.rows_scanned = nrows
-        dim_masks = {
-            first_dim: dim_pass_mask(db, logical, first_dim, preds, hash_tables)
-            for first_dim, preds in logical.dim_conjuncts.items()
-        }
-        stats.leaf_seconds = timer.lap()
-
-        base = self._base_mask(logical)
-        selected = (np.flatnonzero(base) if base is not None
-                    else np.arange(nrows, dtype=np.int64)).astype(np.int64)
-        for expr in logical.fact_conjuncts:
-            if not len(selected):
-                break
-            provider = fact_provider(db, logical, hash_tables, selected)
-            selected = selected[evaluate_predicate(expr, provider)]
-        for first_dim, mask in dim_masks.items():
-            if not len(selected):
-                break
-            provider = fact_provider(db, logical, hash_tables, selected)
-            positions = provider.positions_for(first_dim)
-            selected = selected[mask[positions]]
-        for first_dim in logical.first_level_dims:
-            if first_dim in dim_masks or not len(selected):
-                continue
-            provider = fact_provider(db, logical, hash_tables, selected)
-            selected = selected[provider.positions_for(first_dim) >= 0]
-        stats.rows_selected = len(selected)
-        stats.scan_seconds = timer.lap()
-
-        buffers = GatherBuffers()
-        gather_groups_and_measures(
-            logical, fact_provider(db, logical, hash_tables, selected), buffers)
-        axes, state = hash_aggregate_buffers(logical, buffers)
-        stats.aggregation_seconds = timer.lap()
-        return assemble(logical, axes, state, stats)
+    # whole-table morsel + short-circuiting filter chain: the defaults
 
 
 class VectorizedPipelineEngine(BaselineEngine):
@@ -188,50 +200,15 @@ class VectorizedPipelineEngine(BaselineEngine):
         super().__init__(db)
         self.block_rows = block_rows
 
-    def _execute(self, logical, stats, timer):
-        db = self.db
-        hash_tables = build_hash_tables(db, logical)
-        nrows = db.table(logical.root).num_rows
-        stats.rows_scanned = nrows
-        dim_masks = {
-            first_dim: dim_pass_mask(db, logical, first_dim, preds, hash_tables)
-            for first_dim, preds in logical.dim_conjuncts.items()
-        }
-        stats.leaf_seconds = timer.lap()
-
+    def _morsels(self, logical: LogicalPlan, nrows: int,
+                 rebind) -> List[Morsel]:
         base = self._base_mask(logical)
-        buffers = GatherBuffers()
-        scan_time = 0.0
+        morsels = []
         for start in range(0, nrows, self.block_rows):
             block = np.arange(start, min(start + self.block_rows, nrows),
                               dtype=np.int64)
             if base is not None:
                 block = block[base[block]]
-            sel = block
-            for expr in logical.fact_conjuncts:
-                if not len(sel):
-                    break
-                provider = fact_provider(db, logical, hash_tables, sel)
-                sel = sel[evaluate_predicate(expr, provider)]
-            for first_dim, mask in dim_masks.items():
-                if not len(sel):
-                    break
-                provider = fact_provider(db, logical, hash_tables, sel)
-                sel = sel[mask[provider.positions_for(first_dim)]]
-            for first_dim in logical.first_level_dims:
-                if first_dim in dim_masks or not len(sel):
-                    continue
-                provider = fact_provider(db, logical, hash_tables, sel)
-                sel = sel[provider.positions_for(first_dim) >= 0]
-            scan_time += timer.lap()
-            if len(sel):
-                gather_groups_and_measures(
-                    logical, fact_provider(db, logical, hash_tables, sel),
-                    buffers)
-            stats.aggregation_seconds += timer.lap()
-        stats.scan_seconds = scan_time
-        stats.rows_selected = buffers.selected
-
-        axes, state = hash_aggregate_buffers(logical, buffers)
-        stats.aggregation_seconds += timer.lap()
-        return assemble(logical, axes, state, stats)
+            morsels.append(Morsel(block, rebind(block)))
+        return morsels or [Morsel(np.empty(0, dtype=np.int64),
+                                  rebind(np.empty(0, dtype=np.int64)))]

@@ -4,6 +4,9 @@ from .harness import (
     DEFAULT_REPEAT,
     DEFAULT_SCALE,
     EngineUnderTest,
+    breakdown_rows,
+    explain_engines,
+    operator_breakdown,
     run_ssb_suite,
     ssb_database,
     standard_engines,
@@ -13,7 +16,8 @@ from .report import format_ratio_note, format_table
 from .timing import best_of, ms, ns_per_tuple
 
 __all__ = [
-    "best_of", "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest",
-    "format_ratio_note", "format_table", "ms", "ns_per_tuple",
+    "best_of", "breakdown_rows", "DEFAULT_REPEAT", "DEFAULT_SCALE",
+    "EngineUnderTest", "explain_engines", "format_ratio_note",
+    "format_table", "ms", "ns_per_tuple", "operator_breakdown",
     "run_ssb_suite", "ssb_database", "standard_engines", "suite_rows",
 ]

@@ -100,3 +100,59 @@ def suite_rows(times: Dict[str, Dict[str, float]],
     rows.append(
         ["AVG"] + [sum(times[e].values()) / len(times[e]) for e in engines])
     return rows
+
+
+def explain_engines(sf: float = DEFAULT_SCALE,
+                    query_ids: Optional[Sequence[str]] = None,
+                    variants: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, str]]:
+    """Per-variant ``explain()`` text for the given SSB queries.
+
+    Returns ``{variant: {query_id: explain_text}}`` — the operator DAG
+    plus the optimizer's decisions (predicate order, filter-vs-probe,
+    array-vs-hash), as rendered by ``PhysicalPlan.explain()`` and the
+    variant's DAG rewrite.
+    """
+    air = ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    names = list(variants) if variants is not None else list(VARIANTS)
+    out: Dict[str, Dict[str, str]] = {}
+    for name in names:
+        engine = AStoreEngine.variant(air, name)
+        out[name] = {qid: engine.explain(SSB_QUERIES[qid]) for qid in ids}
+    return out
+
+
+def operator_breakdown(engines: Sequence[EngineUnderTest],
+                       query_ids: Optional[Sequence[str]] = None,
+                       repeat: int = 1) -> Dict[str, Dict[str, float]]:
+    """Per-operator milliseconds per engine, summed over SSB queries.
+
+    Every engine (A-Store variants and baselines alike) runs through the
+    shared operator layer, so ``ExecutionStats.operator_seconds`` gives a
+    uniform Fig. 10-style breakdown: which physical operator the time
+    went to, comparable across engines.  With ``repeat > 1`` each query
+    runs that many times and the per-repeat timings are averaged.
+    """
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    rounds = max(1, repeat)
+    breakdown: Dict[str, Dict[str, float]] = {e.name: {} for e in engines}
+    for query_id in ids:
+        sql = SSB_QUERIES[query_id]
+        for engine in engines:
+            per_op = breakdown[engine.name]
+            for _ in range(rounds):
+                result = engine.run(sql)
+                for label, seconds in result.stats.operator_seconds.items():
+                    per_op[label] = per_op.get(label, 0.0) + ms(seconds) / rounds
+    return breakdown
+
+
+def breakdown_rows(breakdown: Dict[str, Dict[str, float]]) -> List[List]:
+    """``[engine, operator, ms]`` rows, slowest operator first."""
+    rows: List[List] = []
+    for engine_name, per_op in breakdown.items():
+        ranked = sorted(per_op.items(), key=lambda item: item[1],
+                        reverse=True)
+        for label, total_ms in ranked:
+            rows.append([engine_name, label, total_ms])
+    return rows

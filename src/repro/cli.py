@@ -5,10 +5,12 @@ Subcommands::
     astore generate --benchmark ssb --sf 0.01 --out ssb.npz
     astore query ssb.npz "SELECT d_year, sum(lo_revenue) AS r
                           FROM lineorder, date GROUP BY d_year" [--explain]
+    astore explain ssb.npz "SELECT ..."      # operator DAG + decisions
     astore ssb ssb.npz                       # run all 13 SSB queries
     astore validate ssb.npz                  # referential-integrity check
 
-Also runnable as ``python -m repro ...``.
+``query --breakdown`` additionally prints the per-operator timing
+breakdown of the execution.  Also runnable as ``python -m repro ...``.
 """
 
 from __future__ import annotations
@@ -54,10 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1)
     query.add_argument("--explain", action="store_true",
                        help="print the plan instead of executing")
+    query.add_argument("--breakdown", action="store_true",
+                       help="also print the per-operator timing breakdown")
     query.add_argument("--csv", metavar="PATH",
                        help="also write the result to a CSV file")
     query.add_argument("--limit", type=int, default=20,
                        help="max rows to print (default 20)")
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the operator DAG and optimizer decisions for a query")
+    explain.add_argument("database", help="a .npz archive from 'generate'")
+    explain.add_argument("sql", help="the SPJGA query text")
+    explain.add_argument("--variant", choices=sorted(VARIANTS),
+                         default="AIRScan_C_P_G")
 
     ssb = sub.add_parser("ssb", help="run the 13 SSB queries")
     ssb.add_argument("database", help="a .npz archive of an SSB database")
@@ -106,9 +118,21 @@ def _dispatch(args) -> int:
             result.column_order, shown))
         if len(result) > args.limit:
             print(f"... {len(result) - args.limit} more rows")
+        if args.breakdown:
+            rows = [[label, ms(seconds)]
+                    for label, seconds in result.stats.operator_breakdown()]
+            print(format_table(
+                f"operator breakdown ({result.stats.morsels} morsels)",
+                ["operator", "ms"], rows))
         if args.csv:
             dump_csv(result, args.csv)
             print(f"wrote {args.csv}")
+        return 0
+
+    if args.command == "explain":
+        db = load_database(args.database)
+        engine = AStoreEngine.variant(db, args.variant)
+        print(engine.explain(args.sql))
         return 0
 
     if args.command == "ssb":

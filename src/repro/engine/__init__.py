@@ -1,9 +1,25 @@
-"""The AIRScan execution engine."""
+"""The AIRScan execution engine and its shared operator layer."""
 
 from .aggregate import AggregationState, array_aggregate, finalize, hash_aggregate
-from .executor import AStoreEngine, EngineOptions, VARIANTS
+from .executor import AStoreEngine, EngineOptions, VARIANTS, rewrite_for_options
 from .expression import evaluate_measure, evaluate_predicate, like_to_regex
 from .grouping import GroupAxis, build_axes, combine_codes, total_groups
+from .operators import (
+    Aggregate,
+    AIRProbe,
+    ApplyMask,
+    Filter,
+    GroupCombine,
+    IntersectScan,
+    MaskFilter,
+    MaterializeColumns,
+    Morsel,
+    MorselDispatcher,
+    Operator,
+    PredicateFilter,
+    Project,
+    ValueGather,
+)
 from .orderby import sort_indices
 from .pipeline import materialize, result_to_table
 from .result import ExecutionStats, QueryResult
@@ -17,11 +33,14 @@ from .slice import (
 )
 
 __all__ = [
-    "AggregationState", "array_aggregate", "ArraySlice", "AStoreEngine",
+    "Aggregate", "AggregationState", "AIRProbe", "ApplyMask",
+    "array_aggregate", "ArraySlice", "AStoreEngine",
     "build_axes", "chain_map", "combine_codes", "dimension_provider",
     "DictSlice", "EngineOptions", "evaluate_measure", "evaluate_predicate",
-    "ExecutionStats", "finalize", "GroupAxis", "hash_aggregate",
-    "like_to_regex", "materialize", "PositionalProvider", "QueryResult",
-    "result_to_table", "sort_indices",
-    "total_groups", "universal_provider", "VARIANTS",
+    "ExecutionStats", "Filter", "finalize", "GroupAxis", "GroupCombine",
+    "hash_aggregate", "IntersectScan", "like_to_regex", "MaskFilter",
+    "MaterializeColumns", "materialize", "Morsel", "MorselDispatcher",
+    "Operator", "PositionalProvider", "PredicateFilter", "Project",
+    "QueryResult", "result_to_table", "rewrite_for_options", "sort_indices",
+    "total_groups", "universal_provider", "ValueGather", "VARIANTS",
 ]

@@ -1,22 +1,28 @@
-"""The AIRScan executor: A-Store's generic SPJGA query processor.
+"""The AIRScan executor: binding and dispatch over the operator pipeline.
 
-Every query runs the paper's three-phase model over the virtual universal
-table (Section 3):
+Queries run the paper's three-phase model (Section 3), but each phase is
+now expressed with the shared physical layer of
+:mod:`repro.engine.operators` instead of a hand-threaded loop:
 
-1. **Leaf processing** — evaluate dimension predicates once, producing
-   packed predicate vectors, and build group vectors for GROUP BY columns
-   on dimensions (Sections 4.2, 4.3);
-2. **Scan and filter** — scan the root (fact) table with a selection
-   vector, evaluating predicates in increasing-selectivity order; dimension
-   predicates are answered by probing the predicate vectors through the
-   AIR columns (or by direct AIR probing when the optimizer chose not to
-   build a filter); group codes are combined into the Measure Index;
-3. **Aggregation** — scan the measure columns at the selected positions
-   only and scatter into the multidimensional aggregation array (or the
-   hash fallback); sort for ORDER BY at the end.
+1. **Leaf processing** — :meth:`AStoreEngine._bind_leaf` evaluates
+   dimension predicates once into packed :class:`PredicateFilter`
+   vectors and builds the group axes (Sections 4.2, 4.3);
+2. **Scan and filter** — the optimizer's ``PhysicalPlan.pipeline`` DAG
+   is rewritten for the engine variant (row- vs column-wise, deferred
+   vs short-circuiting filters), bound to concrete operators, and driven
+   over horizontal fact-table morsels by the
+   :class:`~repro.engine.operators.MorselDispatcher`;
+3. **Aggregation** — per-morsel partial aggregation states merge
+   element-wise; ORDER BY/LIMIT run during result assembly.
 
 The five query-processor variants of the paper's Table 6 are exposed as
-:data:`VARIANTS` — configuration presets over the same executor.
+:data:`VARIANTS` — each is a different *DAG rewrite* over the same
+operators (see :func:`rewrite_for_options`), so the comparison isolates
+the execution-model differences, not separate code paths.  The same
+operators power the Section 6 baselines (:mod:`repro.baselines.engines`).
+
+The executor itself only binds plans, constructs DAGs, and assembles
+results; all scanning, probing, and aggregating lives in the operators.
 """
 
 from __future__ import annotations
@@ -27,34 +33,34 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import Bitmap, Database, SelectionVector
+from ..core import Database
 from ..errors import ExecutionError
 from ..plan.binder import LogicalPlan, bind
 from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
-from ..plan.optimizer import CacheModel, PhysicalPlan, optimize
-from .aggregate import (
-    AggregationState,
-    array_aggregate,
-    finalize,
-    hash_aggregate,
-)
-from .expression import evaluate_measure, evaluate_predicate
-from .grouping import (
-    GroupAxis,
-    build_axes,
-    single_axis,
-    combine_codes,
-    decode_group_columns,
-    total_groups,
+from ..plan.optimizer import CacheModel, OpSpec, PhysicalPlan, optimize
+from .aggregate import AggregationState, finalize
+from .grouping import GroupAxis, build_axes, decode_group_columns, total_groups
+from .operators import (
+    Aggregate,
+    AIRProbe,
+    ApplyMask,
+    Filter,
+    FilterLike,
+    GroupCombine,
+    MaterializeColumns,
+    Morsel,
+    MorselDispatcher,
+    Operator,
+    PredicateFilter,
+    Project,
+    ValueGather,
+    merge_timings,
+    value_grouping,
 )
 from .orderby import sort_indices, top_k_indices
 from .result import ExecutionStats, QueryResult
-from .slice import (
-    ArraySlice,
-    PositionalProvider,
-    dimension_provider,
-    universal_provider,
-)
+from .slice import dimension_provider, universal_provider
+from .expression import evaluate_predicate
 
 
 @dataclass(frozen=True)
@@ -69,7 +75,11 @@ class EngineOptions:
       cache-model decision of Section 4.3);
     * ``workers`` — horizontal fact-table partitions processed
       independently and merged (Section 5); 1 = serial;
-    * ``parallel_backend`` — ``"thread"`` or ``"serial"`` partition loop.
+    * ``parallel_backend`` — a :data:`repro.engine.operators.BACKENDS`
+      name (``"thread"`` or ``"serial"`` today);
+    * ``morsel_rows`` — split each column-scan partition into fixed-size
+      morsels (0 = one morsel per partition, the paper's layout);
+    * ``chunk_rows`` — block size of the row-wise scan variants.
     """
 
     scan: str = "column"
@@ -78,6 +88,7 @@ class EngineOptions:
     cache: CacheModel = field(default_factory=CacheModel)
     workers: int = 1
     parallel_backend: str = "thread"
+    morsel_rows: int = 0
     chunk_rows: int = 65536
     sample_size: int = 4096
     variant_name: str = "AIRScan_C_P_G"
@@ -103,36 +114,6 @@ VARIANTS: Dict[str, EngineOptions] = {
 }
 
 
-class PredicateFilter:
-    """A dimension predicate vector (Section 4.2).
-
-    Stores both the packed bit vector (whose size drives the optimizer's
-    fit-in-cache decision and the paper's LLC argument) and the unpacked
-    boolean array used for the actual probe — a probe is then a single
-    positional gather, ``mask[air_positions]``.
-    """
-
-    __slots__ = ("packed", "_mask")
-
-    def __init__(self, mask: np.ndarray):
-        self._mask = np.ascontiguousarray(mask, dtype=bool)
-        self.packed = Bitmap.from_bool_array(self._mask)
-
-    def probe(self, positions: np.ndarray) -> np.ndarray:
-        """Which of the given dimension positions pass the predicate."""
-        return self._mask[positions]
-
-    @property
-    def density(self) -> float:
-        """Fraction of dimension rows passing (probe selectivity)."""
-        return float(self._mask.mean()) if len(self._mask) else 0.0
-
-    @property
-    def nbytes(self) -> int:
-        """Packed size — what must stay cache-resident."""
-        return self.packed.nbytes
-
-
 @dataclass
 class _LeafState:
     """Outcome of the leaf-processing stage."""
@@ -142,6 +123,51 @@ class _LeafState:
     probes: Dict[str, BoundExpression] = field(default_factory=dict)
     probe_selectivity: Dict[str, float] = field(default_factory=dict)
     axes: List[GroupAxis] = field(default_factory=list)
+
+
+# -- variant DAG rewrites -----------------------------------------------------
+
+
+def rewrite_for_options(pipeline: Sequence[OpSpec], options: EngineOptions,
+                        logical: LogicalPlan) -> Tuple[OpSpec, ...]:
+    """Rewrite the optimizer's operator DAG for an engine variant.
+
+    The column-wise variants run the plan as emitted.  The row-wise
+    variants (``AIRScan_R*``) rewrite the DAG into full-tuple form:
+    a ``materialize`` node is inserted after the scan, every filter-like
+    node is marked ``defer`` (each predicate sees every row of the
+    block; a single ``apply-mask`` shrinks afterwards), and
+    grouping/aggregation turn into value-based ``gather`` +
+    ``value-aggregate`` nodes, since without group vectors the row
+    engine groups on observed values.
+    """
+    if options.scan != "row" or logical.is_projection:
+        return tuple(pipeline)
+    specs: List[OpSpec] = []
+    for spec in pipeline:
+        if spec.op == "scan":
+            specs.append(replace_spec(spec, detail=f"{spec.detail}:row"))
+            specs.append(OpSpec("materialize", "referenced columns"))
+        elif spec.op in ("filter", "air-probe"):
+            specs.append(replace_spec(spec, detail=f"{spec.detail}:defer"))
+        elif spec.op == "group-combine":
+            specs.append(OpSpec("gather", spec.detail))
+        elif spec.op == "aggregate":
+            if not any(s.op == "gather" for s in specs):
+                specs.append(OpSpec("gather", ""))
+            specs.append(OpSpec("value-aggregate", "hash",
+                                payload=spec.payload))
+        else:
+            specs.append(spec)
+    # the deferred masks are applied once, before gathering
+    gather_at = next(i for i, s in enumerate(specs) if s.op == "gather")
+    specs.insert(gather_at, OpSpec("apply-mask"))
+    return tuple(specs)
+
+
+def replace_spec(spec: OpSpec, **changes) -> OpSpec:
+    """A copy of *spec* with the given fields replaced."""
+    return replace(spec, **changes)
 
 
 class AStoreEngine:
@@ -177,8 +203,18 @@ class AStoreEngine:
         )
 
     def explain(self, query) -> str:
-        """The optimizer's plan description for *query*."""
-        return self.plan(query).explain()
+        """The optimizer's plan, with this variant's DAG rewrite applied."""
+        physical = self.plan(query)
+        rewritten = rewrite_for_options(
+            physical.pipeline, self.options, physical.logical)
+        if rewritten == physical.pipeline:
+            return physical.explain()
+        text = physical.explain()
+        lines = [f"variant {self.options.variant_name} rewrites pipeline to:"]
+        for i, spec in enumerate(rewritten):
+            arrow = "   " if i == 0 else " ->"
+            lines.append(f" {arrow} {spec.render()}")
+        return text + "\n" + "\n".join(lines)
 
     # -- execution ----------------------------------------------------------
 
@@ -198,25 +234,27 @@ class AStoreEngine:
             )
 
         t0 = time.perf_counter()
-        leaf = self._leaf_stage(physical, snapshot)
+        leaf = self._bind_leaf(physical, snapshot)
         stats.leaf_seconds = time.perf_counter() - t0
 
         base = self._base_positions(logical.root, snapshot)
         stats.rows_scanned = len(base)
 
+        specs = rewrite_for_options(physical.pipeline, self.options, logical)
         if logical.is_projection:
-            result = self._execute_projection(physical, leaf, base, stats)
+            result = self._run_projection(physical, specs, leaf, base, stats)
         elif self.options.scan == "row":
-            result = self._execute_row_scan(physical, leaf, base, stats)
+            result = self._run_row_scan(physical, specs, leaf, base, stats)
         else:
-            result = self._execute_column_scan(physical, leaf, base, stats)
+            result = self._run_column_scan(physical, specs, leaf, base, stats)
         stats.total_seconds = time.perf_counter() - t_total
         return result
 
-    # -- stage 1: leaf processing ------------------------------------------------
+    # -- stage 1: leaf processing (binding) ----------------------------------
 
-    def _leaf_stage(self, physical: PhysicalPlan,
-                    snapshot: Optional[int]) -> _LeafState:
+    def _bind_leaf(self, physical: PhysicalPlan,
+                   snapshot: Optional[int]) -> _LeafState:
+        """Evaluate dimension predicates and build group axes once."""
         logical = physical.logical
         leaf = _LeafState()
         for dd in physical.dim_decisions:
@@ -242,99 +280,65 @@ class AStoreEngine:
             return np.flatnonzero(table.live_mask(snapshot)).astype(np.int64)
         return np.arange(table.num_rows, dtype=np.int64)
 
-    # -- stage 2: scan and filter ---------------------------------------------
+    def _morsel(self, logical: LogicalPlan, positions: np.ndarray) -> Morsel:
+        return Morsel(positions, universal_provider(
+            self.db, logical.root, logical.paths, positions))
 
-    def _selection_steps(self, physical: PhysicalPlan,
-                         leaf: _LeafState) -> List[tuple]:
-        """All filtering steps, ordered by estimated selectivity."""
-        steps = []
-        for expr, sel in physical.fact_conjuncts:
-            steps.append((sel, "fact", expr))
-        for first_dim, pf in leaf.filters.items():
-            steps.append((leaf.filter_density[first_dim], "filter",
-                          (first_dim, pf)))
-        for first_dim, predicate in leaf.probes.items():
-            steps.append((leaf.probe_selectivity[first_dim], "probe",
-                          predicate))
-        steps.sort(key=lambda s: s[0])
-        return steps
+    # -- DAG binding ----------------------------------------------------------
 
-    def _scan_select(self, physical: PhysicalPlan, leaf: _LeafState,
-                     base: np.ndarray) -> np.ndarray:
-        """Vector-based column-wise scan: shrink the selection vector."""
+    def _bind_filter_ops(self, specs: Sequence[OpSpec], leaf: _LeafState,
+                         defer: bool = False) -> List[FilterLike]:
+        """Bind the filter-like DAG nodes, ordered by runtime selectivity.
+
+        The plan orders filters by *estimated* selectivity; once the
+        predicate vectors exist their exact density is known, so the
+        bound operators are re-sorted on the refreshed numbers (stable,
+        like the plan order).
+        """
+        ops: List[FilterLike] = []
+        for spec in specs:
+            if spec.op == "filter":
+                ops.append(Filter(spec.payload, selectivity=spec.selectivity,
+                                  defer=defer))
+            elif spec.op == "air-probe":
+                dd = spec.payload
+                if dd.first_dim in leaf.filters:
+                    ops.append(AIRProbe(
+                        dd.first_dim, "vector", leaf.filters[dd.first_dim],
+                        selectivity=leaf.filter_density[dd.first_dim],
+                        defer=defer))
+                else:
+                    ops.append(AIRProbe(
+                        dd.first_dim, "predicate", leaf.probes[dd.first_dim],
+                        selectivity=leaf.probe_selectivity[dd.first_dim],
+                        defer=defer))
+        ops.sort(key=lambda op: op.selectivity)
+        return ops
+
+    # -- column-wise execution ------------------------------------------------
+
+    def _run_column_scan(self, physical: PhysicalPlan,
+                         specs: Sequence[OpSpec], leaf: _LeafState,
+                         base: np.ndarray, stats: ExecutionStats) -> QueryResult:
         logical = physical.logical
-        nrows = self.db.table(logical.root).num_rows
-        sel = SelectionVector(base, nrows)
-        for _, kind, payload in self._selection_steps(physical, leaf):
-            if len(sel) == 0:
-                break
-            provider = universal_provider(
-                self.db, logical.root, logical.paths, sel.positions)
-            if kind == "fact":
-                mask = evaluate_predicate(payload, provider)
-            elif kind == "filter":
-                first_dim, pf = payload
-                mask = pf.probe(provider.positions_for(first_dim))
-            else:  # probe: evaluate on dimension columns through AIR
-                mask = evaluate_predicate(payload, provider)
-            sel = sel.refine(mask)
-        return sel.positions
+        dispatcher = MorselDispatcher(self.options.parallel_backend)
+        morsels = [
+            self._morsel(logical, chunk)
+            for part in dispatcher.partition(base, self.options.workers)
+            for chunk in dispatcher.chunk(part, self.options.morsel_rows)
+        ]
+        stats.morsels = len(morsels)
 
-    # -- stages 2b+3: grouping and aggregation for one partition -----------------
+        def scan_pipeline() -> List[Operator]:
+            return [*self._bind_filter_ops(specs, leaf),
+                    GroupCombine(leaf.axes)]
 
-    def _scan_partition(self, physical: PhysicalPlan, leaf: _LeafState,
-                        base: np.ndarray) -> tuple:
-        """Scan-and-filter plus Measure Index for one fact partition."""
-        logical = physical.logical
-        t0 = time.perf_counter()
-        selected = self._scan_select(physical, leaf, base)
-        provider = universal_provider(
-            self.db, logical.root, logical.paths, selected)
-        cards = [axis.card for axis in leaf.axes]
-        if leaf.axes:
-            codes = [axis.fact_codes(provider) for axis in leaf.axes]
-            composite = combine_codes(codes, cards)
-        else:
-            composite = np.zeros(len(selected), dtype=np.int64)
-        return provider, composite, time.perf_counter() - t0
-
-    def _aggregate_scanned(self, physical: PhysicalPlan, leaf: _LeafState,
-                           scanned: tuple, use_array: bool) -> tuple:
-        """Measure-column aggregation for one scanned partition."""
-        logical = physical.logical
-        provider, composite, _ = scanned
-        t1 = time.perf_counter()
-        measures = self._evaluate_measures(logical, provider)
-        if use_array or not leaf.axes:
-            cards = [axis.card for axis in leaf.axes]
-            ngroups = total_groups(cards) if leaf.axes else 1
-            state = array_aggregate(logical.aggregates, measures,
-                                    composite, ngroups)
-        else:
-            state = hash_aggregate(logical.aggregates, measures, composite)
-        return state, time.perf_counter() - t1
-
-    def _evaluate_measures(self, logical: LogicalPlan,
-                           provider: PositionalProvider) -> Dict[str, np.ndarray]:
-        measures = {}
-        for spec in logical.aggregates:
-            if spec.expr is not None:
-                measures[spec.name] = evaluate_measure(spec.expr, provider)
-        return measures
-
-    # -- column-wise execution ---------------------------------------------------
-
-    def _execute_column_scan(self, physical: PhysicalPlan, leaf: _LeafState,
-                             base: np.ndarray, stats: ExecutionStats) -> QueryResult:
-        partitions = self._partition(base)
-        scanned = self._run_partitions(
-            partitions,
-            lambda part: self._scan_partition(physical, leaf, part),
-        )
+        scanned = dispatcher.run(morsels, scan_pipeline)
+        merge_timings(stats, scanned)
         total_selected = 0
-        for provider, _, t_scan in scanned:
-            total_selected += provider.length
-            stats.scan_seconds += t_scan
+        for result in scanned:
+            total_selected += len(result.morsel)
+            stats.scan_seconds += result.seconds
         stats.rows_selected = total_selected
 
         # Section 4.3's sparsity check, made with the *actual* selection
@@ -346,106 +350,66 @@ class AStoreEngine:
             use_array = ngroups <= max(4096, 8 * total_selected)
         stats.used_array_aggregation = use_array or not leaf.axes
 
-        outcomes = self._run_partitions(
-            scanned,
-            lambda part: self._aggregate_scanned(physical, leaf, part,
-                                                 use_array),
-        )
+        cards = [axis.card for axis in leaf.axes]
+        ngroups = total_groups(cards) if leaf.axes else 1
+
+        def agg_pipeline() -> List[Operator]:
+            return [Aggregate(logical.aggregates, ngroups,
+                              use_array or not leaf.axes)]
+
+        outcomes = dispatcher.run([r.morsel for r in scanned], agg_pipeline)
+        merge_timings(stats, outcomes)
         state: Optional[AggregationState] = None
-        for part_state, t_agg in outcomes:
-            stats.aggregation_seconds += t_agg
-            state = part_state if state is None else state.merge(part_state)
+        for result in outcomes:
+            stats.aggregation_seconds += result.seconds
+            for partial in result.finishes.values():
+                state = partial if state is None else state.merge(partial)
         return self._assemble(physical, leaf, state, stats)
 
-    def _partition(self, base: np.ndarray) -> List[np.ndarray]:
-        workers = max(1, self.options.workers)
-        if workers == 1 or len(base) < workers:
-            return [base]
-        return [chunk for chunk in np.array_split(base, workers)
-                if len(chunk)]
+    # -- row-wise execution ---------------------------------------------------
 
-    def _run_partitions(self, partitions, fn):
-        if len(partitions) == 1 or self.options.parallel_backend == "serial":
-            return [fn(part) for part in partitions]
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=len(partitions)) as pool:
-            return list(pool.map(fn, partitions))
-
-    # -- row-wise execution -----------------------------------------------------
-
-    def _execute_row_scan(self, physical: PhysicalPlan, leaf: _LeafState,
-                          base: np.ndarray, stats: ExecutionStats) -> QueryResult:
+    def _run_row_scan(self, physical: PhysicalPlan, specs: Sequence[OpSpec],
+                      leaf: _LeafState, base: np.ndarray,
+                      stats: ExecutionStats) -> QueryResult:
         """Chunked row-wise scan: materialize the full tuple, then filter.
 
         Every referenced column — including dimension attributes reached
         through AIR — is fetched for *every* row of the chunk before any
-        predicate is applied.  This reproduces the cost profile of
-        tuple-at-a-time processing (no selection-vector skipping) without
-        a per-row interpreter loop.
+        predicate is applied (the ``materialize`` + ``defer`` DAG
+        rewrite), reproducing tuple-at-a-time cost without a per-row
+        interpreter loop.
         """
         logical = physical.logical
+        dispatcher = MorselDispatcher("serial")
+        morsels = [self._morsel(logical, chunk) for chunk in
+                   dispatcher.chunk(base, self.options.chunk_rows)]
+        stats.morsels = len(morsels)
         needed = self._referenced_columns(physical, leaf)
-        group_values: List[List[np.ndarray]] = [
-            [] for _ in logical.group_keys]
-        measure_values: Dict[str, List[np.ndarray]] = {
-            spec.name: [] for spec in logical.aggregates if spec.expr is not None
-        }
-        predicates = [expr for expr, _ in physical.fact_conjuncts]
-        predicates += list(leaf.probes.values())
 
-        for start in range(0, len(base), self.options.chunk_rows):
-            chunk = base[start: start + self.options.chunk_rows]
-            t0 = time.perf_counter()
-            provider = universal_provider(
-                self.db, logical.root, logical.paths, chunk)
-            materialized = {
-                column: provider.fetch(column.table, column.name).decode()
-                for column in needed
-            }
-            mprov = _MaterializedProvider(materialized)
-            mask = np.ones(len(chunk), dtype=bool)
-            for expr in predicates:
-                mask &= evaluate_predicate(expr, mprov)
-            for first_dim, pf in leaf.filters.items():
-                mask &= pf.probe(provider.positions_for(first_dim))
-            stats.scan_seconds += time.perf_counter() - t0
+        def pipeline() -> List[Operator]:
+            ops: List[Operator] = [MaterializeColumns(needed)]
+            ops.extend(self._bind_filter_ops(specs, leaf, defer=True))
+            ops.append(ApplyMask())
+            ops.append(ValueGather(logical))
+            return ops
 
-            t1 = time.perf_counter()
-            passing = _MaterializedProvider(
-                {column: values[mask] for column, values in materialized.items()}
-            )
-            for i, key in enumerate(logical.group_keys):
-                group_values[i].append(
-                    passing.fetch(key.column.table, key.column.name).decode()
-                )
-            for spec in logical.aggregates:
-                if spec.expr is not None:
-                    measure_values[spec.name].append(
-                        evaluate_measure(spec.expr, passing))
-            stats.rows_selected += int(mask.sum())
-            stats.aggregation_seconds += time.perf_counter() - t1
+        results = dispatcher.run(morsels, pipeline)
+        merge_timings(stats, results)
+        gathered = None
+        for result in results:
+            stats.scan_seconds += sum(
+                seconds for label, seconds in result.timings.items()
+                if not label.startswith(("gather", "apply-mask")))
+            stats.aggregation_seconds += sum(
+                seconds for label, seconds in result.timings.items()
+                if label.startswith(("gather", "apply-mask")))
+            for partial in result.finishes.values():
+                gathered = (partial if gathered is None
+                            else gathered.merge(partial))
 
         t2 = time.perf_counter()
-        axes: List[GroupAxis] = []
-        codes: List[np.ndarray] = []
-        for i, key in enumerate(logical.group_keys):
-            values = (np.concatenate(group_values[i]) if group_values[i]
-                      else np.empty(0, dtype=object))
-            uniq, inverse = np.unique(values, return_inverse=True)
-            axes.append(single_axis(key, len(uniq), uniq))
-            codes.append(inverse.astype(np.int64))
-        measures = {
-            name: (np.concatenate(chunks) if chunks
-                   else np.empty(0, dtype=np.float64))
-            for name, chunks in measure_values.items()
-        }
-        if axes:
-            composite = combine_codes(codes, [a.card for a in axes])
-            state = hash_aggregate(logical.aggregates, measures, composite)
-        else:
-            composite = np.zeros(stats.rows_selected, dtype=np.int64)
-            state = array_aggregate(logical.aggregates, measures, composite, 1)
+        axes, state = value_grouping(logical, gathered)
+        stats.rows_selected = gathered.selected
         stats.used_array_aggregation = not axes
         stats.aggregation_seconds += time.perf_counter() - t2
         leaf_row = _LeafState(axes=axes)
@@ -476,25 +440,29 @@ class AStoreEngine:
             add(key.column)
         return needed
 
-    # -- projection (pure SPJ) ----------------------------------------------------
+    # -- projection (pure SPJ) ------------------------------------------------
 
-    def _execute_projection(self, physical: PhysicalPlan, leaf: _LeafState,
-                            base: np.ndarray, stats: ExecutionStats) -> QueryResult:
+    def _run_projection(self, physical: PhysicalPlan, specs: Sequence[OpSpec],
+                        leaf: _LeafState, base: np.ndarray,
+                        stats: ExecutionStats) -> QueryResult:
         logical = physical.logical
-        t0 = time.perf_counter()
-        selected = self._scan_select(physical, leaf, base)
-        stats.rows_selected = len(selected)
-        stats.scan_seconds = time.perf_counter() - t0
-        provider = universal_provider(
-            self.db, logical.root, logical.paths, selected)
-        columns = {
-            key.name: provider.fetch(key.column.table, key.column.name).decode()
-            for key in logical.projection_columns
-        }
-        stats.groups = len(selected)
+        dispatcher = MorselDispatcher("serial")
+        project = Project(logical.projection_columns)
+
+        def pipeline() -> List[Operator]:
+            return [*self._bind_filter_ops(specs, leaf), project]
+
+        results = dispatcher.run([self._morsel(logical, base)], pipeline)
+        merge_timings(stats, results)
+        (result,) = results
+        stats.rows_selected = len(result.morsel)
+        stats.scan_seconds = result.seconds
+        stats.groups = len(result.morsel)
+        stats.morsels = 1
+        columns = result.finishes[project.label]
         return self._finish(logical, columns, stats)
 
-    # -- result assembly -----------------------------------------------------------
+    # -- result assembly ------------------------------------------------------
 
     def _assemble(self, physical: PhysicalPlan, leaf: _LeafState,
                   state: Optional[AggregationState],
@@ -538,18 +506,3 @@ def _empty_scalar(func: str) -> np.ndarray:
     if func in ("SUM",):
         return np.zeros(1, dtype=np.int64)
     return np.array([np.nan])
-
-
-class _MaterializedProvider:
-    """Provider over already-materialized (decoded) column arrays."""
-
-    def __init__(self, columns: Dict[BoundColumn, np.ndarray]):
-        self._columns = columns
-
-    def fetch(self, table: str, name: str) -> ArraySlice:
-        try:
-            return ArraySlice(self._columns[BoundColumn(table, name)])
-        except KeyError:
-            raise ExecutionError(
-                f"column {table}.{name} was not materialized"
-            ) from None

@@ -1,0 +1,616 @@
+"""Vectorized physical operators and the morsel-driven dispatcher.
+
+This module is the shared physical layer of every engine in the repo:
+the A-Store executor (all five Table 6 variants), the three comparison
+baselines of Section 6, and the benchmark harness all run their queries
+as small DAGs of the operators defined here.
+
+The execution unit is the :class:`Morsel`: a horizontal slice of the
+root (fact) table, carried as a selection of global row ids plus a
+positional provider aligned with them.  Operators consume a morsel and
+produce a (usually smaller) morsel; stateful operators (aggregation,
+value gathering, projection) accumulate per-task state and surface it
+through :meth:`Operator.finish`.
+
+The :class:`MorselDispatcher` replaces the executor's bespoke thread
+loop: it splits the fact table into horizontal partitions (and
+optionally fixed-size morsels inside each partition), runs a fresh copy
+of the operator pipeline over every morsel on a pluggable backend
+(``serial`` or ``thread`` today; the registry is the extension point
+for a process backend), and returns per-morsel outputs, finish values,
+and per-operator timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import Bitmap
+from ..errors import ExecutionError
+from ..plan.binder import LogicalPlan
+from ..plan.expressions import BoundColumn, BoundExpression
+from .aggregate import (
+    AggregationState,
+    array_aggregate,
+    hash_aggregate,
+)
+from .expression import evaluate_measure, evaluate_predicate
+from .grouping import GroupAxis, combine_codes, single_axis
+from .slice import ArraySlice
+
+
+class PredicateFilter:
+    """A dimension predicate vector (Section 4.2).
+
+    Stores both the packed bit vector (whose size drives the optimizer's
+    fit-in-cache decision and the paper's LLC argument) and the unpacked
+    boolean array used for the actual probe — a probe is then a single
+    positional gather, ``mask[air_positions]``.
+    """
+
+    __slots__ = ("packed", "_mask")
+
+    def __init__(self, mask: np.ndarray):
+        self._mask = np.ascontiguousarray(mask, dtype=bool)
+        self.packed = Bitmap.from_bool_array(self._mask)
+
+    def probe(self, positions: np.ndarray) -> np.ndarray:
+        """Which of the given dimension positions pass the predicate."""
+        return self._mask[positions]
+
+    @property
+    def density(self) -> float:
+        """Fraction of dimension rows passing (probe selectivity)."""
+        return float(self._mask.mean()) if len(self._mask) else 0.0
+
+    @property
+    def nbytes(self) -> int:
+        """Packed size — what must stay cache-resident."""
+        return self.packed.nbytes
+
+
+# -- morsels -----------------------------------------------------------------
+
+
+class Morsel:
+    """One horizontal slice of the root table flowing through a pipeline.
+
+    ``positions`` are *global* row ids of the root table; ``provider``
+    resolves ``(table, column)`` aligned with those rows (positional AIR
+    gathers for A-Store, hash-join probes for the baselines).  ``codes``
+    carries the composite Measure Index once :class:`GroupCombine` has
+    run, and ``pending`` holds a deferred keep-mask for pipelines that
+    evaluate every predicate before shrinking (the row-scan variant).
+    """
+
+    __slots__ = ("positions", "provider", "codes", "pending")
+
+    def __init__(self, positions: np.ndarray, provider,
+                 codes: Optional[np.ndarray] = None,
+                 pending: Optional[np.ndarray] = None):
+        self.positions = positions
+        self.provider = provider
+        self.codes = codes
+        self.pending = pending
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def refine(self, keep: np.ndarray) -> "Morsel":
+        """Shrink by a boolean keep-mask aligned with the current rows."""
+        idx = np.flatnonzero(np.asarray(keep, dtype=bool))
+        return Morsel(
+            self.positions[idx],
+            self.provider.rebase(idx),
+            codes=None if self.codes is None else self.codes[idx],
+        )
+
+
+class OverlayProvider:
+    """A provider with fully materialized (decoded) column overlays.
+
+    Used by the row-wise scan variant, which fetches every referenced
+    column for the whole morsel before any predicate runs; predicates and
+    measures then read the materialized arrays, while positional probes
+    still go through the underlying provider.
+    """
+
+    __slots__ = ("_base", "_overlay")
+
+    def __init__(self, base, overlay: Dict[BoundColumn, np.ndarray]):
+        self._base = base
+        self._overlay = overlay
+
+    @property
+    def length(self) -> int:
+        return self._base.length
+
+    def positions_for(self, table: str):
+        return self._base.positions_for(table)
+
+    def fetch(self, table: str, name: str):
+        key = BoundColumn(table, name)
+        if key in self._overlay:
+            return ArraySlice(self._overlay[key])
+        return self._base.fetch(table, name)
+
+    def rebase(self, idx: np.ndarray) -> "OverlayProvider":
+        return OverlayProvider(
+            self._base.rebase(idx),
+            {key: values[idx] for key, values in self._overlay.items()},
+        )
+
+
+# -- operator protocol -------------------------------------------------------
+
+
+class Operator:
+    """A vectorized physical operator: morsel in, morsel out.
+
+    ``label`` identifies the operator instance in per-operator timing
+    breakdowns (:class:`MorselResult.timings`); ``finish`` surfaces the
+    per-task state of stateful operators after all morsels were seen.
+    """
+
+    name = "op"
+
+    def __init__(self, label: Optional[str] = None):
+        self.label = label or self.name
+
+    def process(self, morsel: Morsel) -> Morsel:
+        return morsel
+
+    def finish(self):
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label})"
+
+
+class FilterLike(Operator):
+    """Base for operators that compute a keep-mask over a morsel.
+
+    ``defer=True`` accumulates the mask on the morsel instead of
+    shrinking it (full-tuple processing: every predicate sees every
+    row); :class:`ApplyMask` performs the deferred refinement.
+    """
+
+    selectivity = 1.0
+
+    def __init__(self, label: Optional[str] = None,
+                 selectivity: float = 1.0, defer: bool = False):
+        super().__init__(label)
+        self.selectivity = selectivity
+        self.defer = defer
+
+    def mask(self, morsel: Morsel) -> np.ndarray:
+        raise NotImplementedError
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if not len(morsel):
+            return morsel
+        keep = self.mask(morsel)
+        if self.defer:
+            morsel.pending = (keep if morsel.pending is None
+                              else morsel.pending & keep)
+            return morsel
+        return morsel.refine(keep)
+
+
+class Filter(FilterLike):
+    """Evaluate a bound predicate expression against the morsel rows."""
+
+    name = "filter"
+
+    def __init__(self, expr: BoundExpression, **kwargs):
+        kwargs.setdefault("label", f"filter[{_columns_of(expr)}]")
+        super().__init__(**kwargs)
+        self.expr = expr
+
+    def mask(self, morsel: Morsel) -> np.ndarray:
+        return evaluate_predicate(self.expr, morsel.provider)
+
+
+def _columns_of(expr: BoundExpression) -> str:
+    from ..plan.expressions import bound_columns
+
+    return ",".join(dict.fromkeys(c.name for c in bound_columns(expr)))
+
+
+class AIRProbe(FilterLike):
+    """Probe a first-level dimension for each morsel row.
+
+    Three modes, covering both engines:
+
+    * ``"vector"`` — gather a precomputed :class:`PredicateFilter`
+      (A-Store's Section 4.2 predicate vectors, or a baseline's
+      semi-join reduction mask) at the dimension positions;
+    * ``"predicate"`` — evaluate the dimension predicate through the
+      provider (direct AIR probing, when no filter was built);
+    * ``"exists"`` — keep rows whose probe found a match (hash-join
+      existence check used by the baselines).
+    """
+
+    name = "air-probe"
+
+    def __init__(self, dim: str, mode: str, payload=None, **kwargs):
+        if mode not in ("vector", "predicate", "exists"):
+            raise ExecutionError(f"unknown probe mode {mode!r}")
+        kwargs.setdefault("label", f"probe[{dim}:{mode}]")
+        super().__init__(**kwargs)
+        self.dim = dim
+        self.mode = mode
+        self.payload = payload
+
+    def mask(self, morsel: Morsel) -> np.ndarray:
+        if self.mode == "vector":
+            return self.payload.probe(morsel.provider.positions_for(self.dim))
+        if self.mode == "predicate":
+            return evaluate_predicate(self.payload, morsel.provider)
+        return morsel.provider.positions_for(self.dim) >= 0
+
+
+class MaskFilter(FilterLike):
+    """Keep rows whose *global* position is set in a full-table mask
+    (MVCC live masks, precomputed visibility)."""
+
+    name = "mask-filter"
+
+    def __init__(self, mask: np.ndarray, **kwargs):
+        super().__init__(**kwargs)
+        self._mask = mask
+
+    def mask(self, morsel: Morsel) -> np.ndarray:
+        return self._mask[morsel.positions]
+
+
+class ApplyMask(Operator):
+    """Apply the deferred keep-mask accumulated by ``defer`` filters."""
+
+    name = "apply-mask"
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if morsel.pending is None:
+            return morsel
+        return morsel.refine(morsel.pending)
+
+
+class IntersectScan(Operator):
+    """Operator-at-a-time scan with full materialization (MonetDB-like).
+
+    Every contained filter is evaluated over the *entire* morsel —
+    no selection-vector short-circuit — and its surviving row ids are
+    materialized as a candidate OID list; the lists are then combined by
+    pairwise sorted intersection (the BAT-join cost profile the paper
+    measures in Tables 3–5).
+    """
+
+    name = "intersect-scan"
+
+    def __init__(self, steps: Sequence[FilterLike],
+                 label: Optional[str] = None):
+        super().__init__(label)
+        self.steps = list(steps)
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if not len(morsel):
+            return morsel
+        selected = morsel.positions
+        oid_lists = [morsel.positions[step.mask(morsel)]
+                     for step in self.steps]
+        for oids in oid_lists:
+            selected = np.intersect1d(selected, oids, assume_unique=True)
+        keep = np.searchsorted(morsel.positions, selected)
+        out = np.zeros(len(morsel), dtype=bool)
+        out[keep] = True
+        return morsel.refine(out)
+
+
+class MaterializeColumns(Operator):
+    """Fetch and decode every referenced column before any predicate.
+
+    This reproduces the cost profile of full-tuple row-wise processing
+    (the ``AIRScan_R*`` variants): each listed column — including
+    dimension attributes reached through AIR — is materialized for every
+    morsel row, and downstream operators read the overlays.
+    """
+
+    name = "materialize"
+
+    def __init__(self, columns: Sequence[BoundColumn],
+                 label: Optional[str] = None):
+        super().__init__(label)
+        self.columns = list(columns)
+
+    def process(self, morsel: Morsel) -> Morsel:
+        overlay = {
+            column: morsel.provider.fetch(column.table, column.name).decode()
+            for column in self.columns
+        }
+        morsel.provider = OverlayProvider(morsel.provider, overlay)
+        return morsel
+
+
+class GroupCombine(Operator):
+    """Compute the composite Measure Index for the surviving rows."""
+
+    name = "group-combine"
+
+    def __init__(self, axes: Sequence[GroupAxis],
+                 label: Optional[str] = None):
+        super().__init__(label)
+        self.axes = list(axes)
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if self.axes:
+            codes = [axis.fact_codes(morsel.provider) for axis in self.axes]
+            morsel.codes = combine_codes(codes, [a.card for a in self.axes])
+        else:
+            morsel.codes = np.zeros(len(morsel), dtype=np.int64)
+        return morsel
+
+
+class Aggregate(Operator):
+    """Measure-column aggregation over combined group codes.
+
+    ``use_array=True`` scatters into the dense aggregation array of
+    Section 4.3; otherwise the sort-based hash-aggregation stand-in is
+    used.  Per-task partial states merge element-wise (Section 5).
+    """
+
+    def __init__(self, specs, ngroups: int, use_array: bool,
+                 label: Optional[str] = None):
+        self.name = f"aggregate[{'array' if use_array else 'hash'}]"
+        super().__init__(label)
+        self.specs = specs
+        self.ngroups = ngroups
+        self.use_array = use_array
+        self.state: Optional[AggregationState] = None
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if morsel.codes is None:
+            raise ExecutionError("Aggregate needs GroupCombine upstream")
+        measures = {
+            spec.name: evaluate_measure(spec.expr, morsel.provider)
+            for spec in self.specs if spec.expr is not None
+        }
+        if self.use_array:
+            state = array_aggregate(self.specs, measures, morsel.codes,
+                                    self.ngroups)
+        else:
+            state = hash_aggregate(self.specs, measures, morsel.codes)
+        self.state = state if self.state is None else self.state.merge(state)
+        return morsel
+
+    def finish(self) -> Optional[AggregationState]:
+        return self.state
+
+
+@dataclass
+class GatherState:
+    """Accumulated decoded group values and measures (value grouping)."""
+
+    group_values: List[List[np.ndarray]] = field(default_factory=list)
+    measure_values: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    selected: int = 0
+
+    def merge(self, other: "GatherState") -> "GatherState":
+        if not self.group_values:
+            self.group_values = [[] for _ in other.group_values]
+        for mine, theirs in zip(self.group_values, other.group_values):
+            mine.extend(theirs)
+        for name, chunks in other.measure_values.items():
+            self.measure_values.setdefault(name, []).extend(chunks)
+        self.selected += other.selected
+        return self
+
+
+class ValueGather(Operator):
+    """Gather decoded group-key values and measures for surviving rows.
+
+    Engines that group by observed values (the row-scan variant and all
+    baselines, which "perform hash based grouping and aggregation")
+    accumulate here and build their axes with :func:`value_grouping`
+    after the pipeline drains.
+    """
+
+    name = "gather"
+
+    def __init__(self, logical: LogicalPlan, label: Optional[str] = None):
+        super().__init__(label)
+        self.logical = logical
+        self.state = GatherState(
+            group_values=[[] for _ in logical.group_keys])
+
+    def process(self, morsel: Morsel) -> Morsel:
+        if not len(morsel):
+            return morsel
+        provider = morsel.provider
+        for i, key in enumerate(self.logical.group_keys):
+            self.state.group_values[i].append(
+                provider.fetch(key.column.table, key.column.name).decode())
+        for spec in self.logical.aggregates:
+            if spec.expr is None:
+                continue
+            self.state.measure_values.setdefault(spec.name, []).append(
+                evaluate_measure(spec.expr, provider))
+        self.state.selected += len(morsel)
+        return morsel
+
+    def finish(self) -> GatherState:
+        return self.state
+
+
+def value_grouping(logical: LogicalPlan, state: GatherState):
+    """Axes + aggregation state from gathered values (hash-agg model)."""
+    axes: List[GroupAxis] = []
+    codes: List[np.ndarray] = []
+    for i, key in enumerate(logical.group_keys):
+        chunks = state.group_values[i] if state.group_values else []
+        values = (np.concatenate(chunks) if chunks
+                  else np.empty(0, dtype=object))
+        uniq, inverse = np.unique(values, return_inverse=True)
+        axes.append(single_axis(key, len(uniq), uniq))
+        codes.append(inverse.astype(np.int64))
+    measures = {}
+    for spec in logical.aggregates:
+        if spec.expr is None:
+            continue
+        chunks = state.measure_values.get(spec.name, [])
+        measures[spec.name] = (np.concatenate(chunks) if chunks
+                               else np.empty(0, dtype=np.float64))
+    if axes:
+        composite = combine_codes(codes, [a.card for a in axes])
+        agg = hash_aggregate(logical.aggregates, measures, composite)
+    else:
+        composite = np.zeros(state.selected, dtype=np.int64)
+        agg = array_aggregate(logical.aggregates, measures, composite, 1)
+    return axes, agg
+
+
+class Project(Operator):
+    """Collect decoded output columns for pure SPJ (projection) queries."""
+
+    name = "project"
+
+    def __init__(self, projection_columns, label: Optional[str] = None):
+        super().__init__(label)
+        self.projection_columns = list(projection_columns)
+        self._chunks: List[Dict[str, np.ndarray]] = []
+
+    def process(self, morsel: Morsel) -> Morsel:
+        self._chunks.append({
+            key.name: morsel.provider.fetch(
+                key.column.table, key.column.name).decode()
+            for key in self.projection_columns
+        })
+        return morsel
+
+    def finish(self) -> Dict[str, np.ndarray]:
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        out: Dict[str, np.ndarray] = {}
+        for key in self.projection_columns:
+            chunks = [c[key.name] for c in self._chunks]
+            out[key.name] = (np.concatenate(chunks) if chunks
+                             else np.empty(0, dtype=object))
+        return out
+
+
+# -- dispatcher --------------------------------------------------------------
+
+
+@dataclass
+class MorselResult:
+    """Outcome of one morsel's trip through a pipeline."""
+
+    morsel: Morsel
+    finishes: Dict[str, object]
+    timings: Dict[str, float]
+    seconds: float = 0.0
+
+
+PipelineFactory = Callable[[], Sequence[Operator]]
+
+
+def _run_serial(tasks):
+    return [task() for task in tasks]
+
+
+def _run_thread(tasks):
+    import os
+    from concurrent.futures import ThreadPoolExecutor
+
+    # One thread per morsel up to a sane cap — with small morsel_rows a
+    # large table can yield thousands of morsels, and unbounded thread
+    # creation fails on constrained hosts; excess morsels just queue.
+    workers = min(len(tasks), (os.cpu_count() or 8) + 4)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(task) for task in tasks]
+        return [f.result() for f in futures]
+
+
+#: Pluggable execution backends.  A future process backend registers
+#: here (operators must then be picklable); everything above this layer
+#: only names the backend.
+BACKENDS: Dict[str, Callable] = {
+    "serial": _run_serial,
+    "thread": _run_thread,
+}
+
+
+class MorselDispatcher:
+    """Runs an operator pipeline over a set of morsels.
+
+    Every morsel gets a *fresh* pipeline instance from the factory, so
+    stateful operators accumulate per-task state that the caller merges
+    (aggregation states merge element-wise, gather states concatenate).
+    With the ``thread`` backend all morsels run concurrently, one thread
+    each — the morsel count is the degree of parallelism, exactly like
+    the paper's horizontal fact-table partitioning (Section 5).
+    """
+
+    def __init__(self, backend: str = "serial"):
+        if backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown dispatch backend {backend!r}; "
+                f"choose from {sorted(BACKENDS)}")
+        self.backend = backend
+
+    @staticmethod
+    def partition(positions: np.ndarray, parts: int) -> List[np.ndarray]:
+        """Split row ids into at most *parts* horizontal partitions."""
+        parts = max(1, parts)
+        if parts == 1 or len(positions) < parts:
+            return [positions]
+        return [chunk for chunk in np.array_split(positions, parts)
+                if len(chunk)]
+
+    @staticmethod
+    def chunk(positions: np.ndarray, morsel_rows: int) -> List[np.ndarray]:
+        """Split row ids into fixed-size morsels (0 = one morsel)."""
+        if morsel_rows <= 0 or len(positions) <= morsel_rows:
+            return [positions]
+        return [positions[start: start + morsel_rows]
+                for start in range(0, len(positions), morsel_rows)]
+
+    def run(self, morsels: Sequence[Morsel],
+            factory: PipelineFactory) -> List[MorselResult]:
+        """Run a fresh pipeline over each morsel; never reorders output."""
+
+        def make_task(morsel: Morsel):
+            def task() -> MorselResult:
+                ops = list(factory())
+                timings: Dict[str, float] = {}
+                t_task = time.perf_counter()
+                m = morsel
+                for op in ops:
+                    t0 = time.perf_counter()
+                    m = op.process(m)
+                    elapsed = time.perf_counter() - t0
+                    timings[op.label] = timings.get(op.label, 0.0) + elapsed
+                finishes = {}
+                for op in ops:
+                    value = op.finish()
+                    if value is not None:
+                        finishes[op.label] = value
+                return MorselResult(m, finishes, timings,
+                                    time.perf_counter() - t_task)
+            return task
+
+        tasks = [make_task(m) for m in morsels]
+        if len(tasks) <= 1:
+            return _run_serial(tasks)
+        return BACKENDS[self.backend](tasks)
+
+
+def merge_timings(stats, results: Sequence[MorselResult]) -> None:
+    """Fold per-operator timings into ``stats.operator_seconds``."""
+    for result in results:
+        for label, seconds in result.timings.items():
+            stats.operator_seconds[label] = (
+                stats.operator_seconds.get(label, 0.0) + seconds)

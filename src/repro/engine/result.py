@@ -17,7 +17,9 @@ class ExecutionStats:
     The three stage timers mirror the paper's Fig. 10 breakdown:
     leaf-table processing (predicate vectors + group vectors), fact scan
     (FK columns, filters, Measure Index), and aggregation (measure columns
-    + the aggregation array / hash table).
+    + the aggregation array / hash table).  ``operator_seconds`` breaks
+    the same work down per physical operator (summed across morsels),
+    and ``morsels`` counts how many morsels the dispatcher ran.
     """
 
     variant: str = ""
@@ -28,13 +30,20 @@ class ExecutionStats:
     rows_scanned: int = 0
     rows_selected: int = 0
     groups: int = 0
+    morsels: int = 0
     used_array_aggregation: bool = False
     filter_modes: Dict[str, str] = field(default_factory=dict)
+    operator_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def selectivity(self) -> float:
         """Fraction of scanned rows surviving all predicates."""
         return self.rows_selected / self.rows_scanned if self.rows_scanned else 0.0
+
+    def operator_breakdown(self) -> List[tuple]:
+        """Per-operator ``(label, seconds)`` rows, slowest first."""
+        return sorted(self.operator_seconds.items(),
+                      key=lambda item: item[1], reverse=True)
 
 
 class QueryResult:

@@ -17,12 +17,12 @@ from .expressions import (
     bound_walk,
     tables_of,
 )
-from .optimizer import CacheModel, DimDecision, PhysicalPlan, optimize
+from .optimizer import CacheModel, DimDecision, OpSpec, PhysicalPlan, optimize
 
 __all__ = [
     "AggSpec", "bind", "bound_columns", "bound_walk", "BoundAnd",
     "BoundArith", "BoundBetween", "BoundColumn", "BoundCompare",
     "BoundExpression", "BoundIn", "BoundLike", "BoundLiteral", "BoundNot",
     "BoundOr", "CacheModel", "DimDecision", "GroupKey", "LogicalPlan",
-    "optimize", "OrderKey", "PhysicalPlan", "tables_of",
+    "OpSpec", "optimize", "OrderKey", "PhysicalPlan", "tables_of",
 ]

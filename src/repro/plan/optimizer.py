@@ -59,9 +59,41 @@ class DimDecision:
     estimated_selectivity: float
 
 
+@dataclass(frozen=True)
+class OpSpec:
+    """One node of the physical operator DAG.
+
+    Purely declarative — the engine layer binds each spec to a concrete
+    :mod:`repro.engine.operators` operator (and variants may rewrite the
+    spec list first).  ``op`` names the operator kind, ``detail`` is the
+    human-readable argument shown by ``explain()``, ``payload`` carries
+    the bound object the engine needs (an expression, a
+    :class:`DimDecision`, …), and ``selectivity`` is the optimizer's
+    estimate used for ordering filter-like nodes.
+    """
+
+    op: str
+    detail: str = ""
+    payload: object = None
+    selectivity: Optional[float] = None
+
+    def render(self) -> str:
+        text = f"{self.op}({self.detail})" if self.detail else self.op
+        if self.selectivity is not None:
+            text += f" [sel~{self.selectivity:.4f}]"
+        return text
+
+
 @dataclass
 class PhysicalPlan:
-    """The logical plan plus the optimizer's ordered, costed choices."""
+    """The logical plan plus the optimizer's ordered, costed choices.
+
+    ``pipeline`` is the explicit operator DAG: a scan source followed by
+    filter/probe nodes in estimated-selectivity order, then grouping,
+    aggregation, and result-shaping nodes.  The engine layer consumes it
+    via ``repro.engine.executor`` (which also applies per-variant DAG
+    rewrites) and the baselines reshape the same node kinds.
+    """
 
     logical: LogicalPlan
     fact_conjuncts: Tuple[Tuple[BoundExpression, float], ...]
@@ -69,6 +101,7 @@ class PhysicalPlan:
     use_array_agg: bool
     estimated_groups: int
     axis_cardinalities: Tuple[int, ...] = field(default=())
+    pipeline: Tuple[OpSpec, ...] = field(default=())
 
     def explain(self) -> str:
         """A compact, human-readable plan description."""
@@ -87,7 +120,51 @@ class PhysicalPlan:
         lines.append(
             f"aggregation: {agg} (estimated groups: {self.estimated_groups})"
         )
+        if self.pipeline:
+            lines.append("pipeline:")
+            for i, spec in enumerate(self.pipeline):
+                arrow = "   " if i == 0 else " ->"
+                lines.append(f" {arrow} {spec.render()}")
         return "\n".join(lines)
+
+
+def build_pipeline(logical: LogicalPlan,
+                   fact_conjuncts: Tuple[Tuple[BoundExpression, float], ...],
+                   dim_decisions: Tuple[DimDecision, ...],
+                   use_array_agg: bool) -> Tuple[OpSpec, ...]:
+    """The default (column-wise AIRScan) operator DAG for a plan."""
+    specs: List[OpSpec] = [OpSpec("scan", logical.root)]
+    steps: List[OpSpec] = []
+    for expr, sel in fact_conjuncts:
+        steps.append(OpSpec("filter", str(expr), payload=expr,
+                            selectivity=sel))
+    for dd in dim_decisions:
+        mode = "vector" if dd.use_filter else "predicate"
+        steps.append(OpSpec("air-probe", f"{dd.first_dim}:{mode}",
+                            payload=dd,
+                            selectivity=dd.estimated_selectivity))
+    steps.sort(key=lambda s: s.selectivity)
+    specs.extend(steps)
+    if logical.is_projection:
+        specs.append(OpSpec(
+            "project", ", ".join(k.name for k in logical.projection_columns)))
+    else:
+        if logical.group_keys:
+            specs.append(OpSpec(
+                "group-combine",
+                ", ".join(k.name for k in logical.group_keys)))
+        agg = "array" if use_array_agg else "hash"
+        specs.append(OpSpec(
+            "aggregate", agg,
+            payload=tuple(spec.name for spec in logical.aggregates)))
+    if logical.order_by:
+        specs.append(OpSpec(
+            "order-by",
+            ", ".join(key.output + (" desc" if key.descending else "")
+                      for key in logical.order_by)))
+    if logical.limit is not None:
+        specs.append(OpSpec("limit", str(logical.limit)))
+    return tuple(specs)
 
 
 def optimize(logical: LogicalPlan, db: Database,
@@ -124,6 +201,8 @@ def optimize(logical: LogicalPlan, db: Database,
         use_array_agg=use_array,
         estimated_groups=estimated,
         axis_cardinalities=cards,
+        pipeline=build_pipeline(logical, fact_conjuncts, dim_decisions,
+                                use_array),
     )
 
 
