@@ -1,54 +1,59 @@
-"""Ablation: multicore parallelization (Section 5).
+"""Ablation: multicore parallelization (Section 5), backend x workers.
 
-Sweeps the worker count on a heavy SSB query (Q4.1-style: three dimension
-filters, grouped profit sum) and reports scaling.  NumPy already uses the
-whole machine inside single kernels, so the expected Python-level shape is
-modest: no correctness drift, bounded overhead at higher worker counts,
-and identical merged results (checked against the serial run).
+Sweeps every execution backend (``serial``, ``thread``, ``process``)
+across worker counts on scan-heavy SSB queries (Q4.1-style: three
+dimension filters, grouped profit sum) so the paper's §5 speedup curve
+can be reproduced with real cores.  The ``thread`` backend serializes
+the Python-level kernel glue behind the GIL; the ``process`` backend
+shards the fact table over spawned workers attached to a shared-memory
+column arena, so its scaling is bounded by cores, not by the GIL.
+
+Every cell's rows are checked against the serial reference — the sweep
+doubles as a cross-backend differential.  ``astore bench`` runs the same
+sweep from the CLI.
 """
 
-import pytest
+import os
 
 from conftest import BENCH_SF, write_report
-from repro.bench import format_table, ms
-from repro.engine import AStoreEngine, EngineOptions
-from repro.workloads import SSB_QUERIES
+from repro.bench import backend_scaling_sweep, format_table, scaling_rows
 
-WORKER_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("serial", "thread", "process")
+WORKER_COUNTS = (1, 2, 4)
+QUERY_IDS = ("Q3.1", "Q4.1")
+
 RESULTS: dict = {}
-ROWS: dict = {}
-
-SQL = SSB_QUERIES["Q4.1"]
 
 
-@pytest.mark.parametrize("workers", WORKER_COUNTS)
-def bench_worker_sweep(benchmark, ssb_air, workers):
-    engine = AStoreEngine(ssb_air, EngineOptions(workers=workers))
-    result = benchmark.pedantic(lambda: engine.query(SQL), rounds=3,
-                                iterations=1, warmup_rounds=1)
-    ROWS[workers] = result.rows()
-    RESULTS[workers] = ms(benchmark.stats.stats.min)
+def bench_backend_sweep(benchmark, ssb_air):
+    # one sweep call spanning every backend, so check_rows compares each
+    # cell against the shared serial reference (cross-backend differential)
+    def sweep():
+        return backend_scaling_sweep(
+            backends=BACKENDS, worker_counts=WORKER_COUNTS,
+            query_ids=QUERY_IDS, repeat=3, db=ssb_air, check_rows=True)
+
+    RESULTS.update(benchmark.pedantic(sweep, rounds=1, iterations=1))
 
 
 def bench_zz_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    rows = []
-    base = RESULTS.get(1)
-    for workers in WORKER_COUNTS:
-        if workers not in RESULTS:
-            continue
-        speedup = base / RESULTS[workers] if base else float("nan")
-        rows.append([workers, RESULTS[workers], speedup])
     text = format_table(
-        f"Ablation: partition-parallel execution of SSB Q4.1 (sf={BENCH_SF})",
-        ["workers", "ms", "speedup vs serial"], rows)
-    text += ("\nNumPy kernels already release the GIL; gains are bounded by "
-             "kernel-internal parallelism (see DESIGN.md substitutions)")
+        f"Ablation: backend x workers over {', '.join(QUERY_IDS)} "
+        f"(sf={BENCH_SF}, best of 3, host cores={os.cpu_count()})",
+        ["backend", "workers"] + list(QUERY_IDS)
+        + ["AVG ms", "speedup vs serial"],
+        scaling_rows(RESULTS))
+    text += ("\nEvery cell verified row-identical to the serial reference."
+             "\nProcess-backend scaling is bounded by physical cores; on a"
+             f" {os.cpu_count()}-core host the sweep measures overhead, not"
+             " speedup — rerun on a multi-core machine for the §5 curve.")
     write_report("ablation_parallel", text)
-    # correctness: every worker count produced identical rows
-    reference = ROWS.get(1)
-    for workers, rows_w in ROWS.items():
-        assert rows_w == reference, f"workers={workers} changed the result"
-    # sanity: parallel overhead stays bounded
-    if base and 8 in RESULTS:
-        assert RESULTS[8] < base * 3
+    # correctness is asserted inside backend_scaling_sweep (check_rows);
+    # here only sanity-check that overhead stays bounded
+    serial_avg = next((sum(cell.values()) / len(cell)
+                       for (b, _), cell in RESULTS.items() if b == "serial"),
+                      None)
+    for (backend, workers), cell in RESULTS.items():
+        avg = sum(cell.values()) / len(cell)
+        assert avg < (serial_avg or avg) * 60, (backend, workers)

@@ -104,3 +104,7 @@ class DenormalizedEngine:
         """Execute a (normalized or already-rewritten) SSB-style query."""
         rewritten = denormalize_query(query, self.source)
         return self._engine.query(rewritten)
+
+    def close(self) -> None:
+        """Release the wrapped engine's process-backend resources."""
+        self._engine.close()

@@ -38,8 +38,7 @@ import numpy as np
 
 from ..core import Database
 from ..engine.operators import (
-    AIRProbe,
-    Filter,
+    BACKENDS,
     FilterLike,
     IntersectScan,
     MaskFilter,
@@ -52,6 +51,14 @@ from ..engine.operators import (
     value_grouping,
 )
 from ..engine.result import ExecutionStats, QueryResult
+from ..engine.sharding import (
+    BaselineBoundQuery,
+    acquire_shard_backend,
+    baseline_filter_steps,
+    fold_outcomes,
+    merge_outcome_states,
+    release_shard_backend,
+)
 from ..errors import PlanError
 from ..plan.binder import LogicalPlan
 from .common import (
@@ -65,12 +72,36 @@ from .common import (
 
 
 class BaselineEngine:
-    """Common driver: bind, build the DAG shape, dispatch, assemble."""
+    """Common driver: bind, build the DAG shape, dispatch, assemble.
+
+    ``backend`` names a :data:`repro.engine.operators.BACKENDS` entry;
+    with ``"process"`` the bound baseline plan (semi-join masks + hash
+    tables, both dimension-sized) ships to workers that shard the fact
+    table horizontally over the shared-memory arena — the same portable
+    path the A-Store engine uses.  Engines that served process-backed
+    queries hold an arena and pool; release them with :meth:`close`.
+    """
 
     name = "baseline"
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, backend: str = "serial",
+                 workers: int = 1):
         self.db = db
+        self.backend = backend
+        self.workers = workers
+        self._shard_backend = None
+
+    def close(self) -> None:
+        """Release process-backend resources (worker pool + shared arena)."""
+        backend, self._shard_backend = self._shard_backend, None
+        if backend is not None:
+            release_shard_backend(backend)
+
+    def __enter__(self) -> "BaselineEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def query(self, query) -> QueryResult:
         """Execute a SQL string or parsed statement."""
@@ -100,6 +131,22 @@ class BaselineEngine:
         }
         stats.leaf_seconds = timer.lap()
 
+        if not BACKENDS[self.backend].inline:
+            gathered = self._gather_sharded(logical, dim_filters,
+                                            hash_tables, stats)
+        else:
+            gathered = self._gather_inline(logical, dim_filters,
+                                           hash_tables, nrows, stats)
+        stats.rows_selected = gathered.selected
+        timer.lap()
+
+        axes, state = value_grouping(logical, gathered)
+        stats.aggregation_seconds += timer.lap()
+        return assemble(logical, axes, state, stats)
+
+    def _gather_inline(self, logical: LogicalPlan, dim_filters,
+                       hash_tables, nrows: int, stats: ExecutionStats):
+        """Run the engine's DAG shape in-process and merge gather states."""
         def rebind(positions):
             return fact_provider(self.db, logical, hash_tables, positions)
 
@@ -111,7 +158,7 @@ class BaselineEngine:
             ops.append(ValueGather(logical))
             return ops
 
-        results = MorselDispatcher("serial").run(morsels, pipeline)
+        results = MorselDispatcher(self.backend).run(morsels, pipeline)
         merge_timings(stats, results)
         gathered = None
         for result in results:
@@ -122,12 +169,27 @@ class BaselineEngine:
             for partial in result.finishes.values():
                 gathered = (partial if gathered is None
                             else gathered.merge(partial))
-        stats.rows_selected = gathered.selected
-        timer.lap()
+        return gathered
 
-        axes, state = value_grouping(logical, gathered)
-        stats.aggregation_seconds += timer.lap()
-        return assemble(logical, axes, state, stats)
+    def _gather_sharded(self, logical: LogicalPlan, dim_filters,
+                        hash_tables, stats: ExecutionStats):
+        """Ship the portable baseline plan to shard workers and merge."""
+        backend = self._shard_backend
+        if backend is not None and backend.is_stale(self.db):
+            release_shard_backend(backend)
+            backend = self._shard_backend = None
+        if backend is None:
+            self._shard_backend = acquire_shard_backend(self.db, self.workers)
+        plan = BaselineBoundQuery(
+            shape=self.name, logical=logical, dim_filters=dim_filters,
+            hash_tables=hash_tables, block_rows=self._block_rows())
+        outcomes = self._shard_backend.run(plan, nshards=self.workers)
+        fold_outcomes(outcomes, stats, agg_labels=("gather",))
+        return merge_outcome_states(outcomes)
+
+    def _block_rows(self) -> int:
+        """Shard-side morsel size (0 = one morsel per shard)."""
+        return 0
 
     # -- the DAG shape each engine customizes -------------------------------
 
@@ -146,16 +208,10 @@ class BaselineEngine:
 
     def _filter_steps(self, logical: LogicalPlan,
                       dim_filters) -> List[FilterLike]:
-        """Fact predicates, semi-join probes, then existence probes."""
-        steps: List[FilterLike] = []
-        for expr in logical.fact_conjuncts:
-            steps.append(Filter(expr))
-        for first_dim, pf in dim_filters.items():
-            steps.append(AIRProbe(first_dim, "vector", pf))
-        for first_dim in logical.first_level_dims:
-            if first_dim not in dim_filters:
-                steps.append(AIRProbe(first_dim, "exists"))
-        return steps
+        """Fact predicates, semi-join probes, then existence probes —
+        shared with the portable baseline plan (same operator chain on
+        every backend)."""
+        return baseline_filter_steps(logical, dim_filters)
 
     def _base_mask(self, logical: LogicalPlan) -> Optional[np.ndarray]:
         table = self.db.table(logical.root)
@@ -196,9 +252,13 @@ class VectorizedPipelineEngine(BaselineEngine):
 
     name = "vectorized-pipeline"
 
-    def __init__(self, db: Database, block_rows: int = 65536):
-        super().__init__(db)
+    def __init__(self, db: Database, block_rows: int = 65536,
+                 backend: str = "serial", workers: int = 1):
+        super().__init__(db, backend=backend, workers=workers)
         self.block_rows = block_rows
+
+    def _block_rows(self) -> int:
+        return self.block_rows
 
     def _morsels(self, logical: LogicalPlan, nrows: int,
                  rebind) -> List[Morsel]:

@@ -4,10 +4,13 @@ from .harness import (
     DEFAULT_REPEAT,
     DEFAULT_SCALE,
     EngineUnderTest,
+    backend_scaling_sweep,
     breakdown_rows,
+    close_engines,
     explain_engines,
     operator_breakdown,
     run_ssb_suite,
+    scaling_rows,
     ssb_database,
     standard_engines,
     suite_rows,
@@ -16,8 +19,9 @@ from .report import format_ratio_note, format_table
 from .timing import best_of, ms, ns_per_tuple
 
 __all__ = [
-    "best_of", "breakdown_rows", "DEFAULT_REPEAT", "DEFAULT_SCALE",
-    "EngineUnderTest", "explain_engines", "format_ratio_note",
-    "format_table", "ms", "ns_per_tuple", "operator_breakdown",
-    "run_ssb_suite", "ssb_database", "standard_engines", "suite_rows",
+    "backend_scaling_sweep", "best_of", "breakdown_rows", "close_engines",
+    "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest", "explain_engines",
+    "format_ratio_note", "format_table", "ms", "ns_per_tuple",
+    "operator_breakdown", "run_ssb_suite", "scaling_rows", "ssb_database",
+    "standard_engines", "suite_rows",
 ]

@@ -7,7 +7,7 @@ paper-style summary emission.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace as dataclasses_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines import (
@@ -39,40 +39,73 @@ def ssb_database(sf: float = DEFAULT_SCALE, seed: int = 42,
 
 @dataclass
 class EngineUnderTest:
-    """A named engine with a uniform ``run(sql) -> QueryResult`` interface."""
+    """A named engine with a uniform ``run(sql) -> QueryResult`` interface.
+
+    ``close`` releases any engine-held resources (the process backend's
+    shared-memory arena and worker pool); call it — or
+    :func:`close_engines` — when done benchmarking.
+    """
 
     name: str
     run: Callable[[str], object]
+    close: Callable[[], None] = lambda: None
+
+
+def close_engines(engines: Sequence[EngineUnderTest]) -> None:
+    """Release every engine's resources (arenas, worker pools)."""
+    for engine in engines:
+        engine.close()
 
 
 def standard_engines(sf: float = DEFAULT_SCALE,
                      include: Optional[Sequence[str]] = None,
-                     workers: int = 1) -> List[EngineUnderTest]:
+                     workers: int = 1,
+                     backend: Optional[str] = None) -> List[EngineUnderTest]:
     """The engine line-up of the paper's Section 6.
 
     Names: ``MonetDB-like``, ``Vectorwise-like``, ``Hyper-like`` (the
     baselines over key-valued data), ``A-Store`` (AIRScan_C_P_G over AIR
     data), ``Denormalized`` (A-Store machinery over the materialized
     universal table), plus the five ``AIRScan_*`` variants.
+
+    ``backend``/``workers`` select the execution backend for *every*
+    engine (baselines included), so the Table 2/5/6 harness runs can be
+    pointed at any :data:`repro.engine.operators.BACKENDS` entry without
+    code edits.  ``backend=None`` keeps each engine's default (serial
+    baselines, thread-dispatching A-Store).
     """
     air = ssb_database(sf, airify=True)
     raw = ssb_database(sf, airify=False)
+    baseline_backend = backend or "serial"
+    astore = {"workers": workers}
+    if backend is not None:
+        astore["parallel_backend"] = backend
     engines: List[EngineUnderTest] = []
 
-    def add(name: str, run):
+    def add(name: str, engine):
         if include is None or name in include:
-            engines.append(EngineUnderTest(name, run))
+            engines.append(EngineUnderTest(
+                name, engine.query, getattr(engine, "close", lambda: None)))
 
-    add("MonetDB-like", MaterializingEngine(raw).query)
-    add("Vectorwise-like", VectorizedPipelineEngine(raw).query)
-    add("Hyper-like", FusedEngine(raw).query)
-    astore = AStoreEngine.variant(air, "AIRScan_C_P_G", workers=workers)
-    add("A-Store", astore.query)
+    add("MonetDB-like",
+        MaterializingEngine(raw, backend=baseline_backend, workers=workers))
+    add("Vectorwise-like",
+        VectorizedPipelineEngine(raw, backend=baseline_backend,
+                                 workers=workers))
+    add("Hyper-like", FusedEngine(raw, backend=baseline_backend,
+                                  workers=workers))
+    add("A-Store", AStoreEngine.variant(air, "AIRScan_C_P_G", **astore))
     if include is None or "Denormalized" in include:
-        denorm = DenormalizedEngine(air)
-        add("Denormalized", denorm.query)
+        from ..engine import EngineOptions
+
+        denorm_options = EngineOptions(variant_name="Denormalization",
+                                       workers=workers)
+        if backend is not None:
+            denorm_options = dataclasses_replace(
+                denorm_options, parallel_backend=backend)
+        add("Denormalized", DenormalizedEngine(air, options=denorm_options))
     for variant in VARIANTS:
-        add(variant, AStoreEngine.variant(air, variant, workers=workers).query)
+        add(variant, AStoreEngine.variant(air, variant, **astore))
     return engines
 
 
@@ -145,6 +178,80 @@ def operator_breakdown(engines: Sequence[EngineUnderTest],
                 for label, seconds in result.stats.operator_seconds.items():
                     per_op[label] = per_op.get(label, 0.0) + ms(seconds) / rounds
     return breakdown
+
+
+def backend_scaling_sweep(sf: float = DEFAULT_SCALE,
+                          backends: Sequence[str] = ("serial", "thread",
+                                                     "process"),
+                          worker_counts: Sequence[int] = (1, 2, 4),
+                          query_ids: Optional[Sequence[str]] = None,
+                          repeat: int = DEFAULT_REPEAT,
+                          db: Optional[Database] = None,
+                          check_rows: bool = True) -> Dict[tuple, Dict[str, float]]:
+    """Best-of-N milliseconds for every (backend, workers, SSB query) cell.
+
+    This is the Section 5 speedup experiment over real cores: the same
+    AIRScan_C_P_G engine swept across :data:`BACKENDS` entries and worker
+    counts.  ``serial`` runs only at ``workers=1`` (more workers change
+    nothing but partition bookkeeping).  With ``check_rows`` every cell's
+    first result is compared against the serial reference, so the sweep
+    doubles as a cross-backend differential.  Returns
+    ``{(backend, workers): {query_id: ms}}``.
+    """
+    database = db if db is not None else ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    times: Dict[tuple, Dict[str, float]] = {}
+    reference: Dict[str, list] = {}
+    for backend in backends:
+        for workers in worker_counts:
+            if backend == "serial" and workers != min(worker_counts):
+                continue
+            engine = AStoreEngine.variant(
+                database, "AIRScan_C_P_G", workers=workers,
+                parallel_backend=backend)
+            try:
+                cell: Dict[str, float] = {}
+                for query_id in ids:
+                    sql = SSB_QUERIES[query_id]
+                    seconds, result = best_of(lambda: engine.query(sql),
+                                              repeat=repeat)
+                    cell[query_id] = ms(seconds)
+                    if check_rows:
+                        rows = result.rows()
+                        expected = reference.setdefault(query_id, rows)
+                        if rows != expected:
+                            raise AssertionError(
+                                f"{backend}/workers={workers} changed the "
+                                f"result of {query_id}")
+                times[(backend, workers)] = cell
+            finally:
+                engine.close()
+    return times
+
+
+def scaling_rows(times: Dict[tuple, Dict[str, float]]) -> List[List]:
+    """``[backend, workers, query..., AVG ms, speedup]`` rows for
+    :func:`repro.bench.format_table`.
+
+    Speedup is relative to the ``serial`` cell when the sweep includes
+    one, otherwise to the first swept cell (whatever order the caller
+    chose) — so a ``--backends process,thread`` run never silently
+    mislabels its baseline.
+    """
+    averages = {
+        key: (sum(cell.values()) / len(cell) if cell else 0.0)
+        for key, cell in times.items()
+    }
+    baseline = next(
+        (avg for (backend, _), avg in averages.items()
+         if backend == "serial"),
+        next(iter(averages.values()), 0.0))
+    rows: List[List] = []
+    for (backend, workers), cell in times.items():
+        avg = averages[(backend, workers)]
+        rows.append([backend, workers] + [cell[qid] for qid in cell]
+                    + [avg, baseline / avg if avg else float("nan")])
+    return rows
 
 
 def breakdown_rows(breakdown: Dict[str, Dict[str, float]]) -> List[List]:

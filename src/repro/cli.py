@@ -7,10 +7,14 @@ Subcommands::
                           FROM lineorder, date GROUP BY d_year" [--explain]
     astore explain ssb.npz "SELECT ..."      # operator DAG + decisions
     astore ssb ssb.npz                       # run all 13 SSB queries
+    astore bench ssb.npz                     # backend x workers scaling sweep
     astore validate ssb.npz                  # referential-integrity check
 
-``query --breakdown`` additionally prints the per-operator timing
-breakdown of the execution.  Also runnable as ``python -m repro ...``.
+``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
+and ``--workers N`` — the ``process`` backend shards the fact table over
+worker processes attached to a shared-memory column arena.  ``query
+--breakdown`` additionally prints the per-operator timing breakdown of
+the execution.  Also runnable as ``python -m repro ...``.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from typing import Optional, Sequence
 from .bench import best_of, format_table, ms
 from .core.statistics import validate_references
 from .datagen import generate_ssb, generate_tpcds, generate_tpch
-from .engine import AStoreEngine, EngineOptions, VARIANTS
+from .engine import AStoreEngine, VARIANTS
+from .engine.operators import BACKENDS
 from .errors import AStoreError
 from .io import dump_csv, load_database, save_database
 
@@ -54,6 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--variant", choices=sorted(VARIANTS),
                        default="AIRScan_C_P_G")
     query.add_argument("--workers", type=int, default=1)
+    query.add_argument("--backend", choices=sorted(BACKENDS),
+                       default="serial",
+                       help="execution backend (process = shared-memory "
+                            "shard workers)")
     query.add_argument("--explain", action="store_true",
                        help="print the plan instead of executing")
     query.add_argument("--breakdown", action="store_true",
@@ -76,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
     ssb.add_argument("--repeat", type=int, default=3)
     ssb.add_argument("--variant", choices=sorted(VARIANTS),
                      default="AIRScan_C_P_G")
+    ssb.add_argument("--workers", type=int, default=1)
+    ssb.add_argument("--backend", choices=sorted(BACKENDS),
+                     default="serial")
+
+    bench = sub.add_parser(
+        "bench",
+        help="backend x workers scaling sweep over the SSB queries")
+    bench.add_argument("database", help="a .npz archive of an SSB database")
+    bench.add_argument("--backends", default="serial,thread,process",
+                       help="comma-separated BACKENDS names")
+    bench.add_argument("--workers", default="1,2,4",
+                       help="comma-separated worker counts")
+    bench.add_argument("--queries", default=None,
+                       help="comma-separated SSB query ids (default: all)")
+    bench.add_argument("--repeat", type=int, default=3)
+    bench.add_argument("--out", metavar="PATH",
+                       help="also write the report to a file")
 
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
@@ -106,15 +132,16 @@ def _dispatch(args) -> int:
 
     if args.command == "query":
         db = load_database(args.database)
-        engine = AStoreEngine.variant(db, args.variant, workers=args.workers)
-        if args.explain:
-            print(engine.explain(args.sql))
-            return 0
-        result = engine.query(args.sql)
+        with AStoreEngine.variant(db, args.variant, workers=args.workers,
+                                  parallel_backend=args.backend) as engine:
+            if args.explain:
+                print(engine.explain(args.sql))
+                return 0
+            result = engine.query(args.sql)
         shown = result.rows()[: args.limit]
         print(format_table(
             f"{len(result)} rows ({result.stats.total_seconds * 1e3:.2f} ms,"
-            f" {result.stats.variant})",
+            f" {result.stats.variant}, {args.backend})",
             result.column_order, shown))
         if len(result) > args.limit:
             print(f"... {len(result) - args.limit} more rows")
@@ -139,15 +166,44 @@ def _dispatch(args) -> int:
         from .workloads import SSB_QUERIES
 
         db = load_database(args.database)
-        engine = AStoreEngine.variant(db, args.variant)
-        rows = []
-        for query_id, sql in SSB_QUERIES.items():
-            seconds, result = best_of(lambda: engine.query(sql),
-                                      repeat=args.repeat)
-            rows.append([query_id, len(result), ms(seconds)])
+        with AStoreEngine.variant(db, args.variant, workers=args.workers,
+                                  parallel_backend=args.backend) as engine:
+            rows = []
+            for query_id, sql in SSB_QUERIES.items():
+                seconds, result = best_of(lambda: engine.query(sql),
+                                          repeat=args.repeat)
+                rows.append([query_id, len(result), ms(seconds)])
         rows.append(["AVG", "", sum(r[2] for r in rows) / len(rows)])
-        print(format_table(f"SSB with {args.variant}",
-                           ["query", "groups", "best ms"], rows))
+        print(format_table(
+            f"SSB with {args.variant} ({args.backend}, "
+            f"workers={args.workers})",
+            ["query", "groups", "best ms"], rows))
+        return 0
+
+    if args.command == "bench":
+        from .bench import backend_scaling_sweep, scaling_rows
+        from .workloads import SSB_QUERIES
+
+        db = load_database(args.database)
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+        worker_counts = [int(w) for w in args.workers.split(",")]
+        query_ids = ([q.strip() for q in args.queries.split(",")]
+                     if args.queries else list(SSB_QUERIES))
+        times = backend_scaling_sweep(
+            backends=backends, worker_counts=worker_counts,
+            query_ids=query_ids, repeat=args.repeat, db=db)
+        speedup_base = ("serial" if any(b == "serial" for b, _ in times)
+                        else "first cell")
+        text = format_table(
+            f"backend scaling sweep over {db.name} (best of {args.repeat})",
+            ["backend", "workers"] + query_ids
+            + ["AVG ms", f"speedup vs {speedup_base}"],
+            scaling_rows(times))
+        print(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.out}")
         return 0
 
     if args.command == "validate":

@@ -1,5 +1,6 @@
 """Core storage model: array families, AIR columns, bitmaps, and the catalog."""
 
+from .arena import ArenaManifest, AttachedDatabase, ColumnArena, attach_database
 from .bitmap import Bitmap
 from .column import (
     AIRColumn,
@@ -25,6 +26,10 @@ from .vector import SelectionVector
 
 __all__ = [
     "AIRColumn",
+    "ArenaManifest",
+    "attach_database",
+    "AttachedDatabase",
+    "ColumnArena",
     "assert_consistent",
     "collect_statistics",
     "ColumnStatistics",

@@ -89,6 +89,22 @@ class FixedColumn(Column):
             self._n = 0
             self._data = np.empty(max(capacity, _MIN_CAPACITY), dtype=np_dtype)
 
+    @classmethod
+    def wrap(cls, name: str, dtype: DataType, data: np.ndarray) -> "FixedColumn":
+        """Zero-copy constructor over an existing backing array.
+
+        Used by the shared-memory arena: *data* (typically a read-only view
+        into a shared segment) becomes the backing array as-is, with no
+        reserved tail capacity.  Appending to a wrapped column reallocates
+        into private memory.
+        """
+        column = cls.__new__(cls)
+        column.name = name
+        column.dtype = dtype
+        column._data = data
+        column._n = len(data)
+        return column
+
     def __len__(self) -> int:
         return self._n
 
@@ -154,6 +170,14 @@ class AIRColumn(FixedColumn):
         super().__init__(name, DataType.INT64, data=data, capacity=capacity)
         self.referenced_table = referenced_table
 
+    @classmethod
+    def wrap_air(cls, name: str, referenced_table: str,
+                 data: np.ndarray) -> "AIRColumn":
+        """Zero-copy constructor (see :meth:`FixedColumn.wrap`)."""
+        column = cls.wrap(name, DataType.INT64, data)
+        column.referenced_table = referenced_table
+        return column
+
     def __repr__(self) -> str:
         return (
             f"AIRColumn({self.name!r} -> {self.referenced_table!r}, n={len(self)})"
@@ -182,6 +206,17 @@ class DictColumn(Column):
             self._codes = FixedColumn(name + "$codes", DataType.INT32)
             if values is not None:
                 self.append(values)
+
+    @classmethod
+    def wrap(cls, name: str, dictionary: Dictionary,
+             codes: np.ndarray) -> "DictColumn":
+        """Zero-copy constructor over an existing code array."""
+        column = cls.__new__(cls)
+        column.name = name
+        column.dtype = DataType.STRING
+        column.dictionary = dictionary
+        column._codes = FixedColumn.wrap(name + "$codes", DataType.INT32, codes)
+        return column
 
     def __len__(self) -> int:
         return len(self._codes)
@@ -244,6 +279,22 @@ class StringColumn(Column):
         self._addr = FixedColumn(name + "$addr", DataType.INT64)
         if values is not None:
             self.append(values)
+
+    @classmethod
+    def wrap(cls, name: str, heap: list,
+             addresses: np.ndarray) -> "StringColumn":
+        """Zero-copy constructor over an existing address array.
+
+        The heap itself is variable-width Python data and is always a
+        private copy; only the fixed-width address array is shareable.
+        """
+        column = cls.__new__(cls)
+        column.name = name
+        column.dtype = DataType.STRING
+        column._heap = list(heap)
+        column._addr = FixedColumn.wrap(name + "$addr", DataType.INT64,
+                                        addresses)
+        return column
 
     def __len__(self) -> int:
         return len(self._addr)

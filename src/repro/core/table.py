@@ -42,6 +42,7 @@ class Table:
         self._mvcc = mvcc
         self._insert_version = np.zeros(0, dtype=np.int64)
         self._delete_version = np.zeros(0, dtype=np.int64)
+        self._mutation_count = 0
 
     # -- construction --------------------------------------------------------
 
@@ -93,6 +94,14 @@ class Table:
         if len(column) != self._nrows:
             raise SchemaError("replacement column length mismatch")
         self.columns[name] = column
+        self._mutation_count += 1
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic count of content mutations (inserts, deletes,
+        updates, consolidations, column swaps) — lets point-in-time
+        copies such as shared-memory arenas detect staleness."""
+        return self._mutation_count
 
     # -- shape ---------------------------------------------------------------
 
@@ -212,6 +221,7 @@ class Table:
         if self._mvcc:
             self._insert_version[positions] = version
             self._delete_version[positions] = _NO_DELETE
+        self._mutation_count += 1
         return positions
 
     def delete(self, positions: Iterable[int], version: int = 0) -> int:
@@ -229,6 +239,8 @@ class Table:
         self._free_slots.extend(int(p) for p in fresh)
         if self._mvcc:
             self._delete_version[fresh] = version
+        if len(fresh):
+            self._mutation_count += 1
         return len(fresh)
 
     def update(self, positions: Iterable[int], changes: Mapping[str, Sequence]) -> None:
@@ -239,6 +251,8 @@ class Table:
             raise StorageError("cannot update a deleted row")
         for name, values in changes.items():
             self[name].put(positions, values)
+        if len(positions) and changes:
+            self._mutation_count += 1
 
     def consolidate(self) -> np.ndarray:
         """Compact the table, dropping deleted slots.
@@ -261,6 +275,7 @@ class Table:
         if self._mvcc:
             self._insert_version = self._insert_version[order]
             self._delete_version = self._delete_version[order]
+        self._mutation_count += 1
         return mapping
 
     # -- row access ---------------------------------------------------------

@@ -6,6 +6,7 @@ is reproducible from ``(generator, scale, seed)``.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -15,9 +16,11 @@ def rng_for(seed: int, stream: str) -> np.random.Generator:
     """A deterministic generator for a named substream.
 
     Distinct streams (one per table/column group) keep the data stable when
-    one table's generation logic changes.
+    one table's generation logic changes.  The stream name is mixed in via
+    a deterministic digest — ``hash()`` would vary with ``PYTHONHASHSEED``
+    and make the generated data differ across processes.
     """
-    mixed = np.random.SeedSequence([seed, abs(hash(stream)) % (2**31)])
+    mixed = np.random.SeedSequence([seed, zlib.crc32(stream.encode("utf-8"))])
     return np.random.default_rng(mixed)
 
 

@@ -23,6 +23,12 @@ from .operators import (
 from .orderby import sort_indices
 from .pipeline import materialize, result_to_table
 from .result import ExecutionStats, QueryResult
+from .sharding import (
+    BoundQuery,
+    LeafProducts,
+    ProcessShardBackend,
+    ShardOutcome,
+)
 from .slice import (
     ArraySlice,
     DictSlice,
@@ -34,8 +40,9 @@ from .slice import (
 
 __all__ = [
     "Aggregate", "AggregationState", "AIRProbe", "ApplyMask",
-    "array_aggregate", "ArraySlice", "AStoreEngine",
+    "array_aggregate", "ArraySlice", "AStoreEngine", "BoundQuery",
     "build_axes", "chain_map", "combine_codes", "dimension_provider",
+    "LeafProducts", "ProcessShardBackend", "ShardOutcome",
     "DictSlice", "EngineOptions", "evaluate_measure", "evaluate_predicate",
     "ExecutionStats", "Filter", "finalize", "GroupAxis", "GroupCombine",
     "hash_aggregate", "IntersectScan", "like_to_regex", "MaskFilter",

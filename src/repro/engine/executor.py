@@ -1,19 +1,24 @@
-"""The AIRScan executor: binding and dispatch over the operator pipeline.
+"""The AIRScan executor: compiling queries to portable bound plans.
 
-Queries run the paper's three-phase model (Section 3), but each phase is
-now expressed with the shared physical layer of
-:mod:`repro.engine.operators` instead of a hand-threaded loop:
+Queries run the paper's three-phase model (Section 3), expressed with the
+shared physical layer of :mod:`repro.engine.operators`:
 
 1. **Leaf processing** — :meth:`AStoreEngine._bind_leaf` evaluates
    dimension predicates once into packed :class:`PredicateFilter`
    vectors and builds the group axes (Sections 4.2, 4.3);
 2. **Scan and filter** — the optimizer's ``PhysicalPlan.pipeline`` DAG
    is rewritten for the engine variant (row- vs column-wise, deferred
-   vs short-circuiting filters), bound to concrete operators, and driven
-   over horizontal fact-table morsels by the
-   :class:`~repro.engine.operators.MorselDispatcher`;
-3. **Aggregation** — per-morsel partial aggregation states merge
-   element-wise; ORDER BY/LIMIT run during result assembly.
+   vs short-circuiting filters) and, together with the leaf products,
+   compiled into a picklable
+   :class:`~repro.engine.sharding.BoundQuery`; the bound plan is then
+   driven over horizontal fact-table morsels either in-process
+   (``serial``/``thread`` backends, via the
+   :class:`~repro.engine.operators.MorselDispatcher`) or across worker
+   processes (``process`` backend, via
+   :class:`~repro.engine.sharding.ProcessShardBackend` and the
+   shared-memory column arena);
+3. **Aggregation** — per-morsel/per-shard partial aggregation states
+   merge element-wise; ORDER BY/LIMIT run during result assembly.
 
 The five query-processor variants of the paper's Table 6 are exposed as
 :data:`VARIANTS` — each is a different *DAG rewrite* over the same
@@ -21,8 +26,9 @@ operators (see :func:`rewrite_for_options`), so the comparison isolates
 the execution-model differences, not separate code paths.  The same
 operators power the Section 6 baselines (:mod:`repro.baselines.engines`).
 
-The executor itself only binds plans, constructs DAGs, and assembles
-results; all scanning, probing, and aggregating lives in the operators.
+The executor itself only compiles bound plans, dispatches them, and
+assembles results; all scanning, probing, and aggregating lives in the
+operators, and everything a worker process needs lives in the bound plan.
 """
 
 from __future__ import annotations
@@ -36,30 +42,28 @@ import numpy as np
 from ..core import Database
 from ..errors import ExecutionError
 from ..plan.binder import LogicalPlan, bind
-from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
 from ..plan.optimizer import CacheModel, OpSpec, PhysicalPlan, optimize
 from .aggregate import AggregationState, finalize
-from .grouping import GroupAxis, build_axes, decode_group_columns, total_groups
+from .grouping import GroupAxis, build_axes, decode_group_columns
 from .operators import (
-    Aggregate,
-    AIRProbe,
-    ApplyMask,
-    Filter,
-    FilterLike,
-    GroupCombine,
-    MaterializeColumns,
-    Morsel,
+    BACKENDS,
     MorselDispatcher,
-    Operator,
     PredicateFilter,
-    Project,
-    ValueGather,
     merge_timings,
     value_grouping,
 )
 from .orderby import sort_indices, top_k_indices
 from .result import ExecutionStats, QueryResult
-from .slice import dimension_provider, universal_provider
+from .sharding import (
+    BoundQuery,
+    LeafProducts,
+    ProcessShardBackend,
+    acquire_shard_backend,
+    fold_outcomes,
+    merge_outcome_states,
+    release_shard_backend,
+)
+from .slice import dimension_provider
 from .expression import evaluate_predicate
 
 
@@ -73,10 +77,11 @@ class EngineOptions:
       dimension predicates (Section 4.2);
     * ``use_array_aggregation`` — ``True``/``False``/``"auto"`` (the
       cache-model decision of Section 4.3);
-    * ``workers`` — horizontal fact-table partitions processed
+    * ``workers`` — horizontal fact-table partitions (shards) processed
       independently and merged (Section 5); 1 = serial;
     * ``parallel_backend`` — a :data:`repro.engine.operators.BACKENDS`
-      name (``"thread"`` or ``"serial"`` today);
+      name: ``"serial"``, ``"thread"``, or ``"process"`` (portable bound
+      plans over shared-memory shards);
     * ``morsel_rows`` — split each column-scan partition into fixed-size
       morsels (0 = one morsel per partition, the paper's layout);
     * ``chunk_rows`` — block size of the row-wise scan variants.
@@ -112,17 +117,6 @@ VARIANTS: Dict[str, EngineOptions] = {
         scan="column", use_predicate_filter=True, use_array_aggregation="auto",
         variant_name="AIRScan_C_P_G"),
 }
-
-
-@dataclass
-class _LeafState:
-    """Outcome of the leaf-processing stage."""
-
-    filters: Dict[str, PredicateFilter] = field(default_factory=dict)
-    filter_density: Dict[str, float] = field(default_factory=dict)
-    probes: Dict[str, BoundExpression] = field(default_factory=dict)
-    probe_selectivity: Dict[str, float] = field(default_factory=dict)
-    axes: List[GroupAxis] = field(default_factory=list)
 
 
 # -- variant DAG rewrites -----------------------------------------------------
@@ -171,11 +165,17 @@ def replace_spec(spec: OpSpec, **changes) -> OpSpec:
 
 
 class AStoreEngine:
-    """A-Store's OLAP engine over a loaded (airified) database."""
+    """A-Store's OLAP engine over a loaded (airified) database.
+
+    An engine that has served ``process``-backed queries owns a
+    shared-memory arena and a worker pool; release them with
+    :meth:`close` (or use the engine as a context manager).
+    """
 
     def __init__(self, db: Database, options: Optional[EngineOptions] = None):
         self.db = db
         self.options = options or EngineOptions()
+        self._shard_backend: Optional[ProcessShardBackend] = None
 
     @classmethod
     def variant(cls, db: Database, name: str, **overrides) -> "AStoreEngine":
@@ -188,6 +188,20 @@ class AStoreEngine:
         if overrides:
             options = replace(options, **overrides)
         return cls(db, options)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release process-backend resources (worker pool + shared arena)."""
+        backend, self._shard_backend = self._shard_backend, None
+        if backend is not None:
+            release_shard_backend(backend)
+
+    def __enter__(self) -> "AStoreEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- planning ---------------------------------------------------------
 
@@ -216,6 +230,39 @@ class AStoreEngine:
             lines.append(f" {arrow} {spec.render()}")
         return text + "\n" + "\n".join(lines)
 
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, query, snapshot: Optional[int] = None) -> BoundQuery:
+        """Compile *query* into a portable bound plan.
+
+        The result is a self-contained, picklable artifact: the
+        variant-rewritten operator DAG, the evaluated leaf products, and
+        the plan metadata.  It can be executed here
+        (:meth:`run_compiled`), pickled to another process, or rebuilt
+        against any attached copy of the same database.
+        """
+        return self._compile(self.plan(query), snapshot)
+
+    def _compile(self, physical: PhysicalPlan,
+                 snapshot: Optional[int]) -> BoundQuery:
+        t0 = time.perf_counter()
+        leaf = self._bind_leaf(physical, snapshot)
+        logical = physical.logical
+        specs = rewrite_for_options(physical.pipeline, self.options, logical)
+        bound = BoundQuery(
+            variant=self.options.variant_name,
+            scan="projection" if logical.is_projection else self.options.scan,
+            specs=specs,
+            logical=logical,
+            leaf=leaf,
+            snapshot=snapshot,
+            morsel_rows=self.options.morsel_rows,
+            chunk_rows=self.options.chunk_rows,
+            use_array_hint=bool(physical.use_array_agg),
+        )
+        bound.leaf_seconds = time.perf_counter() - t0
+        return bound
+
     # -- execution ----------------------------------------------------------
 
     def query(self, query, snapshot: Optional[int] = None) -> QueryResult:
@@ -225,38 +272,43 @@ class AStoreEngine:
     def execute(self, physical: PhysicalPlan,
                 snapshot: Optional[int] = None) -> QueryResult:
         """Run a physical plan, optionally against an MVCC *snapshot*."""
+        return self.run_compiled(self._compile(physical, snapshot))
+
+    def run_compiled(self, bound: BoundQuery) -> QueryResult:
+        """Execute a (possibly unpickled) bound plan on this engine's
+        database, honouring the configured backend."""
         t_total = time.perf_counter()
-        logical = physical.logical
-        stats = ExecutionStats(variant=self.options.variant_name)
-        for dd in physical.dim_decisions:
-            stats.filter_modes[dd.first_dim] = (
-                "vector" if dd.use_filter else "probe"
-            )
+        stats = ExecutionStats(variant=bound.variant)
+        stats.leaf_seconds = bound.leaf_seconds
+        for dim in bound.leaf.filters:
+            stats.filter_modes[dim] = "vector"
+        for dim in bound.leaf.probes:
+            stats.filter_modes[dim] = "probe"
 
-        t0 = time.perf_counter()
-        leaf = self._bind_leaf(physical, snapshot)
-        stats.leaf_seconds = time.perf_counter() - t0
-
-        base = self._base_positions(logical.root, snapshot)
+        base = bound.base_positions(self.db)
         stats.rows_scanned = len(base)
 
-        specs = rewrite_for_options(physical.pipeline, self.options, logical)
-        if logical.is_projection:
-            result = self._run_projection(physical, specs, leaf, base, stats)
-        elif self.options.scan == "row":
-            result = self._run_row_scan(physical, specs, leaf, base, stats)
+        if not BACKENDS[self.options.parallel_backend].inline:
+            result = self._run_sharded(bound, base, stats)
+        elif bound.scan == "projection":
+            result = self._run_projection(bound, base, stats)
+        elif bound.scan == "row":
+            result = self._run_row_scan(bound, base, stats)
         else:
-            result = self._run_column_scan(physical, specs, leaf, base, stats)
-        stats.total_seconds = time.perf_counter() - t_total
+            result = self._run_column_scan(bound, base, stats)
+        # leaf binding happened at compile time; fold it back in so the
+        # total covers all three phases (phase sums never exceed it)
+        stats.total_seconds = (time.perf_counter() - t_total
+                               + bound.leaf_seconds)
         return result
 
     # -- stage 1: leaf processing (binding) ----------------------------------
 
     def _bind_leaf(self, physical: PhysicalPlan,
-                   snapshot: Optional[int]) -> _LeafState:
+                   snapshot: Optional[int]) -> LeafProducts:
         """Evaluate dimension predicates and build group axes once."""
         logical = physical.logical
-        leaf = _LeafState()
+        leaf = LeafProducts()
         for dd in physical.dim_decisions:
             if not dd.use_filter:
                 leaf.probes[dd.first_dim] = dd.predicate
@@ -274,66 +326,19 @@ class AStoreEngine:
             leaf.axes = build_axes(self.db, logical)
         return leaf
 
-    def _base_positions(self, root: str, snapshot: Optional[int]) -> np.ndarray:
-        table = self.db.table(root)
-        if snapshot is not None or table.has_deletes:
-            return np.flatnonzero(table.live_mask(snapshot)).astype(np.int64)
-        return np.arange(table.num_rows, dtype=np.int64)
-
-    def _morsel(self, logical: LogicalPlan, positions: np.ndarray) -> Morsel:
-        return Morsel(positions, universal_provider(
-            self.db, logical.root, logical.paths, positions))
-
-    # -- DAG binding ----------------------------------------------------------
-
-    def _bind_filter_ops(self, specs: Sequence[OpSpec], leaf: _LeafState,
-                         defer: bool = False) -> List[FilterLike]:
-        """Bind the filter-like DAG nodes, ordered by runtime selectivity.
-
-        The plan orders filters by *estimated* selectivity; once the
-        predicate vectors exist their exact density is known, so the
-        bound operators are re-sorted on the refreshed numbers (stable,
-        like the plan order).
-        """
-        ops: List[FilterLike] = []
-        for spec in specs:
-            if spec.op == "filter":
-                ops.append(Filter(spec.payload, selectivity=spec.selectivity,
-                                  defer=defer))
-            elif spec.op == "air-probe":
-                dd = spec.payload
-                if dd.first_dim in leaf.filters:
-                    ops.append(AIRProbe(
-                        dd.first_dim, "vector", leaf.filters[dd.first_dim],
-                        selectivity=leaf.filter_density[dd.first_dim],
-                        defer=defer))
-                else:
-                    ops.append(AIRProbe(
-                        dd.first_dim, "predicate", leaf.probes[dd.first_dim],
-                        selectivity=leaf.probe_selectivity[dd.first_dim],
-                        defer=defer))
-        ops.sort(key=lambda op: op.selectivity)
-        return ops
-
     # -- column-wise execution ------------------------------------------------
 
-    def _run_column_scan(self, physical: PhysicalPlan,
-                         specs: Sequence[OpSpec], leaf: _LeafState,
-                         base: np.ndarray, stats: ExecutionStats) -> QueryResult:
-        logical = physical.logical
+    def _run_column_scan(self, bound: BoundQuery, base: np.ndarray,
+                         stats: ExecutionStats) -> QueryResult:
         dispatcher = MorselDispatcher(self.options.parallel_backend)
         morsels = [
-            self._morsel(logical, chunk)
+            bound.morsel(self.db, chunk)
             for part in dispatcher.partition(base, self.options.workers)
             for chunk in dispatcher.chunk(part, self.options.morsel_rows)
         ]
         stats.morsels = len(morsels)
 
-        def scan_pipeline() -> List[Operator]:
-            return [*self._bind_filter_ops(specs, leaf),
-                    GroupCombine(leaf.axes)]
-
-        scanned = dispatcher.run(morsels, scan_pipeline)
+        scanned = dispatcher.run(morsels, bound.scan_pipeline)
         merge_timings(stats, scanned)
         total_selected = 0
         for result in scanned:
@@ -342,34 +347,24 @@ class AStoreEngine:
         stats.rows_selected = total_selected
 
         # Section 4.3's sparsity check, made with the *actual* selection
-        # size: the dense array is only worthwhile when it is not hugely
-        # larger than the number of tuples feeding it.
-        use_array = bool(physical.use_array_agg and leaf.axes)
-        if use_array:
-            ngroups = total_groups([axis.card for axis in leaf.axes])
-            use_array = ngroups <= max(4096, 8 * total_selected)
-        stats.used_array_aggregation = use_array or not leaf.axes
+        # size now that the scan has run.
+        use_array = bound.decide_use_array(total_selected)
+        stats.used_array_aggregation = use_array or not bound.leaf.axes
 
-        cards = [axis.card for axis in leaf.axes]
-        ngroups = total_groups(cards) if leaf.axes else 1
-
-        def agg_pipeline() -> List[Operator]:
-            return [Aggregate(logical.aggregates, ngroups,
-                              use_array or not leaf.axes)]
-
-        outcomes = dispatcher.run([r.morsel for r in scanned], agg_pipeline)
+        outcomes = dispatcher.run(
+            [r.morsel for r in scanned],
+            lambda: bound.aggregate_pipeline(use_array))
         merge_timings(stats, outcomes)
         state: Optional[AggregationState] = None
         for result in outcomes:
             stats.aggregation_seconds += result.seconds
             for partial in result.finishes.values():
                 state = partial if state is None else state.merge(partial)
-        return self._assemble(physical, leaf, state, stats)
+        return self._assemble(bound.logical, bound.leaf.axes, state, stats)
 
     # -- row-wise execution ---------------------------------------------------
 
-    def _run_row_scan(self, physical: PhysicalPlan, specs: Sequence[OpSpec],
-                      leaf: _LeafState, base: np.ndarray,
+    def _run_row_scan(self, bound: BoundQuery, base: np.ndarray,
                       stats: ExecutionStats) -> QueryResult:
         """Chunked row-wise scan: materialize the full tuple, then filter.
 
@@ -379,21 +374,12 @@ class AStoreEngine:
         rewrite), reproducing tuple-at-a-time cost without a per-row
         interpreter loop.
         """
-        logical = physical.logical
         dispatcher = MorselDispatcher("serial")
-        morsels = [self._morsel(logical, chunk) for chunk in
+        morsels = [bound.morsel(self.db, chunk) for chunk in
                    dispatcher.chunk(base, self.options.chunk_rows)]
         stats.morsels = len(morsels)
-        needed = self._referenced_columns(physical, leaf)
 
-        def pipeline() -> List[Operator]:
-            ops: List[Operator] = [MaterializeColumns(needed)]
-            ops.extend(self._bind_filter_ops(specs, leaf, defer=True))
-            ops.append(ApplyMask())
-            ops.append(ValueGather(logical))
-            return ops
-
-        results = dispatcher.run(morsels, pipeline)
+        results = dispatcher.run(morsels, bound.row_pipeline)
         merge_timings(stats, results)
         gathered = None
         for result in results:
@@ -406,68 +392,88 @@ class AStoreEngine:
             for partial in result.finishes.values():
                 gathered = (partial if gathered is None
                             else gathered.merge(partial))
+        return self._finish_row_scan(bound, gathered, stats)
 
+    def _finish_row_scan(self, bound: BoundQuery, gathered,
+                         stats: ExecutionStats) -> QueryResult:
         t2 = time.perf_counter()
-        axes, state = value_grouping(logical, gathered)
+        axes, state = value_grouping(bound.logical, gathered)
         stats.rows_selected = gathered.selected
         stats.used_array_aggregation = not axes
         stats.aggregation_seconds += time.perf_counter() - t2
-        leaf_row = _LeafState(axes=axes)
-        return self._assemble(physical, leaf_row, state, stats)
-
-    def _referenced_columns(self, physical: PhysicalPlan,
-                            leaf: _LeafState) -> List[BoundColumn]:
-        logical = physical.logical
-        needed: List[BoundColumn] = []
-        seen = set()
-
-        def add(expr):
-            for column in bound_columns(expr):
-                if column not in seen:
-                    seen.add(column)
-                    needed.append(column)
-
-        for expr, _ in physical.fact_conjuncts:
-            add(expr)
-        for predicate in leaf.probes.values():
-            add(predicate)
-        for key in logical.group_keys:
-            add(key.column)
-        for spec in logical.aggregates:
-            if spec.expr is not None:
-                add(spec.expr)
-        for key in logical.projection_columns:
-            add(key.column)
-        return needed
+        return self._assemble(bound.logical, axes, state, stats)
 
     # -- projection (pure SPJ) ------------------------------------------------
 
-    def _run_projection(self, physical: PhysicalPlan, specs: Sequence[OpSpec],
-                        leaf: _LeafState, base: np.ndarray,
+    def _run_projection(self, bound: BoundQuery, base: np.ndarray,
                         stats: ExecutionStats) -> QueryResult:
-        logical = physical.logical
         dispatcher = MorselDispatcher("serial")
-        project = Project(logical.projection_columns)
-
-        def pipeline() -> List[Operator]:
-            return [*self._bind_filter_ops(specs, leaf), project]
-
-        results = dispatcher.run([self._morsel(logical, base)], pipeline)
+        results = dispatcher.run([bound.morsel(self.db, base)],
+                                 bound.projection_pipeline)
         merge_timings(stats, results)
-        (result,) = results
-        stats.rows_selected = len(result.morsel)
-        stats.scan_seconds = result.seconds
-        stats.groups = len(result.morsel)
-        stats.morsels = 1
-        columns = result.finishes[project.label]
-        return self._finish(logical, columns, stats)
+        chunks = [value for result in results
+                  for value in result.finishes.values()]
+        stats.rows_selected = sum(len(r.morsel) for r in results)
+        stats.scan_seconds = sum(r.seconds for r in results)
+        stats.groups = stats.rows_selected
+        stats.morsels = len(results)
+        return self._finish(bound.logical,
+                            _concat_projection(bound.logical, chunks), stats)
+
+    # -- sharded (process-backend) execution ----------------------------------
+
+    def _ensure_shard_backend(self) -> ProcessShardBackend:
+        backend = self._shard_backend
+        if backend is not None and backend.is_stale(self.db):
+            # the arena is a point-in-time copy; a mutation since export
+            # means the shards would serve stale rows — re-export
+            release_shard_backend(backend)
+            backend = self._shard_backend = None
+        if backend is None:
+            backend = self._shard_backend = acquire_shard_backend(
+                self.db, self.options.workers)
+        return backend
+
+    def _run_sharded(self, bound: BoundQuery, base: np.ndarray,
+                     stats: ExecutionStats) -> QueryResult:
+        """Run the bound plan over horizontal shards in worker processes.
+
+        Scan and aggregation fuse into one worker trip per shard, so the
+        §4.3 array-vs-hash decision is made up front from the bound
+        selectivities (their product over the exact predicate-vector
+        densities); per-shard partial states merge in shard order.
+        """
+        backend = self._ensure_shard_backend()
+        use_array: Optional[bool] = None
+        agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
+        if bound.scan == "column":
+            use_array = bound.decide_use_array(
+                bound.estimated_selected(len(base)))
+            agg_labels = ("aggregate",)
+        outcomes = backend.run(bound, nshards=self.options.workers,
+                               use_array=use_array)
+        fold_outcomes(outcomes, stats, agg_labels)
+
+        if bound.scan == "projection":
+            chunks = [value for outcome in outcomes
+                      for values in outcome.finishes.values()
+                      for value in values]
+            stats.groups = stats.rows_selected
+            return self._finish(
+                bound.logical, _concat_projection(bound.logical, chunks),
+                stats)
+
+        merged = merge_outcome_states(outcomes)
+        if bound.scan == "row":
+            return self._finish_row_scan(bound, merged, stats)
+        stats.used_array_aggregation = bool(use_array) or not bound.leaf.axes
+        return self._assemble(bound.logical, bound.leaf.axes, merged, stats)
 
     # -- result assembly ------------------------------------------------------
 
-    def _assemble(self, physical: PhysicalPlan, leaf: _LeafState,
+    def _assemble(self, logical: LogicalPlan, axes: Sequence[GroupAxis],
                   state: Optional[AggregationState],
                   stats: ExecutionStats) -> QueryResult:
-        logical = physical.logical
         if state is None:
             raise ExecutionError("no aggregation state produced")
         ids, aggs = finalize(state)
@@ -477,8 +483,8 @@ class AStoreEngine:
             aggs = {spec.name: _empty_scalar(spec.func)
                     for spec in logical.aggregates}
         columns: Dict[str, np.ndarray] = {}
-        if leaf.axes:
-            columns.update(decode_group_columns(leaf.axes, ids))
+        if axes:
+            columns.update(decode_group_columns(axes, ids))
         columns.update(aggs)
         stats.groups = len(ids)
         return self._finish(logical, columns, stats)
@@ -498,6 +504,19 @@ class AStoreEngine:
             ordered = {name: values[: logical.limit]
                        for name, values in ordered.items()}
         return QueryResult(logical.output_order, ordered, stats)
+
+
+def _concat_projection(logical: LogicalPlan,
+                       chunks: List[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Stitch per-morsel/per-shard projection chunks back together."""
+    if len(chunks) == 1:
+        return chunks[0]
+    out: Dict[str, np.ndarray] = {}
+    for key in logical.projection_columns:
+        parts = [chunk[key.name] for chunk in chunks]
+        out[key.name] = (np.concatenate(parts) if parts
+                         else np.empty(0, dtype=object))
+    return out
 
 
 def _empty_scalar(func: str) -> np.ndarray:

@@ -16,9 +16,11 @@ The :class:`MorselDispatcher` replaces the executor's bespoke thread
 loop: it splits the fact table into horizontal partitions (and
 optionally fixed-size morsels inside each partition), runs a fresh copy
 of the operator pipeline over every morsel on a pluggable backend
-(``serial`` or ``thread`` today; the registry is the extension point
-for a process backend), and returns per-morsel outputs, finish values,
-and per-operator timings.
+(``serial``, ``thread``, or ``process``), and returns per-morsel
+outputs, finish values, and per-operator timings.  The ``process``
+entry is a *shard* backend: queries compile to portable bound plans
+that worker processes rebuild per shard over a shared-memory column
+arena (:mod:`repro.engine.sharding`).
 """
 
 from __future__ import annotations
@@ -61,6 +63,15 @@ class PredicateFilter:
     def probe(self, positions: np.ndarray) -> np.ndarray:
         """Which of the given dimension positions pass the predicate."""
         return self._mask[positions]
+
+    def __getstate__(self):
+        # Only the packed vector crosses process boundaries (it is what the
+        # paper argues must stay cache-resident); workers unpack on attach.
+        return self.packed
+
+    def __setstate__(self, packed) -> None:
+        self.packed = packed
+        self._mask = packed.to_bool_array()
 
     @property
     def density(self) -> float:
@@ -517,29 +528,74 @@ class MorselResult:
 PipelineFactory = Callable[[], Sequence[Operator]]
 
 
-def _run_serial(tasks):
-    return [task() for task in tasks]
+class ExecutionBackend:
+    """Descriptor of one :data:`BACKENDS` entry.
+
+    *Inline* backends run live task closures in this process
+    (:meth:`run_tasks`).  *Shard* backends (``inline = False``) instead
+    execute a portable bound plan over horizontal fact-table shards in
+    worker processes — the engine layer routes those through
+    :mod:`repro.engine.sharding` rather than through the dispatcher, since
+    a closure cannot cross a process boundary.
+    """
+
+    name = "backend"
+    inline = True
+
+    def run_tasks(self, tasks: Sequence[Callable]) -> list:
+        raise NotImplementedError
 
 
-def _run_thread(tasks):
-    import os
-    from concurrent.futures import ThreadPoolExecutor
+class SerialBackend(ExecutionBackend):
+    """Run every morsel task in order on the calling thread."""
 
-    # One thread per morsel up to a sane cap — with small morsel_rows a
-    # large table can yield thousands of morsels, and unbounded thread
-    # creation fails on constrained hosts; excess morsels just queue.
-    workers = min(len(tasks), (os.cpu_count() or 8) + 4)
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(task) for task in tasks]
-        return [f.result() for f in futures]
+    name = "serial"
+
+    def run_tasks(self, tasks):
+        return [task() for task in tasks]
 
 
-#: Pluggable execution backends.  A future process backend registers
-#: here (operators must then be picklable); everything above this layer
-#: only names the backend.
-BACKENDS: Dict[str, Callable] = {
-    "serial": _run_serial,
-    "thread": _run_thread,
+class ThreadBackend(ExecutionBackend):
+    """One thread per morsel task (bounded), sharing this process."""
+
+    name = "thread"
+
+    def run_tasks(self, tasks):
+        import os
+        from concurrent.futures import ThreadPoolExecutor
+
+        # One thread per morsel up to a sane cap — with small morsel_rows a
+        # large table can yield thousands of morsels, and unbounded thread
+        # creation fails on constrained hosts; excess morsels just queue.
+        workers = min(len(tasks), (os.cpu_count() or 8) + 4)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [f.result() for f in futures]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard marker: plans are rebuilt per shard in worker processes.
+
+    The actual machinery — portable bound plans, the shared-memory column
+    arena, and the spawn worker pool — lives in
+    :mod:`repro.engine.sharding`; this entry only claims the name so every
+    layer above can select it uniformly.
+    """
+
+    name = "process"
+    inline = False
+
+    def run_tasks(self, tasks):
+        raise ExecutionError(
+            "the process backend executes portable bound plans, not task "
+            "closures; route through repro.engine.sharding")
+
+
+#: Pluggable execution backends, keyed by the name every layer above uses
+#: (`EngineOptions.parallel_backend`, `--backend`, harness sweeps).
+BACKENDS: Dict[str, ExecutionBackend] = {
+    backend.name: backend
+    for backend in (SerialBackend(), ThreadBackend(), ProcessBackend())
 }
 
 
@@ -580,7 +636,12 @@ class MorselDispatcher:
 
     def run(self, morsels: Sequence[Morsel],
             factory: PipelineFactory) -> List[MorselResult]:
-        """Run a fresh pipeline over each morsel; never reorders output."""
+        """Run a fresh pipeline over each morsel; never reorders output.
+
+        Live closures cannot cross a process boundary, so a non-inline
+        (shard) backend degrades to the serial runner here; the engine
+        layer routes shard backends through portable plans instead.
+        """
 
         def make_task(morsel: Morsel):
             def task() -> MorselResult:
@@ -603,9 +664,10 @@ class MorselDispatcher:
             return task
 
         tasks = [make_task(m) for m in morsels]
-        if len(tasks) <= 1:
-            return _run_serial(tasks)
-        return BACKENDS[self.backend](tasks)
+        backend = BACKENDS[self.backend]
+        if len(tasks) <= 1 or not backend.inline:
+            return BACKENDS["serial"].run_tasks(tasks)
+        return backend.run_tasks(tasks)
 
 
 def merge_timings(stats, results: Sequence[MorselResult]) -> None:

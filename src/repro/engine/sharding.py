@@ -1,0 +1,549 @@
+"""Portable bound plans and the process shard backend (Section 5).
+
+The paper's multicore design partitions the fact table horizontally and
+aggregates each partition independently.  The ``thread`` backend realizes
+that shape inside one interpreter; this module realizes it across
+*processes*, which requires two things the live operator tree cannot do:
+
+* **Portability** — a query compiles to a :class:`BoundQuery`: a picklable
+  artifact bundling the variant-rewritten ``OpSpec`` DAG, the leaf-binding
+  products (packed :class:`~repro.engine.operators.PredicateFilter`
+  vectors, probe predicates, group axes), aggregation metadata, and the
+  MVCC snapshot version.  Workers rebuild a fresh operator pipeline from
+  it per shard — no closures, no live database references.
+* **Zero-copy data** — the parent exports the database's column buffers
+  once into a shared-memory :class:`~repro.core.arena.ColumnArena`;
+  each worker attaches read-only NumPy views, so shard scans read the
+  same physical arrays as the parent.
+
+:class:`ProcessShardBackend` owns the arena plus a persistent spawn pool
+and maps :class:`ShardTask`\\ s over it; per-shard partial states
+(:class:`~repro.engine.aggregate.AggregationState`, gather states, or
+projection chunks) and per-operator timings come back as
+:class:`ShardOutcome` values that the caller merges in shard order —
+exactly the element-wise merge of the paper's Section 5.
+
+The same machinery carries the Section 6 baselines
+(:class:`BaselineBoundQuery`), so every engine in the repo can run on any
+``BACKENDS`` entry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Database
+from ..core.arena import AttachedDatabase, ColumnArena, attach_database
+from ..errors import ExecutionError
+from ..plan.binder import LogicalPlan
+from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
+from ..plan.optimizer import OpSpec
+from .grouping import GroupAxis, total_groups
+from .operators import (
+    AIRProbe,
+    ApplyMask,
+    Filter,
+    FilterLike,
+    GroupCombine,
+    IntersectScan,
+    MaterializeColumns,
+    Morsel,
+    MorselDispatcher,
+    MorselResult,
+    Operator,
+    PredicateFilter,
+    Aggregate,
+    Project,
+    ValueGather,
+)
+from .slice import universal_provider
+
+
+def visible_positions(db: Database, root: str,
+                      snapshot: Optional[int] = None) -> np.ndarray:
+    """Visible root-table row ids (live now, or at an MVCC *snapshot*)."""
+    table = db.table(root)
+    if snapshot is not None or table.has_deletes:
+        return np.flatnonzero(table.live_mask(snapshot)).astype(np.int64)
+    return np.arange(table.num_rows, dtype=np.int64)
+
+
+def baseline_filter_steps(logical: LogicalPlan,
+                          dim_filters: Dict[str, PredicateFilter]
+                          ) -> List[FilterLike]:
+    """The baseline scan chain: fact predicates, semi-join probes, then
+    existence probes — shared by the inline engines and the portable
+    baseline plan so the two paths can never diverge."""
+    steps: List[FilterLike] = []
+    for expr in logical.fact_conjuncts:
+        steps.append(Filter(expr))
+    for first_dim, pf in dim_filters.items():
+        steps.append(AIRProbe(first_dim, "vector", pf))
+    for first_dim in logical.first_level_dims:
+        if first_dim not in dim_filters:
+            steps.append(AIRProbe(first_dim, "exists"))
+    return steps
+
+
+@dataclass
+class LeafProducts:
+    """Outcome of the leaf-processing stage, in portable form.
+
+    ``filters`` hold packed predicate vectors (Section 4.2) — their
+    pickle form ships only the packed bits; ``probes`` are the bound
+    predicates of dimensions probed directly through AIR; ``axes`` are
+    the group axes (Section 4.3) with their globally-encoded group
+    vectors, which is what lets per-shard aggregation states merge
+    without re-encoding.
+    """
+
+    filters: Dict[str, PredicateFilter] = field(default_factory=dict)
+    filter_density: Dict[str, float] = field(default_factory=dict)
+    probes: Dict[str, BoundExpression] = field(default_factory=dict)
+    probe_selectivity: Dict[str, float] = field(default_factory=dict)
+    axes: List[GroupAxis] = field(default_factory=list)
+
+
+@dataclass
+class BoundQuery:
+    """A compiled, portable query: DAG + leaf products + plan metadata.
+
+    This is the artifact every backend executes.  Inline backends bind
+    its pipelines in-process; the process backend pickles it to workers,
+    each of which rebuilds the pipeline against its attached copy of the
+    database and runs one horizontal shard.
+    """
+
+    variant: str
+    scan: str                        # "column" | "row" | "projection"
+    specs: Tuple[OpSpec, ...]        # variant-rewritten operator DAG
+    logical: LogicalPlan
+    leaf: LeafProducts
+    snapshot: Optional[int]
+    morsel_rows: int
+    chunk_rows: int
+    use_array_hint: bool             # the optimizer's §4.3 estimate
+    leaf_seconds: float = 0.0        # time spent producing ``leaf``
+
+    @property
+    def ngroups(self) -> int:
+        """Dense aggregation-array size (product of axis cardinalities)."""
+        return (total_groups([axis.card for axis in self.leaf.axes])
+                if self.leaf.axes else 1)
+
+    # -- pipeline binding ---------------------------------------------------
+
+    def filter_ops(self, defer: bool = False) -> List[FilterLike]:
+        """Bind the filter-like DAG nodes, ordered by runtime selectivity.
+
+        The plan orders filters by *estimated* selectivity; once the
+        predicate vectors exist their exact density is known, so the
+        bound operators are re-sorted on the refreshed numbers (stable,
+        like the plan order).
+        """
+        leaf = self.leaf
+        ops: List[FilterLike] = []
+        for spec in self.specs:
+            if spec.op == "filter":
+                ops.append(Filter(spec.payload, selectivity=spec.selectivity,
+                                  defer=defer))
+            elif spec.op == "air-probe":
+                dd = spec.payload
+                if dd.first_dim in leaf.filters:
+                    ops.append(AIRProbe(
+                        dd.first_dim, "vector", leaf.filters[dd.first_dim],
+                        selectivity=leaf.filter_density[dd.first_dim],
+                        defer=defer))
+                else:
+                    ops.append(AIRProbe(
+                        dd.first_dim, "predicate", leaf.probes[dd.first_dim],
+                        selectivity=leaf.probe_selectivity[dd.first_dim],
+                        defer=defer))
+        ops.sort(key=lambda op: op.selectivity)
+        return ops
+
+    def scan_pipeline(self) -> List[Operator]:
+        """Phase-2 pipeline: filters/probes then the Measure Index."""
+        return [*self.filter_ops(), GroupCombine(self.leaf.axes)]
+
+    def aggregate_pipeline(self, use_array: bool) -> List[Operator]:
+        """Phase-3 pipeline over already-scanned morsels."""
+        return [Aggregate(self.logical.aggregates, self.ngroups,
+                          use_array or not self.leaf.axes)]
+
+    def column_pipeline(self, use_array: bool) -> List[Operator]:
+        """Scan + aggregate fused into one trip (the per-shard form)."""
+        return [*self.scan_pipeline(), *self.aggregate_pipeline(use_array)]
+
+    def row_pipeline(self) -> List[Operator]:
+        """Full-tuple pipeline of the ``AIRScan_R*`` variants."""
+        ops: List[Operator] = [MaterializeColumns(self.referenced_columns())]
+        ops.extend(self.filter_ops(defer=True))
+        ops.append(ApplyMask())
+        ops.append(ValueGather(self.logical))
+        return ops
+
+    def projection_pipeline(self) -> List[Operator]:
+        """Pure SPJ: filters then projection collection."""
+        return [*self.filter_ops(),
+                Project(self.logical.projection_columns)]
+
+    # -- decisions ----------------------------------------------------------
+
+    def decide_use_array(self, total_selected: int) -> bool:
+        """Section 4.3's sparsity check against a known selection size:
+        the dense array is only worthwhile when it is not hugely larger
+        than the number of tuples feeding it."""
+        if not (self.use_array_hint and self.leaf.axes):
+            return False
+        return self.ngroups <= max(4096, 8 * total_selected)
+
+    def estimated_selected(self, nbase: int) -> int:
+        """Pre-dispatch selection estimate from the bound selectivities.
+
+        The process backend fuses scan and aggregation into one worker
+        trip, so the §4.3 decision cannot wait for the actual selection
+        size; predicate-vector densities are exact and fact-conjunct
+        selectivities are sampled, so the product is a sound stand-in.
+        """
+        fraction = 1.0
+        for op in self.filter_ops():
+            fraction *= min(1.0, max(0.0, float(op.selectivity)))
+        return max(1, int(nbase * fraction))
+
+    # -- data binding --------------------------------------------------------
+
+    def base_positions(self, db: Database) -> np.ndarray:
+        """Visible root-table row ids (live now, or at the MVCC snapshot)."""
+        return visible_positions(db, self.logical.root, self.snapshot)
+
+    def morsel(self, db: Database, positions: np.ndarray) -> Morsel:
+        return Morsel(positions, universal_provider(
+            db, self.logical.root, self.logical.paths, positions))
+
+    def referenced_columns(self) -> List[BoundColumn]:
+        """Every column the full-tuple variants must materialize."""
+        logical = self.logical
+        needed: List[BoundColumn] = []
+        seen = set()
+
+        def add(expr):
+            for column in bound_columns(expr):
+                if column not in seen:
+                    seen.add(column)
+                    needed.append(column)
+
+        for spec in self.specs:
+            if spec.op == "filter":
+                add(spec.payload)
+        for predicate in self.leaf.probes.values():
+            add(predicate)
+        for key in logical.group_keys:
+            add(key.column)
+        for spec in logical.aggregates:
+            if spec.expr is not None:
+                add(spec.expr)
+        for key in logical.projection_columns:
+            add(key.column)
+        return needed
+
+    # -- shard execution (worker side) --------------------------------------
+
+    def run_shard(self, db: Database, shard: int, nshards: int,
+                  use_array: Optional[bool]) -> "ShardOutcome":
+        """Rebuild the pipeline and run one horizontal shard to completion."""
+        base = self.base_positions(db)
+        parts = MorselDispatcher.partition(base, nshards)
+        if shard >= len(parts):
+            return ShardOutcome()
+        mine = parts[shard]
+        if self.scan == "row":
+            chunks = MorselDispatcher.chunk(mine, self.chunk_rows)
+            factory = self.row_pipeline
+        elif self.scan == "projection":
+            chunks = [mine]
+            factory = self.projection_pipeline
+        else:
+            chunks = MorselDispatcher.chunk(mine, self.morsel_rows)
+            factory = lambda: self.column_pipeline(bool(use_array))  # noqa: E731
+        morsels = [self.morsel(db, chunk) for chunk in chunks]
+        results = MorselDispatcher("serial").run(morsels, factory)
+        return ShardOutcome.collect(results)
+
+
+@dataclass
+class BaselineBoundQuery:
+    """Portable form of a Section 6 baseline query.
+
+    The baselines bind their leaf side to semi-join reduction masks and
+    hash tables; both are dimension-sized and ship with the plan, so a
+    worker only rebuilds the provider chain and the shape's operator
+    list.  ``shape`` selects the engine's DAG form.
+    """
+
+    shape: str                       # "materializing"|"fused"|"vectorized-pipeline"
+    logical: LogicalPlan
+    dim_filters: Dict[str, PredicateFilter]
+    hash_tables: dict                # Reference -> IntHashTable
+    block_rows: int = 0              # >0: block-at-a-time morsels
+
+    def pipeline(self) -> List[Operator]:
+        steps = baseline_filter_steps(self.logical, self.dim_filters)
+        if self.shape == "materializing":
+            return [IntersectScan(steps), ValueGather(self.logical)]
+        return [*steps, ValueGather(self.logical)]
+
+    def base_positions(self, db: Database) -> np.ndarray:
+        return visible_positions(db, self.logical.root)
+
+    def morsel(self, db: Database, positions: np.ndarray) -> Morsel:
+        from ..baselines.common import fact_provider
+
+        return Morsel(positions,
+                      fact_provider(db, self.logical, self.hash_tables,
+                                    positions))
+
+    def run_shard(self, db: Database, shard: int, nshards: int,
+                  use_array: Optional[bool]) -> "ShardOutcome":
+        base = self.base_positions(db)
+        parts = MorselDispatcher.partition(base, nshards)
+        if shard >= len(parts):
+            return ShardOutcome()
+        mine = parts[shard]
+        chunks = (MorselDispatcher.chunk(mine, self.block_rows)
+                  if self.block_rows > 0 else [mine])
+        morsels = [self.morsel(db, chunk) for chunk in chunks]
+        results = MorselDispatcher("serial").run(morsels, self.pipeline)
+        return ShardOutcome.collect(results)
+
+
+# -- shard plumbing ----------------------------------------------------------
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's merged partial results, as shipped back to the parent.
+
+    ``finishes`` maps operator label to either a merged partial state
+    (anything exposing ``merge``, e.g. aggregation/gather states) or, for
+    stateless collectors like ``project``, the ordered list of per-morsel
+    values; the parent merges outcomes across shards in shard order, so
+    results never depend on scheduling.
+    """
+
+    finishes: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    selected: int = 0
+    morsels: int = 0
+    seconds: float = 0.0
+
+    @classmethod
+    def collect(cls, results: Sequence[MorselResult]) -> "ShardOutcome":
+        outcome = cls(morsels=len(results))
+        for result in results:
+            outcome.selected += len(result.morsel)
+            outcome.seconds += result.seconds
+            for label, seconds in result.timings.items():
+                outcome.timings[label] = (
+                    outcome.timings.get(label, 0.0) + seconds)
+            for label, value in result.finishes.items():
+                current = outcome.finishes.get(label)
+                if current is None:
+                    outcome.finishes[label] = (
+                        value if hasattr(value, "merge") else [value])
+                elif hasattr(current, "merge"):
+                    outcome.finishes[label] = current.merge(value)
+                else:
+                    current.append(value)
+        return outcome
+
+
+def fold_outcomes(outcomes: Sequence[ShardOutcome], stats,
+                  agg_labels: Tuple[str, ...]) -> None:
+    """Fold shard timings and counters into *stats*.
+
+    Operator labels starting with one of *agg_labels* count as the
+    aggregation phase, everything else as the scan phase — the same
+    attribution the inline backends make per morsel.
+    """
+    stats.morsels += sum(o.morsels for o in outcomes)
+    stats.rows_selected += sum(o.selected for o in outcomes)
+    for outcome in outcomes:
+        for label, seconds in outcome.timings.items():
+            stats.operator_seconds[label] = (
+                stats.operator_seconds.get(label, 0.0) + seconds)
+            if label.startswith(agg_labels):
+                stats.aggregation_seconds += seconds
+            else:
+                stats.scan_seconds += seconds
+
+
+def merge_outcome_states(outcomes: Sequence[ShardOutcome]):
+    """Merge per-shard partial states in shard order (element-wise §5)."""
+    merged = None
+    for outcome in outcomes:
+        for partial in outcome.finishes.values():
+            merged = partial if merged is None else merged.merge(partial)
+    return merged
+
+
+@dataclass
+class ShardTask:
+    """One worker assignment: pickled plan + shard index.
+
+    The parent pickles the plan *once* per query (``plan_bytes``) so the
+    expensive part — packed vectors, axes, hash tables — is serialized a
+    single time, not once per shard; ``plan_seq`` lets a worker that
+    receives several shards of the same query deserialize it only once.
+    """
+
+    plan_bytes: bytes
+    plan_seq: int
+    shard: int
+    nshards: int
+    use_array: Optional[bool] = None
+
+
+_ATTACHED: Optional[AttachedDatabase] = None
+_PLAN_CACHE: Tuple[int, object] = (-1, None)
+
+
+def _worker_attach(manifest) -> None:
+    """Pool initializer: attach the shared arena once per worker."""
+    global _ATTACHED
+    _ATTACHED = attach_database(manifest)
+
+
+def _worker_run(task: ShardTask) -> ShardOutcome:
+    global _PLAN_CACHE
+    if _ATTACHED is None:  # pragma: no cover - initializer always runs
+        raise ExecutionError("shard worker has no attached database")
+    seq, plan = _PLAN_CACHE
+    if seq != task.plan_seq:
+        plan = pickle.loads(task.plan_bytes)
+        _PLAN_CACHE = (task.plan_seq, plan)
+    return plan.run_shard(_ATTACHED.db, task.shard, task.nshards,
+                          task.use_array)
+
+
+def database_stamp(db: Database) -> Tuple[tuple, ...]:
+    """A cheap point-in-time identity of a database's *content*: the
+    per-table mutation counters.  A shared-memory arena exported at stamp
+    S serves exactly the data visible at S; any later insert/delete/
+    update/consolidate changes the stamp and marks the arena stale."""
+    return tuple(sorted(
+        (name, table.mutation_count) for name, table in db.tables.items()))
+
+
+class ProcessShardBackend:
+    """A database exported to shared memory plus a persistent worker pool.
+
+    Created lazily by an engine on its first process-backed query and
+    held for the engine's lifetime, so the arena export and interpreter
+    spawns amortize across queries.  The export is a *point-in-time
+    copy*: :meth:`is_stale` compares the database's mutation stamp so
+    callers re-export after writes instead of serving stale shards.
+    ``close()`` terminates the pool and unlinks the segment; engines
+    expose it as their own ``close()``.  Use :func:`acquire_shard_backend`
+    / :func:`release_shard_backend` to share one backend (one arena, one
+    pool) across all engines over the same database.
+    """
+
+    _plan_seq = itertools.count()
+
+    def __init__(self, db: Database, workers: int):
+        self.workers = max(1, int(workers))
+        self.stamp = database_stamp(db)
+        self.refs = 0
+        self._registry_key: Optional[tuple] = None
+        self.arena = ColumnArena.export(db)
+        ctx = multiprocessing.get_context("spawn")
+        self._pool = ctx.Pool(self.workers, initializer=_worker_attach,
+                              initargs=(self.arena.manifest,))
+
+    def is_stale(self, db: Database) -> bool:
+        """Has *db* been mutated since this backend's arena was exported?"""
+        return database_stamp(db) != self.stamp
+
+    def run(self, plan, nshards: Optional[int] = None,
+            use_array: Optional[bool] = None) -> List[ShardOutcome]:
+        """Run *plan* over ``nshards`` horizontal shards (default: one
+        per worker); outcomes come back in shard order."""
+        if self._pool is None:
+            raise ExecutionError("process shard backend is closed")
+        nshards = nshards or self.workers
+        plan_bytes = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
+        seq = next(self._plan_seq)
+        tasks = [ShardTask(plan_bytes, seq, shard, nshards, use_array)
+                 for shard in range(nshards)]
+        return self._pool.map(_worker_run, tasks, chunksize=1)
+
+    def close(self) -> None:
+        """Terminate the workers and release the shared segment."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self.arena.close()
+
+    def __enter__(self) -> "ProcessShardBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: One shared backend per (database identity, worker count): a harness
+#: sweep over ten engines exports the database once, not ten times.
+_SHARED_BACKENDS: Dict[tuple, ProcessShardBackend] = {}
+
+
+def acquire_shard_backend(db: Database, workers: int) -> ProcessShardBackend:
+    """A refcounted, staleness-checked shard backend for *db*.
+
+    Engines over the same database and worker count share one arena and
+    one pool; every acquire must be paired with a
+    :func:`release_shard_backend` (engines do this in ``close()``).  A
+    backend whose arena predates a database mutation is evicted here —
+    current holders drain it via their own ``is_stale`` check — and a
+    fresh export takes its place.
+    """
+    key = (id(db), max(1, int(workers)))
+    backend = _SHARED_BACKENDS.get(key)
+    if backend is not None and backend.is_stale(db):
+        _SHARED_BACKENDS.pop(key, None)
+        if backend.refs <= 0:
+            backend.close()
+        backend = None
+    if backend is None:
+        backend = ProcessShardBackend(db, workers)
+        backend._registry_key = key
+        _SHARED_BACKENDS[key] = backend
+        weakref.finalize(db, _evict_backend, key)
+    backend.refs += 1
+    return backend
+
+
+def release_shard_backend(backend: ProcessShardBackend) -> None:
+    """Drop one reference; the last holder closes arena and pool."""
+    backend.refs -= 1
+    if backend.refs <= 0:
+        key = backend._registry_key
+        if key is not None and _SHARED_BACKENDS.get(key) is backend:
+            _SHARED_BACKENDS.pop(key, None)
+        backend.close()
+
+
+def _evict_backend(key: tuple) -> None:
+    """Finalizer: the database was garbage-collected, so nobody can use
+    (or properly release) the backend any more — close it outright."""
+    backend = _SHARED_BACKENDS.pop(key, None)
+    if backend is not None:
+        backend.close()

@@ -267,7 +267,7 @@ class TestMorselDispatcher:
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ExecutionError):
-            MorselDispatcher("process")
+            MorselDispatcher("fiber")
 
     @pytest.mark.parametrize("backend", ["serial", "thread"])
     def test_backends_agree(self, star, backend):
