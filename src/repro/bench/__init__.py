@@ -4,24 +4,35 @@ from .harness import (
     DEFAULT_REPEAT,
     DEFAULT_SCALE,
     EngineUnderTest,
+    QPS_MODES,
     backend_scaling_sweep,
     breakdown_rows,
     close_engines,
     explain_engines,
     operator_breakdown,
+    qps_payload,
+    qps_rows,
+    qps_sweep,
     run_ssb_suite,
     scaling_rows,
     ssb_database,
     standard_engines,
     suite_rows,
 )
-from .report import format_ratio_note, format_table
-from .timing import best_of, ms, ns_per_tuple
+from .report import (
+    format_ratio_note,
+    format_table,
+    host_info,
+    host_note,
+    write_bench_json,
+)
+from .timing import best_of, median_ms, ms, ns_per_tuple
 
 __all__ = [
     "backend_scaling_sweep", "best_of", "breakdown_rows", "close_engines",
     "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest", "explain_engines",
-    "format_ratio_note", "format_table", "ms", "ns_per_tuple",
-    "operator_breakdown", "run_ssb_suite", "scaling_rows", "ssb_database",
-    "standard_engines", "suite_rows",
+    "format_ratio_note", "format_table", "host_info", "host_note",
+    "median_ms", "ms", "ns_per_tuple", "operator_breakdown", "QPS_MODES",
+    "qps_payload", "qps_rows", "qps_sweep", "run_ssb_suite", "scaling_rows",
+    "ssb_database", "standard_engines", "suite_rows", "write_bench_json",
 ]

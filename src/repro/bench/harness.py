@@ -7,6 +7,7 @@ paper-style summary emission.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace as dataclasses_replace
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -20,7 +21,7 @@ from ..core import Database
 from ..datagen import generate_ssb
 from ..engine.executor import AStoreEngine, VARIANTS
 from ..workloads.ssb_queries import SSB_QUERIES
-from .timing import best_of, ms
+from .timing import best_of, median_ms, ms
 
 DEFAULT_SCALE = float(__import__("os").environ.get("REPRO_BENCH_SF", "0.02"))
 DEFAULT_REPEAT = int(__import__("os").environ.get("REPRO_BENCH_REPEAT", "3"))
@@ -60,7 +61,8 @@ def close_engines(engines: Sequence[EngineUnderTest]) -> None:
 def standard_engines(sf: float = DEFAULT_SCALE,
                      include: Optional[Sequence[str]] = None,
                      workers: int = 1,
-                     backend: Optional[str] = None) -> List[EngineUnderTest]:
+                     backend: Optional[str] = None,
+                     use_cache: bool = False) -> List[EngineUnderTest]:
     """The engine line-up of the paper's Section 6.
 
     Names: ``MonetDB-like``, ``Vectorwise-like``, ``Hyper-like`` (the
@@ -73,11 +75,20 @@ def standard_engines(sf: float = DEFAULT_SCALE,
     pointed at any :data:`repro.engine.operators.BACKENDS` entry without
     code edits.  ``backend=None`` keeps each engine's default (serial
     baselines, thread-dispatching A-Store).
+
+    ``use_cache`` defaults to **off** here — deliberately the opposite
+    of the engine default.  The paper tables compare engines on their
+    full per-query work, and the cache is shared per database: with it
+    on, a ``best_of`` repeat measures a warm plan hit and the first
+    variant in the line-up would pre-bind dimension scans and axes for
+    every later one, collapsing exactly the per-variant leaf-processing
+    differences Table 6 isolates.  Serving-throughput measurements
+    belong to :func:`qps_sweep`, which controls cache modes explicitly.
     """
     air = ssb_database(sf, airify=True)
     raw = ssb_database(sf, airify=False)
     baseline_backend = backend or "serial"
-    astore = {"workers": workers}
+    astore = {"workers": workers, "use_cache": use_cache}
     if backend is not None:
         astore["parallel_backend"] = backend
     engines: List[EngineUnderTest] = []
@@ -99,7 +110,7 @@ def standard_engines(sf: float = DEFAULT_SCALE,
         from ..engine import EngineOptions
 
         denorm_options = EngineOptions(variant_name="Denormalization",
-                                       workers=workers)
+                                       workers=workers, use_cache=use_cache)
         if backend is not None:
             denorm_options = dataclasses_replace(
                 denorm_options, parallel_backend=backend)
@@ -187,7 +198,8 @@ def backend_scaling_sweep(sf: float = DEFAULT_SCALE,
                           query_ids: Optional[Sequence[str]] = None,
                           repeat: int = DEFAULT_REPEAT,
                           db: Optional[Database] = None,
-                          check_rows: bool = True) -> Dict[tuple, Dict[str, float]]:
+                          check_rows: bool = True,
+                          use_cache: bool = True) -> Dict[tuple, Dict[str, float]]:
     """Best-of-N milliseconds for every (backend, workers, SSB query) cell.
 
     This is the Section 5 speedup experiment over real cores: the same
@@ -208,7 +220,7 @@ def backend_scaling_sweep(sf: float = DEFAULT_SCALE,
                 continue
             engine = AStoreEngine.variant(
                 database, "AIRScan_C_P_G", workers=workers,
-                parallel_backend=backend)
+                parallel_backend=backend, use_cache=use_cache)
             try:
                 cell: Dict[str, float] = {}
                 for query_id in ids:
@@ -252,6 +264,153 @@ def scaling_rows(times: Dict[tuple, Dict[str, float]]) -> List[List]:
         rows.append([backend, workers] + [cell[qid] for qid in cell]
                     + [avg, baseline / avg if avg else float("nan")])
     return rows
+
+
+#: The three cache configurations a serving workload can run under.
+QPS_MODES = ("cold", "compile", "serve")
+
+
+def qps_sweep(sf: float = DEFAULT_SCALE,
+              backends: Sequence[str] = ("serial",),
+              worker_counts: Sequence[int] = (1,),
+              query_ids: Optional[Sequence[str]] = None,
+              rounds: int = 3,
+              db: Optional[Database] = None,
+              modes: Sequence[str] = QPS_MODES,
+              check_rows: bool = True) -> Dict[tuple, dict]:
+    """Repeated-SSB-flight throughput, cold vs warm (the serving story).
+
+    For every (backend, workers) cell the flight of SSB queries runs
+    under three cache configurations:
+
+    * ``cold`` — caching disabled: every execution re-pays parse, plan,
+      and leaf processing (the pre-cache engine);
+    * ``compile`` — the plan/leaf/axis tiers are live: repeats skip
+      recompilation but still execute scan + aggregation;
+    * ``serve`` — additionally the mutation-stamped result tier: exact
+      repeats are stamped lookups.
+
+    Every mode runs one unmeasured priming/differential flight, then
+    ``rounds`` measured flights of pure ``query`` calls; per-query
+    times are medians across the measured flights and ``qps`` is
+    aggregate throughput (queries / total measured seconds).  With
+    ``check_rows`` every mode's results are compared against the first
+    recorded reference, so the sweep doubles as the cache on/off
+    differential.  Returns ``{(backend, workers, mode): cell}`` where
+    each cell carries ``per_query_ms``, ``flight_ms``, ``qps``,
+    ``speedup_vs_cold``, and the per-tier ``hit_rates`` observed during
+    the measured flights.
+    """
+    database = db if db is not None else ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    rounds = max(1, rounds)
+    reference: Dict[str, list] = {}
+    out: Dict[tuple, dict] = {}
+    for backend in backends:
+        for workers in worker_counts:
+            if backend == "serial" and workers != min(worker_counts):
+                continue
+            for mode in modes:
+                engine = AStoreEngine.variant(
+                    database, "AIRScan_C_P_G", workers=workers,
+                    parallel_backend=backend,
+                    use_cache=(mode != "cold"),
+                    cache_results=(mode == "serve"))
+                try:
+                    out[(backend, workers, mode)] = _qps_cell(
+                        engine, ids, rounds, mode, reference, check_rows)
+                finally:
+                    engine.close()
+    for (backend, workers, mode), cell in out.items():
+        cold = out.get((backend, workers, "cold"))
+        cell["speedup_vs_cold"] = (
+            cell["qps"] / cold["qps"] if cold and cold["qps"] else
+            float("nan"))
+    return out
+
+
+def _qps_cell(engine, ids: Sequence[str], rounds: int, mode: str,
+              reference: Dict[str, list], check_rows: bool) -> dict:
+    """Prime + differential-check (unmeasured), then timed flights.
+
+    Every mode runs one unmeasured flight first: it warms the cache
+    tiers for the warm modes, provides the rows for the cache on/off
+    differential in all modes, and keeps ``rows()`` materialization and
+    row comparison out of the timed window — the measured flights
+    contain nothing but ``engine.query`` calls.
+    """
+    from ..engine.cache import QueryCache
+
+    for query_id in ids:  # priming + differential flight (not measured)
+        result = engine.query(SSB_QUERIES[query_id])
+        _check_reference(reference, query_id, result, mode, check_rows)
+    before = engine.cache.counters() if engine.cache else {}
+    per_query: Dict[str, List[float]] = {query_id: [] for query_id in ids}
+    flight_seconds: List[float] = []
+    for _ in range(rounds):
+        t_flight = time.perf_counter()
+        for query_id in ids:
+            t0 = time.perf_counter()
+            engine.query(SSB_QUERIES[query_id])
+            per_query[query_id].append(time.perf_counter() - t0)
+        flight_seconds.append(time.perf_counter() - t_flight)
+    after = engine.cache.counters() if engine.cache else {}
+    total = sum(flight_seconds)
+    return {
+        "per_query_ms": {query_id: median_ms(samples)
+                         for query_id, samples in per_query.items()},
+        "flight_ms": median_ms(flight_seconds),
+        "qps": (len(ids) * rounds / total) if total else float("inf"),
+        "hit_rates": QueryCache.hit_rates(before, after),
+    }
+
+
+def _check_reference(reference: Dict[str, list], query_id: str, result,
+                     mode: str, check_rows: bool) -> None:
+    if not check_rows:
+        return
+    rows = result.rows()
+    expected = reference.setdefault(query_id, rows)
+    if rows != expected:
+        raise AssertionError(
+            f"cache mode {mode!r} changed the result of {query_id}")
+
+
+def qps_rows(times: Dict[tuple, dict]) -> List[List]:
+    """``[backend, workers, mode, qps, flight ms, x vs cold, hits]``
+    rows for :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    for (backend, workers, mode), cell in times.items():
+        hit_note = " ".join(
+            f"{tier}:{rate * 100:.0f}%"
+            for tier, rate in sorted(cell["hit_rates"].items())) or "-"
+        rows.append([backend, workers, mode, cell["qps"],
+                     cell["flight_ms"], cell["speedup_vs_cold"], hit_note])
+    return rows
+
+
+def qps_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
+                sf: Optional[float] = None,
+                repeat_rounds: Optional[int] = None) -> dict:
+    """The ``BENCH_*.json`` payload for a qps sweep."""
+    cells = []
+    for (backend, workers, mode), cell in times.items():
+        cells.append({
+            "backend": backend,
+            "workers": workers,
+            "mode": mode,
+            "qps": cell["qps"],
+            "flight_ms": cell["flight_ms"],
+            "speedup_vs_cold": cell["speedup_vs_cold"],
+            "per_query_median_ms": cell["per_query_ms"],
+            "cache_hit_rates": cell["hit_rates"],
+        })
+    payload = {"queries": list(query_ids), "cells": cells}
+    if sf is not None:
+        payload["scale_factor"] = sf
+    if repeat_rounds is not None:
+        payload["rounds"] = repeat_rounds
+    return payload
 
 
 def breakdown_rows(breakdown: Dict[str, Dict[str, float]]) -> List[List]:

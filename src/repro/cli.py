@@ -8,13 +8,20 @@ Subcommands::
     astore explain ssb.npz "SELECT ..."      # operator DAG + decisions
     astore ssb ssb.npz                       # run all 13 SSB queries
     astore bench ssb.npz                     # backend x workers scaling sweep
+    astore bench ssb.npz --mode qps          # cold vs warm-cache throughput
+    astore cache ssb.npz                     # per-tier cache hit statistics
     astore validate ssb.npz                  # referential-integrity check
 
 ``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
 and ``--workers N`` — the ``process`` backend shards the fact table over
-worker processes attached to a shared-memory column arena.  ``query
---breakdown`` additionally prints the per-operator timing breakdown of
-the execution.  Also runnable as ``python -m repro ...``.
+worker processes attached to a shared-memory column arena — plus
+``--no-cache`` to disable the mutation-stamped query cache.  ``query
+--breakdown`` additionally prints the stage and per-operator timing
+breakdowns (with ``--repeat N`` the last, warm execution is reported:
+near-zero leaf time on a plan-cache hit).  ``bench`` records the
+detected core count in its output header so recorded sweeps stay
+interpretable, and ``--json`` writes a machine-readable ``BENCH_*.json``
+record.  Also runnable as ``python -m repro ...``.
 """
 
 from __future__ import annotations
@@ -66,7 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the plan instead of executing")
     query.add_argument("--breakdown", action="store_true",
-                       help="also print the per-operator timing breakdown")
+                       help="also print the stage + per-operator timing "
+                            "breakdowns and cache events")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="run the query N times (warming the cache) and "
+                            "report the last execution")
+    query.add_argument("--no-cache", action="store_true",
+                       help="disable the mutation-stamped query cache")
     query.add_argument("--csv", metavar="PATH",
                        help="also write the result to a CSV file")
     query.add_argument("--limit", type=int, default=20,
@@ -88,20 +101,54 @@ def build_parser() -> argparse.ArgumentParser:
     ssb.add_argument("--workers", type=int, default=1)
     ssb.add_argument("--backend", choices=sorted(BACKENDS),
                      default="serial")
+    ssb.add_argument("--no-cache", action="store_true",
+                     help="disable the mutation-stamped query cache")
 
     bench = sub.add_parser(
         "bench",
-        help="backend x workers scaling sweep over the SSB queries")
+        help="scaling or qps (cold vs warm cache) sweep over SSB queries")
     bench.add_argument("database", help="a .npz archive of an SSB database")
-    bench.add_argument("--backends", default="serial,thread,process",
-                       help="comma-separated BACKENDS names")
+    bench.add_argument("--mode", choices=("scaling", "qps"),
+                       default="scaling",
+                       help="scaling: backend x workers best-of sweep; "
+                            "qps: repeated-flight throughput, cold vs "
+                            "warm-cache")
+    bench.add_argument("--backends", default=None,
+                       help="comma-separated BACKENDS names (default: "
+                            "serial,thread,process for scaling; serial "
+                            "for qps)")
     bench.add_argument("--workers", default="1,2,4",
                        help="comma-separated worker counts")
     bench.add_argument("--queries", default=None,
                        help="comma-separated SSB query ids (default: all)")
-    bench.add_argument("--repeat", type=int, default=3)
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="best-of repeats per cell (scaling mode)")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="measured flights per cell (qps mode)")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="scaling mode: disable the query cache")
     bench.add_argument("--out", metavar="PATH",
                        help="also write the report to a file")
+    bench.add_argument("--json", metavar="PATH",
+                       help="also write a machine-readable BENCH_*.json "
+                            "record")
+
+    cache = sub.add_parser(
+        "cache",
+        help="run SSB flights through the query cache and print per-tier "
+             "hit/miss/bytes statistics")
+    cache.add_argument("database", help="a .npz archive of an SSB database")
+    cache.add_argument("--queries", default=None,
+                       help="comma-separated SSB query ids (default: all)")
+    cache.add_argument("--rounds", type=int, default=2,
+                       help="how many flights to run (first is cold)")
+    cache.add_argument("--variant", choices=sorted(VARIANTS),
+                       default="AIRScan_C_P_G")
+    cache.add_argument("--workers", type=int, default=1)
+    cache.add_argument("--backend", choices=sorted(BACKENDS),
+                       default="serial")
+    cache.add_argument("--no-serve", action="store_true",
+                       help="disable the result (serving) tier")
 
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
@@ -133,11 +180,13 @@ def _dispatch(args) -> int:
     if args.command == "query":
         db = load_database(args.database)
         with AStoreEngine.variant(db, args.variant, workers=args.workers,
-                                  parallel_backend=args.backend) as engine:
+                                  parallel_backend=args.backend,
+                                  use_cache=not args.no_cache) as engine:
             if args.explain:
                 print(engine.explain(args.sql))
                 return 0
-            result = engine.query(args.sql)
+            for _ in range(max(1, args.repeat)):
+                result = engine.query(args.sql)
         shown = result.rows()[: args.limit]
         print(format_table(
             f"{len(result)} rows ({result.stats.total_seconds * 1e3:.2f} ms,"
@@ -146,11 +195,20 @@ def _dispatch(args) -> int:
         if len(result) > args.limit:
             print(f"... {len(result) - args.limit} more rows")
         if args.breakdown:
+            stats = result.stats
+            stages = [["leaf", ms(stats.leaf_seconds)],
+                      ["scan", ms(stats.scan_seconds)],
+                      ["aggregation", ms(stats.aggregation_seconds)],
+                      ["total", ms(stats.total_seconds)]]
+            print(format_table("stage breakdown", ["stage", "ms"], stages))
             rows = [[label, ms(seconds)]
-                    for label, seconds in result.stats.operator_breakdown()]
+                    for label, seconds in stats.operator_breakdown()]
             print(format_table(
-                f"operator breakdown ({result.stats.morsels} morsels)",
+                f"operator breakdown ({stats.morsels} morsels)",
                 ["operator", "ms"], rows))
+            summary = stats.cache_summary()
+            if summary:
+                print(f"cache: {summary}")
         if args.csv:
             dump_csv(result, args.csv)
             print(f"wrote {args.csv}")
@@ -167,7 +225,8 @@ def _dispatch(args) -> int:
 
         db = load_database(args.database)
         with AStoreEngine.variant(db, args.variant, workers=args.workers,
-                                  parallel_backend=args.backend) as engine:
+                                  parallel_backend=args.backend,
+                                  use_cache=not args.no_cache) as engine:
             rows = []
             for query_id, sql in SSB_QUERIES.items():
                 seconds, result = best_of(lambda: engine.query(sql),
@@ -176,35 +235,16 @@ def _dispatch(args) -> int:
         rows.append(["AVG", "", sum(r[2] for r in rows) / len(rows)])
         print(format_table(
             f"SSB with {args.variant} ({args.backend}, "
-            f"workers={args.workers})",
+            f"workers={args.workers}, "
+            f"cache {'off' if args.no_cache else 'on: repeats are warm'})",
             ["query", "groups", "best ms"], rows))
         return 0
 
     if args.command == "bench":
-        from .bench import backend_scaling_sweep, scaling_rows
-        from .workloads import SSB_QUERIES
+        return _dispatch_bench(args)
 
-        db = load_database(args.database)
-        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-        worker_counts = [int(w) for w in args.workers.split(",")]
-        query_ids = ([q.strip() for q in args.queries.split(",")]
-                     if args.queries else list(SSB_QUERIES))
-        times = backend_scaling_sweep(
-            backends=backends, worker_counts=worker_counts,
-            query_ids=query_ids, repeat=args.repeat, db=db)
-        speedup_base = ("serial" if any(b == "serial" for b, _ in times)
-                        else "first cell")
-        text = format_table(
-            f"backend scaling sweep over {db.name} (best of {args.repeat})",
-            ["backend", "workers"] + query_ids
-            + ["AVG ms", f"speedup vs {speedup_base}"],
-            scaling_rows(times))
-        print(text)
-        if args.out:
-            with open(args.out, "w") as fh:
-                fh.write(text + "\n")
-            print(f"wrote {args.out}")
-        return 0
+    if args.command == "cache":
+        return _dispatch_cache(args)
 
     if args.command == "validate":
         db = load_database(args.database)
@@ -217,6 +257,114 @@ def _dispatch(args) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_bench(args) -> int:
+    """``astore bench``: the scaling or qps sweep, with host header.
+
+    Every report leads with :func:`repro.bench.host_note` (detected
+    usable core count + platform), so a sweep recorded on a constrained
+    container can never masquerade as a core-scaling measurement.
+    """
+    from .bench import (
+        backend_scaling_sweep,
+        host_note,
+        qps_payload,
+        qps_rows,
+        qps_sweep,
+        scaling_rows,
+        write_bench_json,
+    )
+    from .workloads import SSB_QUERIES
+
+    db = load_database(args.database)
+    default_backends = ("serial,thread,process" if args.mode == "scaling"
+                        else "serial")
+    backends = [b.strip() for b in (args.backends or default_backends)
+                .split(",") if b.strip()]
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    query_ids = ([q.strip() for q in args.queries.split(",")]
+                 if args.queries else list(SSB_QUERIES))
+
+    if args.mode == "qps":
+        times = qps_sweep(backends=backends, worker_counts=worker_counts,
+                          query_ids=query_ids, rounds=args.rounds, db=db)
+        text = host_note() + "\n" + format_table(
+            f"qps sweep over {db.name} "
+            f"({len(query_ids)}-query flight, {args.rounds} measured "
+            f"rounds, medians)",
+            ["backend", "workers", "mode", "qps", "flight ms", "x vs cold",
+             "cache hit rates"],
+            qps_rows(times))
+        payload = qps_payload(times, query_ids, repeat_rounds=args.rounds)
+        benchmark = "qps_sweep"
+    else:
+        times = backend_scaling_sweep(
+            backends=backends, worker_counts=worker_counts,
+            query_ids=query_ids, repeat=args.repeat, db=db,
+            use_cache=not args.no_cache)
+        speedup_base = ("serial" if any(b == "serial" for b, _ in times)
+                        else "first cell")
+        text = host_note() + "\n" + format_table(
+            f"backend scaling sweep over {db.name} (best of {args.repeat}, "
+            f"cache {'off' if args.no_cache else 'on: repeats are warm'})",
+            ["backend", "workers"] + query_ids
+            + ["AVG ms", f"speedup vs {speedup_base}"],
+            scaling_rows(times))
+        payload = {
+            "queries": query_ids,
+            "repeat": args.repeat,
+            "cache": not args.no_cache,
+            "cells": [{"backend": backend, "workers": workers,
+                       "per_query_best_ms": dict(cell)}
+                      for (backend, workers), cell in times.items()],
+        }
+        benchmark = "backend_scaling"
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        write_bench_json(args.json, benchmark, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _dispatch_cache(args) -> int:
+    """``astore cache``: flights through the cache + per-tier statistics."""
+    from .bench import host_note
+    from .workloads import SSB_QUERIES
+
+    db = load_database(args.database)
+    query_ids = ([q.strip() for q in args.queries.split(",")]
+                 if args.queries else list(SSB_QUERIES))
+    flights = []
+    with AStoreEngine.variant(db, args.variant, workers=args.workers,
+                              parallel_backend=args.backend,
+                              cache_results=not args.no_serve) as engine:
+        import time as _time
+
+        for round_no in range(max(1, args.rounds)):
+            t0 = _time.perf_counter()
+            for query_id in query_ids:
+                engine.query(SSB_QUERIES[query_id])
+            flights.append([
+                round_no + 1, "cold" if round_no == 0 else "warm",
+                ms(_time.perf_counter() - t0)])
+        stats_rows = engine.cache.stats_rows()
+    print(host_note())
+    print(format_table(
+        f"{len(query_ids)}-query SSB flights over {db.name} "
+        f"({args.variant}, {args.backend}"
+        f"{', serving tier off' if args.no_serve else ''})",
+        ["flight", "cache", "ms"], flights))
+    print(format_table(
+        "query cache tiers",
+        ["tier", "entries", "hits", "misses", "hit %", "invalidated",
+         "KiB"],
+        stats_rows))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,7 +1,9 @@
 """The AIRScan execution engine and its shared operator layer."""
 
 from .aggregate import AggregationState, array_aggregate, finalize, hash_aggregate
+from .cache import QueryCache, query_cache_for, table_stamps
 from .executor import AStoreEngine, EngineOptions, VARIANTS, rewrite_for_options
+from .scratch import ScratchPool, local_pool
 from .expression import evaluate_measure, evaluate_predicate, like_to_regex
 from .grouping import GroupAxis, build_axes, combine_codes, total_groups
 from .operators import (
@@ -48,6 +50,8 @@ __all__ = [
     "hash_aggregate", "IntersectScan", "like_to_regex", "MaskFilter",
     "MaterializeColumns", "materialize", "Morsel", "MorselDispatcher",
     "Operator", "PositionalProvider", "PredicateFilter", "Project",
-    "QueryResult", "result_to_table", "rewrite_for_options", "sort_indices",
-    "total_groups", "universal_provider", "ValueGather", "VARIANTS",
+    "QueryCache", "query_cache_for", "QueryResult", "result_to_table",
+    "rewrite_for_options", "ScratchPool", "local_pool", "sort_indices",
+    "table_stamps", "total_groups", "universal_provider", "ValueGather",
+    "VARIANTS",
 ]

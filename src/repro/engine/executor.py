@@ -44,6 +44,15 @@ from ..errors import ExecutionError
 from ..plan.binder import LogicalPlan, bind
 from ..plan.optimizer import CacheModel, OpSpec, PhysicalPlan, optimize
 from .aggregate import AggregationState, finalize
+from .cache import (
+    QueryCache,
+    axis_nbytes,
+    bound_nbytes,
+    parse_cached,
+    query_cache_for,
+    query_fingerprint,
+    table_stamps,
+)
 from .grouping import GroupAxis, build_axes, decode_group_columns
 from .operators import (
     BACKENDS,
@@ -84,7 +93,13 @@ class EngineOptions:
       plans over shared-memory shards);
     * ``morsel_rows`` — split each column-scan partition into fixed-size
       morsels (0 = one morsel per partition, the paper's layout);
-    * ``chunk_rows`` — block size of the row-wise scan variants.
+    * ``chunk_rows`` — block size of the row-wise scan variants;
+    * ``use_cache`` — consult the database's shared, mutation-stamped
+      :class:`~repro.engine.cache.QueryCache` for compile artifacts
+      (plans, leaf products, group axes);
+    * ``cache_results`` — additionally serve exact query repeats from
+      the cache's result tier (the serving tier; stamped like every
+      other tier, so mutations invalidate instead of going stale).
     """
 
     scan: str = "column"
@@ -97,6 +112,8 @@ class EngineOptions:
     chunk_rows: int = 65536
     sample_size: int = 4096
     variant_name: str = "AIRScan_C_P_G"
+    use_cache: bool = True
+    cache_results: bool = False
 
 
 #: The five query processors of the paper's Table 6.
@@ -176,6 +193,10 @@ class AStoreEngine:
         self.db = db
         self.options = options or EngineOptions()
         self._shard_backend: Optional[ProcessShardBackend] = None
+        # one cache is shared per database object, so every engine (and
+        # variant) over the same data reuses dimension scans and axes
+        self.cache: Optional[QueryCache] = (
+            query_cache_for(db) if self.options.use_cache else None)
 
     @classmethod
     def variant(cls, db: Database, name: str, **overrides) -> "AStoreEngine":
@@ -232,6 +253,19 @@ class AStoreEngine:
 
     # -- compilation --------------------------------------------------------
 
+    def _cache_token(self) -> str:
+        """The compile-relevant options, canonicalized for fingerprints.
+
+        Only fields that change the *compiled artifact* participate —
+        ``workers``/``parallel_backend`` affect how a bound plan is
+        dispatched, not what it contains, so engines differing only in
+        backend share plan-tier entries.
+        """
+        o = self.options
+        return (f"{o.variant_name}|{o.scan}|{o.use_predicate_filter}|"
+                f"{o.use_array_aggregation}|{o.cache.llc_bytes}|"
+                f"{o.morsel_rows}|{o.chunk_rows}|{o.sample_size}")
+
     def compile(self, query, snapshot: Optional[int] = None) -> BoundQuery:
         """Compile *query* into a portable bound plan.
 
@@ -240,13 +274,50 @@ class AStoreEngine:
         the plan metadata.  It can be executed here
         (:meth:`run_compiled`), pickled to another process, or rebuilt
         against any attached copy of the same database.
-        """
-        return self._compile(self.plan(query), snapshot)
 
-    def _compile(self, physical: PhysicalPlan,
-                 snapshot: Optional[int]) -> BoundQuery:
+        With the query cache active, a repeated (or merely textually
+        different but structurally identical) query returns the *same*
+        bound-plan object, revalidated against the mutation stamps of
+        every table it touches; ``leaf_seconds`` then reflects the
+        lookup, not a recompile.
+        """
+        if self.cache is None:
+            return self._compile(self.plan(query), snapshot)
         t0 = time.perf_counter()
-        leaf = self._bind_leaf(physical, snapshot)
+        stmt = parse_cached(query) if isinstance(query, str) else query
+        key = (query_fingerprint(stmt, self._cache_token()), snapshot)
+        bound = self.cache.get("plan", key, self.db)
+        if bound is not None:
+            # Same object on purpose: shard backends memoize the plan
+            # pickle by object identity, and any value-shared key would
+            # risk shipping stale bytes after a recompile.  The cost is
+            # that these two bookkeeping fields are shared — a later
+            # compile of the same query rewrites them, so stats read
+            # from a *held* plan can reflect the newest lookup.  That
+            # skews microsecond-level timings only, never results.
+            bound.leaf_seconds = time.perf_counter() - t0
+            bound.cache_events = {"plan_hits": 1}
+            return bound
+        # stamps are captured BEFORE compiling: if a writer mutates a
+        # table mid-compile, the stored entry carries the pre-mutation
+        # stamp and the next lookup discards it — stamped-after, a
+        # stale artifact could wear a fresh stamp forever
+        pre_stamps = {name: table.mutation_count
+                      for name, table in self.db.tables.items()}
+        events = {"plan_misses": 1}
+        bound = self._compile(self.plan(stmt), snapshot, events)
+        bound.cache_key = key
+        self.cache.put("plan", key, bound,
+                       tuple(sorted((name, pre_stamps[name])
+                                    for name in set(bound.logical.tables))),
+                       bound_nbytes(bound))
+        return bound
+
+    def _compile(self, physical: PhysicalPlan, snapshot: Optional[int],
+                 events: Optional[Dict[str, int]] = None) -> BoundQuery:
+        t0 = time.perf_counter()
+        events = {} if events is None else events
+        leaf = self._bind_leaf(physical, snapshot, events)
         logical = physical.logical
         specs = rewrite_for_options(physical.pipeline, self.options, logical)
         bound = BoundQuery(
@@ -259,6 +330,7 @@ class AStoreEngine:
             morsel_rows=self.options.morsel_rows,
             chunk_rows=self.options.chunk_rows,
             use_array_hint=bool(physical.use_array_agg),
+            cache_events=events,
         )
         bound.leaf_seconds = time.perf_counter() - t0
         return bound
@@ -266,8 +338,8 @@ class AStoreEngine:
     # -- execution ----------------------------------------------------------
 
     def query(self, query, snapshot: Optional[int] = None) -> QueryResult:
-        """Plan and execute *query*; see :meth:`execute`."""
-        return self.execute(self.plan(query), snapshot=snapshot)
+        """Compile (through the cache, when enabled) and execute *query*."""
+        return self.run_compiled(self.compile(query, snapshot))
 
     def execute(self, physical: PhysicalPlan,
                 snapshot: Optional[int] = None) -> QueryResult:
@@ -276,10 +348,25 @@ class AStoreEngine:
 
     def run_compiled(self, bound: BoundQuery) -> QueryResult:
         """Execute a (possibly unpickled) bound plan on this engine's
-        database, honouring the configured backend."""
+        database, honouring the configured backend.
+
+        With ``cache_results`` enabled, an exact repeat whose mutation
+        stamps still hold is served straight from the result tier."""
+        serve = (self.cache is not None and self.options.cache_results
+                 and bound.cache_key is not None)
+        serve_stamps = None
         t_total = time.perf_counter()
+        if serve:
+            hit = self.cache.get("result", bound.cache_key, self.db)
+            if hit is not None:
+                return _served_result(
+                    hit, time.perf_counter() - t_total + bound.leaf_seconds)
+            # pre-execution stamps: a mutation racing this execution
+            # leaves the stored result stamped stale, never stale-fresh
+            serve_stamps = table_stamps(self.db, bound.logical.tables)
         stats = ExecutionStats(variant=bound.variant)
         stats.leaf_seconds = bound.leaf_seconds
+        stats.cache_events = dict(bound.cache_events)
         for dim in bound.leaf.filters:
             stats.filter_modes[dim] = "vector"
         for dim in bound.leaf.probes:
@@ -300,42 +387,95 @@ class AStoreEngine:
         # total covers all three phases (phase sums never exceed it)
         stats.total_seconds = (time.perf_counter() - t_total
                                + bound.leaf_seconds)
+        if serve:
+            nbytes = sum(int(getattr(col, "nbytes", 0))
+                         for col in result.columns.values())
+            self.cache.put("result", bound.cache_key, result,
+                           serve_stamps, nbytes)
         return result
 
     # -- stage 1: leaf processing (binding) ----------------------------------
 
-    def _bind_leaf(self, physical: PhysicalPlan,
-                   snapshot: Optional[int]) -> LeafProducts:
-        """Evaluate dimension predicates and build group axes once."""
+    def _bind_leaf(self, physical: PhysicalPlan, snapshot: Optional[int],
+                   events: Optional[Dict[str, int]] = None) -> LeafProducts:
+        """Evaluate dimension predicates and build group axes once.
+
+        Both products are consulted against (and stored into) the query
+        cache per artifact: a packed predicate vector is keyed by its
+        canonical bound predicate — so *different* queries sharing a
+        dimension slice (the SSB query families) reuse one dimension
+        scan — and group axes are keyed by their key set.  Every entry
+        is stamped with the mutation counts of the tables it read.
+        """
+        events = {} if events is None else events
         logical = physical.logical
         leaf = LeafProducts()
+        cache = self.cache
         for dd in physical.dim_decisions:
             if not dd.use_filter:
                 leaf.probes[dd.first_dim] = dd.predicate
                 leaf.probe_selectivity[dd.first_dim] = dd.estimated_selectivity
                 continue
+            key = involved = stamps = None
+            if cache is not None:
+                # the mask gathers through the whole subtree reachable
+                # from the first-level dimension, so all of it stamps
+                # (and keys) the entry; stamps are read before the
+                # evaluation so a concurrent mutation invalidates
+                involved = tuple(sorted(
+                    {dd.first_dim} | logical.subtree_of(dd.first_dim)))
+                key = ("pf", dd.first_dim, involved, snapshot, dd.predicate)
+                stamps = table_stamps(self.db, involved)
+                hit = cache.get("leaf", key, self.db)
+                if hit is not None:
+                    pf, density = hit
+                    leaf.filters[dd.first_dim] = pf
+                    leaf.filter_density[dd.first_dim] = density
+                    _bump(events, "leaf_hits")
+                    continue
             provider = dimension_provider(self.db, dd.first_dim, logical.paths)
             mask = evaluate_predicate(dd.predicate, provider)
             dim = self.db.table(dd.first_dim)
             if snapshot is not None or dim.has_deletes:
                 mask = mask & dim.live_mask(snapshot)
             pf = PredicateFilter(mask)
+            density = pf.density
             leaf.filters[dd.first_dim] = pf
-            leaf.filter_density[dd.first_dim] = pf.density
+            leaf.filter_density[dd.first_dim] = density
+            if cache is not None:
+                cache.put("leaf", key, (pf, density), stamps, pf.nbytes)
+                _bump(events, "leaf_misses")
         if logical.group_keys and not logical.is_projection:
-            leaf.axes = build_axes(self.db, logical)
+            leaf.axes = build_axes(self.db, logical,
+                                   memo=self._axis_memo(events))
         return leaf
+
+    def _axis_memo(self, events: Dict[str, int]):
+        """A ``build_axes`` memo backed by the cache's axis tier."""
+        cache = self.cache
+        if cache is None:
+            return None
+
+        def memo(key_id: tuple, involved, build):
+            axis = cache.get("axis", key_id, self.db)
+            if axis is not None:
+                _bump(events, "axis_hits")
+                return axis
+            stamps = table_stamps(self.db, involved)  # pre-build
+            axis = build()
+            cache.put("axis", key_id, axis, stamps, axis_nbytes(axis))
+            _bump(events, "axis_misses")
+            return axis
+
+        return memo
 
     # -- column-wise execution ------------------------------------------------
 
     def _run_column_scan(self, bound: BoundQuery, base: np.ndarray,
                          stats: ExecutionStats) -> QueryResult:
         dispatcher = MorselDispatcher(self.options.parallel_backend)
-        morsels = [
-            bound.morsel(self.db, chunk)
-            for part in dispatcher.partition(base, self.options.workers)
-            for chunk in dispatcher.chunk(part, self.options.morsel_rows)
-        ]
+        morsels = bound.make_morsels(self.db, base, self.options.workers,
+                                     bound.morsel_rows)
         stats.morsels = len(morsels)
 
         scanned = dispatcher.run(morsels, bound.scan_pipeline)
@@ -375,8 +515,7 @@ class AStoreEngine:
         interpreter loop.
         """
         dispatcher = MorselDispatcher("serial")
-        morsels = [bound.morsel(self.db, chunk) for chunk in
-                   dispatcher.chunk(base, self.options.chunk_rows)]
+        morsels = bound.make_morsels(self.db, base, 1, bound.chunk_rows)
         stats.morsels = len(morsels)
 
         results = dispatcher.run(morsels, bound.row_pipeline)
@@ -408,8 +547,9 @@ class AStoreEngine:
     def _run_projection(self, bound: BoundQuery, base: np.ndarray,
                         stats: ExecutionStats) -> QueryResult:
         dispatcher = MorselDispatcher("serial")
-        results = dispatcher.run([bound.morsel(self.db, base)],
-                                 bound.projection_pipeline)
+        results = dispatcher.run(
+            bound.make_morsels(self.db, base, 1, 0, allow_identity=False),
+            bound.projection_pipeline)
         merge_timings(stats, results)
         chunks = [value for result in results
                   for value in result.finishes.values()]
@@ -504,6 +644,30 @@ class AStoreEngine:
             ordered = {name: values[: logical.limit]
                        for name, values in ordered.items()}
         return QueryResult(logical.output_order, ordered, stats)
+
+
+def _bump(events: Dict[str, int], key: str) -> None:
+    events[key] = events.get(key, 0) + 1
+
+
+def _served_result(cached: QueryResult, seconds: float) -> QueryResult:
+    """A result-tier hit: the cached columns under fresh statistics.
+
+    Column arrays are shared with the cached copy (results are treated
+    as read-only everywhere in the repo); counters carry over, timings
+    reflect the lookup — which is the point of the serving tier.
+    """
+    src = cached.stats
+    stats = ExecutionStats(variant=src.variant)
+    stats.rows_scanned = src.rows_scanned
+    stats.rows_selected = src.rows_selected
+    stats.groups = src.groups
+    stats.morsels = src.morsels
+    stats.used_array_aggregation = src.used_array_aggregation
+    stats.filter_modes = dict(src.filter_modes)
+    stats.total_seconds = seconds
+    stats.cache_events = {"result_hits": 1}
+    return QueryResult(cached.column_order, cached.columns, stats)
 
 
 def _concat_projection(logical: LogicalPlan,

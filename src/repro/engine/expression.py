@@ -104,16 +104,22 @@ def _eval(expr: BoundExpression, provider: PositionalProvider):
         mask = _like(expr, provider)
         return ArraySlice(~mask if expr.negated else mask)
     if isinstance(expr, BoundAnd):
+        # accumulate in place into an owned copy of the first term's
+        # mask: one allocation however many conjuncts (a term's mask may
+        # alias stored column data, so the copy is also what makes the
+        # in-place fold safe)
         out = None
         for term in expr.terms:
             mask = evaluate_predicate(term, provider)
-            out = mask if out is None else (out & mask)
+            out = (np.array(mask, dtype=bool) if out is None
+                   else np.logical_and(out, mask, out=out))
         return ArraySlice(out)
     if isinstance(expr, BoundOr):
         out = None
         for term in expr.terms:
             mask = evaluate_predicate(term, provider)
-            out = mask if out is None else (out | mask)
+            out = (np.array(mask, dtype=bool) if out is None
+                   else np.logical_or(out, mask, out=out))
         return ArraySlice(out)
     if isinstance(expr, BoundNot):
         return ArraySlice(~evaluate_predicate(expr.term, provider))

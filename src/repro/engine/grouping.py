@@ -92,12 +92,20 @@ def single_axis(key: GroupKey, card: int, values: np.ndarray,
                      columns={key.name: values}, **kwargs)
 
 
-def build_axes(db: Database, logical: LogicalPlan) -> List[GroupAxis]:
+def build_axes(db: Database, logical: LogicalPlan,
+               memo=None) -> List[GroupAxis]:
     """Build the group axes, fusing same-path dimension keys.
 
     Axes are emitted in GROUP BY order of their first constituent key;
     the output columns themselves are reassembled by name, so fusing
     never changes the result, only the Measure Index domain.
+
+    Axis encodings are *global* — independent of which fact rows any
+    query selects — so they are exactly shareable between queries.
+    ``memo`` taps into that: a callable ``memo(key, involved_tables,
+    build)`` that may return a cached axis for *key* (validated against
+    the mutation stamps of *involved_tables*) or call ``build()`` and
+    remember it (see :mod:`repro.engine.cache`).
     """
     axes: List[GroupAxis] = []
     dim_batches: Dict[str, List[GroupKey]] = {}
@@ -112,9 +120,22 @@ def build_axes(db: Database, logical: LogicalPlan) -> List[GroupAxis]:
             dim_batches.setdefault(first_dim, []).append(key)
     for kind, payload in order:
         if kind == "fact":
-            axes.append(_fact_axis(db, logical, payload))
+            def build(payload=payload):
+                return _fact_axis(db, logical, payload)
+            involved = (logical.root,)
+            key_id = ("fact", logical.root, payload)
         else:
-            axes.append(_dim_axis(db, logical, payload, dim_batches[payload]))
+            keys = tuple(dim_batches[payload])
+
+            def build(payload=payload, keys=keys):
+                return _dim_axis(db, logical, payload, list(keys))
+            # the axis reads the whole subtree reachable through the
+            # first-level dimension (snowflake keys gather through the
+            # intermediate AIR columns), so all of it stamps the entry
+            involved = tuple(sorted(
+                {payload} | logical.subtree_of(payload)))
+            key_id = ("dim", payload, keys, involved)
+        axes.append(build() if memo is None else memo(key_id, involved, build))
     return axes
 
 
@@ -188,12 +209,18 @@ def _first_dim_of(logical: LogicalPlan, table: str) -> str:
 
 def combine_codes(code_arrays: Sequence[np.ndarray],
                   cards: Sequence[int]) -> np.ndarray:
-    """Ravel per-axis codes into the flat Measure Index."""
+    """Ravel per-axis codes into the flat Measure Index.
+
+    One owned allocation (the output), however many axes: later axes
+    fold in with in-place multiply-add instead of per-axis temporaries —
+    this runs once per morsel on every selected row.
+    """
     if not code_arrays:
         raise ExecutionError("no group axes to combine")
-    composite = code_arrays[0].astype(np.int64)
+    composite = code_arrays[0].astype(np.int64)  # astype copies: owned
     for codes, card in zip(code_arrays[1:], cards[1:]):
-        composite = composite * np.int64(card) + codes.astype(np.int64)
+        np.multiply(composite, np.int64(card), out=composite)
+        np.add(composite, codes, out=composite, casting="unsafe")
     return composite
 
 

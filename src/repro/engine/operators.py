@@ -42,6 +42,7 @@ from .aggregate import (
 )
 from .expression import evaluate_measure, evaluate_predicate
 from .grouping import GroupAxis, combine_codes, single_axis
+from .scratch import local_pool
 from .slice import ArraySlice
 
 
@@ -60,9 +61,15 @@ class PredicateFilter:
         self._mask = np.ascontiguousarray(mask, dtype=bool)
         self.packed = Bitmap.from_bool_array(self._mask)
 
-    def probe(self, positions: np.ndarray) -> np.ndarray:
-        """Which of the given dimension positions pass the predicate."""
-        return self._mask[positions]
+    def probe(self, positions: np.ndarray,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Which of the given dimension positions pass the predicate.
+
+        With *out* (a bool array of matching length, e.g. a scratch
+        buffer) the gather writes in place instead of allocating."""
+        if out is None:
+            return self._mask[positions]
+        return np.take(self._mask, positions, out=out)
 
     def __getstate__(self):
         # Only the packed vector crosses process boundaries (it is what the
@@ -92,15 +99,20 @@ class Morsel:
 
     ``positions`` are *global* row ids of the root table; ``provider``
     resolves ``(table, column)`` aligned with those rows (positional AIR
-    gathers for A-Store, hash-join probes for the baselines).  ``codes``
-    carries the composite Measure Index once :class:`GroupCombine` has
-    run, and ``pending`` holds a deferred keep-mask for pipelines that
-    evaluate every predicate before shrinking (the row-scan variant).
+    gathers for A-Store, hash-join probes for the baselines).
+    ``positions=None`` is the *identity* morsel — every physical row of
+    the root table, in order — which lets the provider serve column
+    slices as zero-copy views and the first refinement skip the
+    position gather (the common whole-table scan with no deletes).
+    ``codes`` carries the composite Measure Index once
+    :class:`GroupCombine` has run, and ``pending`` holds a deferred
+    keep-mask for pipelines that evaluate every predicate before
+    shrinking (the row-scan variant).
     """
 
     __slots__ = ("positions", "provider", "codes", "pending")
 
-    def __init__(self, positions: np.ndarray, provider,
+    def __init__(self, positions: Optional[np.ndarray], provider,
                  codes: Optional[np.ndarray] = None,
                  pending: Optional[np.ndarray] = None):
         self.positions = positions
@@ -109,13 +121,18 @@ class Morsel:
         self.pending = pending
 
     def __len__(self) -> int:
+        if self.positions is None:
+            return self.provider.length
         return len(self.positions)
 
     def refine(self, keep: np.ndarray) -> "Morsel":
-        """Shrink by a boolean keep-mask aligned with the current rows."""
+        """Shrink by a boolean keep-mask aligned with the current rows.
+
+        *keep* may be a scratch buffer: it is consumed here (the
+        surviving index and position arrays are owned allocations)."""
         idx = np.flatnonzero(np.asarray(keep, dtype=bool))
         return Morsel(
-            self.positions[idx],
+            idx if self.positions is None else self.positions[idx],
             self.provider.rebase(idx),
             codes=None if self.codes is None else self.codes[idx],
         )
@@ -206,8 +223,12 @@ class FilterLike(Operator):
             return morsel
         keep = self.mask(morsel)
         if self.defer:
-            morsel.pending = (keep if morsel.pending is None
-                              else morsel.pending & keep)
+            # ``keep`` may be a scratch buffer (or alias stored data):
+            # own a copy on first accumulation, then fold in place
+            if morsel.pending is None:
+                morsel.pending = np.array(keep, dtype=bool)
+            else:
+                np.logical_and(morsel.pending, keep, out=morsel.pending)
             return morsel
         return morsel.refine(keep)
 
@@ -259,10 +280,14 @@ class AIRProbe(FilterLike):
 
     def mask(self, morsel: Morsel) -> np.ndarray:
         if self.mode == "vector":
-            return self.payload.probe(morsel.provider.positions_for(self.dim))
+            positions = morsel.provider.positions_for(self.dim)
+            return self.payload.probe(
+                positions, out=local_pool().bool_mask(len(positions)))
         if self.mode == "predicate":
             return evaluate_predicate(self.payload, morsel.provider)
-        return morsel.provider.positions_for(self.dim) >= 0
+        positions = morsel.provider.positions_for(self.dim)
+        return np.greater_equal(positions, 0,
+                                out=local_pool().bool_mask(len(positions)))
 
 
 class MaskFilter(FilterLike):
@@ -276,7 +301,10 @@ class MaskFilter(FilterLike):
         self._mask = mask
 
     def mask(self, morsel: Morsel) -> np.ndarray:
-        return self._mask[morsel.positions]
+        if morsel.positions is None:
+            return self._mask  # identity morsel: already aligned
+        return np.take(self._mask, morsel.positions,
+                       out=local_pool().bool_mask(len(morsel)))
 
 
 class ApplyMask(Operator):
@@ -293,11 +321,14 @@ class ApplyMask(Operator):
 class IntersectScan(Operator):
     """Operator-at-a-time scan with full materialization (MonetDB-like).
 
-    Every contained filter is evaluated over the *entire* morsel —
-    no selection-vector short-circuit — and its surviving row ids are
-    materialized as a candidate OID list; the lists are then combined by
-    pairwise sorted intersection (the BAT-join cost profile the paper
-    measures in Tables 3–5).
+    Every contained filter is evaluated over the *entire* morsel — no
+    selection-vector short-circuit, which is the BAT-algebra cost
+    profile the paper measures in Tables 3–5 — and the per-filter
+    candidate sets are intersected positionally over the morsel's row
+    domain with boolean masks.  (An earlier version materialized sorted
+    OID lists and combined them with ``np.intersect1d``, paying a sort
+    per filter per morsel; candidate sets over one morsel share its
+    position domain, so a linear mask AND is the same intersection.)
     """
 
     name = "intersect-scan"
@@ -310,15 +341,14 @@ class IntersectScan(Operator):
     def process(self, morsel: Morsel) -> Morsel:
         if not len(morsel):
             return morsel
-        selected = morsel.positions
-        oid_lists = [morsel.positions[step.mask(morsel)]
-                     for step in self.steps]
-        for oids in oid_lists:
-            selected = np.intersect1d(selected, oids, assume_unique=True)
-        keep = np.searchsorted(morsel.positions, selected)
-        out = np.zeros(len(morsel), dtype=bool)
-        out[keep] = True
-        return morsel.refine(out)
+        keep: Optional[np.ndarray] = None
+        for step in self.steps:
+            mask = step.mask(morsel)  # full-morsel evaluation, always
+            keep = (np.array(mask, dtype=bool) if keep is None
+                    else np.logical_and(keep, mask, out=keep))
+        if keep is None:
+            return morsel
+        return morsel.refine(keep)
 
 
 class MaterializeColumns(Operator):

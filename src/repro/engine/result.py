@@ -20,6 +20,12 @@ class ExecutionStats:
     + the aggregation array / hash table).  ``operator_seconds`` breaks
     the same work down per physical operator (summed across morsels),
     and ``morsels`` counts how many morsels the dispatcher ran.
+
+    ``cache_events`` records what the query cache did for this
+    execution: per-tier ``*_hits``/``*_misses`` counters stamped on at
+    compile time (``plan``/``leaf``/``axis``) plus ``result_hits`` when
+    the serving tier answered outright — on a warm plan hit,
+    ``leaf_seconds`` is the cache lookup, not a recompile.
     """
 
     variant: str = ""
@@ -34,6 +40,7 @@ class ExecutionStats:
     used_array_aggregation: bool = False
     filter_modes: Dict[str, str] = field(default_factory=dict)
     operator_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def selectivity(self) -> float:
@@ -44,6 +51,15 @@ class ExecutionStats:
         """Per-operator ``(label, seconds)`` rows, slowest first."""
         return sorted(self.operator_seconds.items(),
                       key=lambda item: item[1], reverse=True)
+
+    def cache_summary(self) -> str:
+        """A compact ``tier hit/miss`` line (empty when nothing fired)."""
+        if not self.cache_events:
+            return ""
+        parts = []
+        for key in sorted(self.cache_events):
+            parts.append(f"{key.replace('_', ' ')}={self.cache_events[key]}")
+        return ", ".join(parts)
 
 
 class QueryResult:

@@ -1,0 +1,85 @@
+"""Per-thread scratch buffers for the morsel hot path.
+
+Every morsel trip through a pipeline used to allocate a fresh boolean
+mask per filter-like operator (the probe gather, the existence check,
+the MVCC mask gather).  With small morsels the allocator — not the
+kernel work — dominates the profile.  This module keeps one growable
+buffer per ``(dtype, slot)`` pair **per thread**, so the serial backend
+reuses the same masks across every morsel of a query, each thread of
+the ``thread`` backend owns its own set, and a ``process`` shard worker
+keeps its buffers warm across queries for the lifetime of the worker.
+
+Lifetime discipline (the reason this is safe):
+
+* a scratch view is valid only until the *next* request for the same
+  ``(dtype, slot)`` on the same thread;
+* operators therefore only hand scratch views to consumers that finish
+  with them inside the same ``process()`` call (``Morsel.refine`` reads
+  the mask once and materializes owned index/position arrays);
+* anything that outlives the operator call — deferred ``pending``
+  masks, group codes, gathered values, aggregation states — is copied
+  into (or built as) an owned array before it is stored.
+
+Requests larger than :data:`MAX_POOLED_ELEMENTS` bypass the pool so a
+one-off huge morsel cannot pin its high-water mark forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Largest request (in elements) served from the pool; bigger buffers are
+#: plain one-shot allocations.
+MAX_POOLED_ELEMENTS = 1 << 22
+
+
+class ScratchPool:
+    """A set of reusable, growable scratch buffers keyed by (dtype, slot).
+
+    ``take(n, dtype, slot)`` returns a length-*n* view of the backing
+    buffer for that key, growing it geometrically when needed.  Two
+    simultaneously-live scratch arrays must use distinct slots.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[np.dtype, int], np.ndarray] = {}
+
+    def take(self, n: int, dtype=np.bool_, slot: int = 0) -> np.ndarray:
+        """A length-*n* scratch view (contents undefined)."""
+        if n > MAX_POOLED_ELEMENTS:
+            return np.empty(n, dtype=dtype)
+        key = (np.dtype(dtype), slot)
+        buf = self._buffers.get(key)
+        if buf is None or len(buf) < n:
+            capacity = max(1024, 1 << int(max(0, n - 1)).bit_length())
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:n]
+
+    def bool_mask(self, n: int, slot: int = 0) -> np.ndarray:
+        """A boolean keep-mask buffer (the common case)."""
+        return self.take(n, np.bool_, slot)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently pooled (for diagnostics)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+_TLS = threading.local()
+
+
+def local_pool() -> ScratchPool:
+    """The calling thread's scratch pool (created on first use)."""
+    pool = getattr(_TLS, "pool", None)
+    if pool is None:
+        pool = _TLS.pool = ScratchPool()
+    return pool

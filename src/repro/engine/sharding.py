@@ -111,7 +111,7 @@ class LeafProducts:
     axes: List[GroupAxis] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(eq=False)
 class BoundQuery:
     """A compiled, portable query: DAG + leaf products + plan metadata.
 
@@ -119,6 +119,18 @@ class BoundQuery:
     its pipelines in-process; the process backend pickles it to workers,
     each of which rebuilds the pipeline against its attached copy of the
     database and runs one horizontal shard.
+
+    ``eq=False`` keeps identity semantics: a bound plan is cached and
+    shipped *by object* (the query cache returns the same instance for
+    repeated queries, which is what lets the shard backend memoize its
+    pickle per plan), so value equality would only invite accidental
+    deep comparisons of leaf products.
+
+    ``cache_key``/``cache_events`` are bookkeeping stamped on by
+    :meth:`repro.engine.executor.AStoreEngine.compile` when the query
+    cache is active: the plan-tier key (which doubles as the result-tier
+    key) and the per-compile hit/miss events folded into
+    :class:`~repro.engine.result.ExecutionStats`.
     """
 
     variant: str
@@ -131,6 +143,8 @@ class BoundQuery:
     chunk_rows: int
     use_array_hint: bool             # the optimizer's §4.3 estimate
     leaf_seconds: float = 0.0        # time spent producing ``leaf``
+    cache_key: Optional[tuple] = None
+    cache_events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ngroups(self) -> int:
@@ -224,9 +238,40 @@ class BoundQuery:
         """Visible root-table row ids (live now, or at the MVCC snapshot)."""
         return visible_positions(db, self.logical.root, self.snapshot)
 
-    def morsel(self, db: Database, positions: np.ndarray) -> Morsel:
+    def morsel(self, db: Database, positions: np.ndarray,
+               full: bool = False) -> Morsel:
+        """A morsel over *positions*; ``full=True`` marks the identity
+        case (every physical root row, in order), which lets the
+        provider serve zero-copy column views and the first refinement
+        skip its position gather."""
+        if full:
+            return Morsel(None, universal_provider(
+                db, self.logical.root, self.logical.paths, None))
         return Morsel(positions, universal_provider(
             db, self.logical.root, self.logical.paths, positions))
+
+    def make_morsels(self, db: Database, base: np.ndarray,
+                     parts: int, morsel_rows: int,
+                     allow_identity: bool = True) -> List[Morsel]:
+        """Partition *base* into morsels, detecting the identity case.
+
+        ``base`` positions are always sorted unique root row ids, so a
+        single chunk covering every physical row *is* the identity
+        selection and gets the zero-copy provider.  ``allow_identity``
+        must be False for pipelines whose *outputs* could pass a fetched
+        slice through unchanged (projections): an identity provider's
+        slices are views of live column storage, and a result must never
+        alias buffers that later in-place updates rewrite.  Aggregating
+        pipelines always reduce into owned arrays, so they keep the
+        zero-copy fast path.
+        """
+        chunks = [chunk
+                  for part in MorselDispatcher.partition(base, parts)
+                  for chunk in MorselDispatcher.chunk(part, morsel_rows)]
+        nrows = db.table(self.logical.root).num_rows
+        full = (allow_identity and len(chunks) == 1
+                and len(chunks[0]) == nrows)
+        return [self.morsel(db, chunk, full=full) for chunk in chunks]
 
     def referenced_columns(self) -> List[BoundColumn]:
         """Every column the full-tuple variants must materialize."""
@@ -265,20 +310,21 @@ class BoundQuery:
             return ShardOutcome()
         mine = parts[shard]
         if self.scan == "row":
-            chunks = MorselDispatcher.chunk(mine, self.chunk_rows)
+            rows = self.chunk_rows
             factory = self.row_pipeline
         elif self.scan == "projection":
-            chunks = [mine]
+            rows = 0
             factory = self.projection_pipeline
         else:
-            chunks = MorselDispatcher.chunk(mine, self.morsel_rows)
+            rows = self.morsel_rows
             factory = lambda: self.column_pipeline(bool(use_array))  # noqa: E731
-        morsels = [self.morsel(db, chunk) for chunk in chunks]
+        morsels = self.make_morsels(db, mine, 1, rows,
+                                    allow_identity=self.scan != "projection")
         results = MorselDispatcher("serial").run(morsels, factory)
         return ShardOutcome.collect(results)
 
 
-@dataclass
+@dataclass(eq=False)
 class BaselineBoundQuery:
     """Portable form of a Section 6 baseline query.
 
@@ -398,10 +444,12 @@ def merge_outcome_states(outcomes: Sequence[ShardOutcome]):
 class ShardTask:
     """One worker assignment: pickled plan + shard index.
 
-    The parent pickles the plan *once* per query (``plan_bytes``) so the
-    expensive part — packed vectors, axes, hash tables — is serialized a
-    single time, not once per shard; ``plan_seq`` lets a worker that
-    receives several shards of the same query deserialize it only once.
+    The parent pickles each plan *object* once (``plan_bytes``, memoized
+    per backend) so the expensive part — packed vectors, axes, hash
+    tables — is serialized a single time, not once per shard and not
+    once per query when the query cache serves the same bound plan
+    repeatedly; ``plan_seq`` is stable per plan object, letting a worker
+    that already deserialized it skip even the unpickling.
     """
 
     plan_bytes: bytes
@@ -463,6 +511,13 @@ class ProcessShardBackend:
         self.stamp = database_stamp(db)
         self.refs = 0
         self._registry_key: Optional[tuple] = None
+        # (seq, pickle) per live plan object: a cached BoundQuery served
+        # for the thousandth time ships the bytes serialized the first
+        # time — and keeps its ``plan_seq``, so workers that already
+        # hold the plan skip deserialization too.  Weak keys drop the
+        # memo with the plan.
+        self._plan_pickles: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary())
         self.arena = ColumnArena.export(db)
         ctx = multiprocessing.get_context("spawn")
         self._pool = ctx.Pool(self.workers, initializer=_worker_attach,
@@ -479,8 +534,12 @@ class ProcessShardBackend:
         if self._pool is None:
             raise ExecutionError("process shard backend is closed")
         nshards = nshards or self.workers
-        plan_bytes = pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL)
-        seq = next(self._plan_seq)
+        memo = self._plan_pickles.get(plan)
+        if memo is None:
+            memo = (next(self._plan_seq),
+                    pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))
+            self._plan_pickles[plan] = memo
+        seq, plan_bytes = memo
         tasks = [ShardTask(plan_bytes, seq, shard, nshards, use_array)
                  for shard in range(nshards)]
         return self._pool.map(_worker_run, tasks, chunksize=1)

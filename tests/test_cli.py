@@ -75,6 +75,22 @@ class TestQuery:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_repeat_reports_warm_cache_breakdown(self, tiny_archive, capsys):
+        code = main(["query", tiny_archive,
+                     "SELECT d_year, count(*) AS n FROM lineorder, date "
+                     "GROUP BY d_year", "--repeat", "3", "--breakdown"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage breakdown" in out
+        assert "cache: plan hits=1" in out
+
+    def test_no_cache_flag(self, tiny_archive, capsys):
+        code = main(["query", tiny_archive,
+                     "SELECT count(*) AS n FROM lineorder",
+                     "--repeat", "2", "--breakdown", "--no-cache"])
+        assert code == 0
+        assert "cache:" not in capsys.readouterr().out
+
 
 class TestValidate:
     def test_consistent(self, tiny_archive, capsys):
@@ -96,6 +112,62 @@ class TestSSBCommand:
         main(["generate", "--benchmark", "ssb", "--sf", "0.002",
               "--out", out])
         capsys.readouterr()
-        assert main(["ssb", out, "--repeat", "1"]) == 0
+        assert main(["ssb", out, "--repeat", "1", "--no-cache"]) == 0
         text = capsys.readouterr().out
         assert "Q1.1" in text and "Q4.3" in text and "AVG" in text
+
+
+@pytest.fixture(scope="module")
+def ssb_archive(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "ssb.npz"
+    main(["generate", "--benchmark", "ssb", "--sf", "0.002",
+          "--out", str(path)])
+    return str(path)
+
+
+class TestBenchCommand:
+    def test_qps_mode_writes_txt_and_json(self, ssb_archive, tmp_path,
+                                          capsys):
+        import json
+
+        txt = str(tmp_path / "qps.txt")
+        js = str(tmp_path / "BENCH_qps.json")
+        code = main(["bench", ssb_archive, "--mode", "qps",
+                     "--queries", "Q1.1,Q2.1", "--rounds", "2",
+                     "--out", txt, "--json", js])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "host:" in out and "core" in out
+        assert "serve" in out and "x vs cold" in out
+        assert "host:" in open(txt).read()
+        doc = json.load(open(js))
+        assert doc["benchmark"] == "qps_sweep"
+        assert doc["host"]["cores"] >= 1
+        assert {cell["mode"] for cell in doc["cells"]} == {
+            "cold", "compile", "serve"}
+
+    def test_scaling_mode_headers_core_count(self, ssb_archive, tmp_path,
+                                             capsys):
+        import json
+
+        js = str(tmp_path / "BENCH_scaling.json")
+        code = main(["bench", ssb_archive, "--backends", "serial",
+                     "--workers", "1", "--queries", "Q1.1",
+                     "--repeat", "1", "--json", js])
+        assert code == 0
+        assert "host:" in capsys.readouterr().out
+        doc = json.load(open(js))
+        assert doc["benchmark"] == "backend_scaling"
+        assert doc["cells"][0]["per_query_best_ms"]["Q1.1"] > 0
+
+
+class TestCacheCommand:
+    def test_prints_tier_statistics(self, ssb_archive, capsys):
+        code = main(["cache", ssb_archive, "--queries", "Q1.1,Q2.1",
+                     "--rounds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query cache tiers" in out
+        for tier in ("plan", "leaf", "axis", "result"):
+            assert tier in out
+        assert "cold" in out and "warm" in out
