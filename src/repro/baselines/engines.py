@@ -46,6 +46,7 @@ from ..engine.operators import (
     MorselDispatcher,
     Operator,
     PredicateFilter,
+    ReorderState,
     ValueGather,
     merge_timings,
     value_grouping,
@@ -118,6 +119,8 @@ class BaselineEngine:
 
     def _execute(self, logical: LogicalPlan, stats: ExecutionStats,
                  timer: Timer) -> QueryResult:
+        # fresh per query: observed pass-rates for micro-adaptive scans
+        self._adapt = ReorderState()
         hash_tables = build_hash_tables(self.db, logical)
         nrows = self.db.table(logical.root).num_rows
         stats.rows_scanned = nrows
@@ -142,6 +145,7 @@ class BaselineEngine:
 
         axes, state = value_grouping(logical, gathered)
         stats.aggregation_seconds += timer.lap()
+        stats.filters_reordered = self._adapt.reorders
         return assemble(logical, axes, state, stats)
 
     def _gather_inline(self, logical: LogicalPlan, dim_filters,
@@ -236,7 +240,7 @@ class MaterializingEngine(BaselineEngine):
         if base is not None:
             steps.append(MaskFilter(base, label="mask-filter[live]"))
         steps.extend(self._filter_steps(logical, dim_filters))
-        return [IntersectScan(steps)]
+        return [IntersectScan(steps, adapt=self._adapt)]
 
 
 class FusedEngine(BaselineEngine):

@@ -10,6 +10,10 @@ from .harness import (
     close_engines,
     explain_engines,
     operator_breakdown,
+    pruning_payload,
+    pruning_rows,
+    pruning_speedups,
+    pruning_sweep,
     qps_payload,
     qps_rows,
     qps_sweep,
@@ -32,7 +36,9 @@ __all__ = [
     "backend_scaling_sweep", "best_of", "breakdown_rows", "close_engines",
     "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest", "explain_engines",
     "format_ratio_note", "format_table", "host_info", "host_note",
-    "median_ms", "ms", "ns_per_tuple", "operator_breakdown", "QPS_MODES",
+    "median_ms", "ms", "ns_per_tuple", "operator_breakdown",
+    "pruning_payload", "pruning_rows", "pruning_speedups", "pruning_sweep",
+    "QPS_MODES",
     "qps_payload", "qps_rows", "qps_sweep", "run_ssb_suite", "scaling_rows",
     "ssb_database", "standard_engines", "suite_rows", "write_bench_json",
 ]

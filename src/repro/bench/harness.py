@@ -376,6 +376,119 @@ def _check_reference(reference: Dict[str, list], query_id: str, result,
             f"cache mode {mode!r} changed the result of {query_id}")
 
 
+def pruning_sweep(sf: float = DEFAULT_SCALE,
+                  backends: Sequence[str] = ("serial",),
+                  query_ids: Optional[Sequence[str]] = None,
+                  rounds: int = 5,
+                  workers: int = 1,
+                  db: Optional[Database] = None,
+                  check_rows: bool = True) -> Dict[tuple, dict]:
+    """Cold execution with data skipping on vs off (the zone-map story).
+
+    Every (backend, mode) cell runs each query cold — caching disabled,
+    so parse, plan, and leaf processing are re-paid per execution; only
+    the zone maps themselves persist, as they are data statistics shared
+    per database — ``rounds`` times and records the median, together
+    with the skipped / fully-accepted / scanned block counts from
+    ``ExecutionStats``.  With ``check_rows`` the pruned rows must equal
+    the unpruned reference, so the sweep doubles as the pruning on/off
+    differential.  Returns ``{(backend, mode): {query_id: cell}}`` with
+    per-query ``median_ms``, ``morsels_skipped``, ``morsels_accepted``,
+    and ``morsels``; flight-level speedups come from
+    :func:`pruning_speedups`.
+    """
+    database = db if db is not None else ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    rounds = max(1, rounds)
+    reference: Dict[str, list] = {}
+    out: Dict[tuple, dict] = {}
+    for backend in backends:
+        for mode in ("pruned", "unpruned"):
+            engine = AStoreEngine.variant(
+                database, "AIRScan_C_P_G", workers=workers,
+                parallel_backend=backend, use_cache=False,
+                use_pruning=(mode == "pruned"))
+            try:
+                cell: Dict[str, dict] = {}
+                for query_id in ids:
+                    sql = SSB_QUERIES[query_id]
+                    result = engine.query(sql)  # warm zone maps, not timed
+                    if check_rows:
+                        rows = result.rows()
+                        expected = reference.setdefault(query_id, rows)
+                        if rows != expected:
+                            raise AssertionError(
+                                f"pruning mode {mode!r} changed the result "
+                                f"of {query_id}")
+                    samples = []
+                    for _ in range(rounds):
+                        t0 = time.perf_counter()
+                        result = engine.query(sql)
+                        samples.append(time.perf_counter() - t0)
+                    cell[query_id] = {
+                        "median_ms": median_ms(samples),
+                        "morsels_skipped": result.stats.morsels_skipped,
+                        "morsels_accepted": result.stats.morsels_accepted,
+                        "morsels": result.stats.morsels,
+                    }
+                out[(backend, mode)] = cell
+            finally:
+                engine.close()
+    return out
+
+
+def pruning_speedups(times: Dict[tuple, dict]) -> Dict[str, float]:
+    """Per-backend flight speedup (unpruned total / pruned total)."""
+    speedups: Dict[str, float] = {}
+    for backend in {backend for backend, _ in times}:
+        pruned = sum(q["median_ms"]
+                     for q in times[(backend, "pruned")].values())
+        unpruned = sum(q["median_ms"]
+                       for q in times[(backend, "unpruned")].values())
+        speedups[backend] = unpruned / pruned if pruned else float("nan")
+    return speedups
+
+
+def pruning_rows(times: Dict[tuple, dict],
+                 query_ids: Sequence[str]) -> List[List]:
+    """``[backend, query, pruned ms, unpruned ms, speedup, skipped,
+    accepted, morsels]`` rows for :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    backends = sorted({backend for backend, _ in times})
+    for backend in backends:
+        pruned = times[(backend, "pruned")]
+        unpruned = times[(backend, "unpruned")]
+        for query_id in query_ids:
+            p, u = pruned[query_id], unpruned[query_id]
+            rows.append([
+                backend, query_id, p["median_ms"], u["median_ms"],
+                u["median_ms"] / p["median_ms"] if p["median_ms"] else
+                float("nan"),
+                p["morsels_skipped"], p["morsels_accepted"], p["morsels"],
+            ])
+    return rows
+
+
+def pruning_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
+                    rounds: Optional[int] = None) -> dict:
+    """The ``BENCH_*.json`` payload for a pruning sweep."""
+    speedups = pruning_speedups(times)
+    cells = []
+    for (backend, mode), cell in times.items():
+        cells.append({
+            "backend": backend,
+            "mode": mode,
+            "speedup_vs_unpruned": (speedups[backend] if mode == "pruned"
+                                    else None),
+            "per_query": {query_id: cell[query_id]
+                          for query_id in query_ids},
+        })
+    payload = {"queries": list(query_ids), "cells": cells}
+    if rounds is not None:
+        payload["rounds"] = rounds
+    return payload
+
+
 def qps_rows(times: Dict[tuple, dict]) -> List[List]:
     """``[backend, workers, mode, qps, flight ms, x vs cold, hits]``
     rows for :func:`repro.bench.format_table`."""

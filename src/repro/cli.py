@@ -9,13 +9,16 @@ Subcommands::
     astore ssb ssb.npz                       # run all 13 SSB queries
     astore bench ssb.npz                     # backend x workers scaling sweep
     astore bench ssb.npz --mode qps          # cold vs warm-cache throughput
+    astore bench ssb.npz --mode pruning      # data skipping on vs off
     astore cache ssb.npz                     # per-tier cache hit statistics
     astore validate ssb.npz                  # referential-integrity check
 
 ``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
 and ``--workers N`` — the ``process`` backend shards the fact table over
 worker processes attached to a shared-memory column arena — plus
-``--no-cache`` to disable the mutation-stamped query cache.  ``query
+``--no-cache`` to disable the mutation-stamped query cache and
+``--no-pruning`` to disable zone-map data skipping.  ``cache`` can bound
+the result (serving) tier with ``--result-ttl``/``--result-entries``.  ``query
 --breakdown`` additionally prints the stage and per-operator timing
 breakdowns (with ``--repeat N`` the last, warm execution is reported:
 near-zero leaf time on a plan-cache hit).  ``bench`` records the
@@ -80,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "report the last execution")
     query.add_argument("--no-cache", action="store_true",
                        help="disable the mutation-stamped query cache")
+    query.add_argument("--no-pruning", action="store_true",
+                       help="disable zone-map data skipping")
     query.add_argument("--csv", metavar="PATH",
                        help="also write the result to a CSV file")
     query.add_argument("--limit", type=int, default=20,
@@ -103,16 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
                      default="serial")
     ssb.add_argument("--no-cache", action="store_true",
                      help="disable the mutation-stamped query cache")
+    ssb.add_argument("--no-pruning", action="store_true",
+                     help="disable zone-map data skipping")
 
     bench = sub.add_parser(
         "bench",
-        help="scaling or qps (cold vs warm cache) sweep over SSB queries")
+        help="scaling, qps (cold vs warm cache), or pruning sweep over "
+             "SSB queries")
     bench.add_argument("database", help="a .npz archive of an SSB database")
-    bench.add_argument("--mode", choices=("scaling", "qps"),
+    bench.add_argument("--mode", choices=("scaling", "qps", "pruning"),
                        default="scaling",
                        help="scaling: backend x workers best-of sweep; "
                             "qps: repeated-flight throughput, cold vs "
-                            "warm-cache")
+                            "warm-cache; pruning: cold flights with data "
+                            "skipping on vs off, with skipped/scanned "
+                            "morsel counts")
     bench.add_argument("--backends", default=None,
                        help="comma-separated BACKENDS names (default: "
                             "serial,thread,process for scaling; serial "
@@ -149,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="serial")
     cache.add_argument("--no-serve", action="store_true",
                        help="disable the result (serving) tier")
+    cache.add_argument("--result-ttl", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="expire result-tier entries older than this "
+                            "(0 = no TTL)")
+    cache.add_argument("--result-entries", type=int, default=0, metavar="N",
+                       help="cap the result tier at N entries "
+                            "(0 = shared default)")
 
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
@@ -181,7 +198,8 @@ def _dispatch(args) -> int:
         db = load_database(args.database)
         with AStoreEngine.variant(db, args.variant, workers=args.workers,
                                   parallel_backend=args.backend,
-                                  use_cache=not args.no_cache) as engine:
+                                  use_cache=not args.no_cache,
+                                  use_pruning=not args.no_pruning) as engine:
             if args.explain:
                 print(engine.explain(args.sql))
                 return 0
@@ -206,6 +224,12 @@ def _dispatch(args) -> int:
             print(format_table(
                 f"operator breakdown ({stats.morsels} morsels)",
                 ["operator", "ms"], rows))
+            if stats.morsels_skipped or stats.morsels_accepted:
+                print(f"data skipping: {stats.morsels_skipped} blocks "
+                      f"skipped, {stats.morsels_accepted} fully accepted")
+            if stats.filters_reordered:
+                print(f"adaptive: filter order changed "
+                      f"{stats.filters_reordered}x")
             summary = stats.cache_summary()
             if summary:
                 print(f"cache: {summary}")
@@ -226,7 +250,8 @@ def _dispatch(args) -> int:
         db = load_database(args.database)
         with AStoreEngine.variant(db, args.variant, workers=args.workers,
                                   parallel_backend=args.backend,
-                                  use_cache=not args.no_cache) as engine:
+                                  use_cache=not args.no_cache,
+                                  use_pruning=not args.no_pruning) as engine:
             rows = []
             for query_id, sql in SSB_QUERIES.items():
                 seconds, result = best_of(lambda: engine.query(sql),
@@ -269,6 +294,10 @@ def _dispatch_bench(args) -> int:
     from .bench import (
         backend_scaling_sweep,
         host_note,
+        pruning_payload,
+        pruning_rows,
+        pruning_speedups,
+        pruning_sweep,
         qps_payload,
         qps_rows,
         qps_sweep,
@@ -286,7 +315,22 @@ def _dispatch_bench(args) -> int:
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
 
-    if args.mode == "qps":
+    if args.mode == "pruning":
+        times = pruning_sweep(backends=backends, query_ids=query_ids,
+                              rounds=args.rounds,
+                              workers=min(worker_counts), db=db)
+        rates = pruning_speedups(times)
+        speedups = " ".join(
+            f"{backend}:{rates[backend]:.2f}x" for backend in backends)
+        text = host_note() + "\n" + format_table(
+            f"pruning sweep over {db.name} (cold medians of {args.rounds} "
+            f"rounds; flight speedup {speedups})",
+            ["backend", "query", "pruned ms", "unpruned ms", "speedup",
+             "skipped", "accepted", "morsels"],
+            pruning_rows(times, query_ids))
+        payload = pruning_payload(times, query_ids, rounds=args.rounds)
+        benchmark = "pruning"
+    elif args.mode == "qps":
         times = qps_sweep(backends=backends, worker_counts=worker_counts,
                           query_ids=query_ids, rounds=args.rounds, db=db)
         text = host_note() + "\n" + format_table(
@@ -342,7 +386,10 @@ def _dispatch_cache(args) -> int:
     flights = []
     with AStoreEngine.variant(db, args.variant, workers=args.workers,
                               parallel_backend=args.backend,
-                              cache_results=not args.no_serve) as engine:
+                              cache_results=not args.no_serve,
+                              result_ttl_seconds=args.result_ttl,
+                              result_cache_entries=args.result_entries
+                              ) as engine:
         import time as _time
 
         for round_no in range(max(1, args.rounds)):
@@ -362,7 +409,7 @@ def _dispatch_cache(args) -> int:
     print(format_table(
         "query cache tiers",
         ["tier", "entries", "hits", "misses", "hit %", "invalidated",
-         "KiB"],
+         "expired", "KiB"],
         stats_rows))
     return 0
 

@@ -50,13 +50,20 @@ class BufferSpec:
 @dataclass
 class ArenaManifest:
     """Everything a worker needs to attach: segment name + buffer map +
-    the non-shareable (pickled) payloads and catalog metadata."""
+    the non-shareable (pickled) payloads and catalog metadata.
+
+    ``zone_maps`` lists the zone-map summaries that were fresh at export
+    time as ``(store_key, kind, block_rows, buffer_keys)`` records —
+    attaching rebuilds them as zero-copy views so workers prune without
+    re-scanning columns.
+    """
 
     segment: str
     buffers: Dict[str, BufferSpec] = field(default_factory=dict)
     db_name: str = "db"
     tables: Dict[str, dict] = field(default_factory=dict)
     references: List[tuple] = field(default_factory=list)
+    zone_maps: List[tuple] = field(default_factory=list)
 
 
 def _buffer_key(table: str, name: str) -> str:
@@ -81,8 +88,17 @@ class ColumnArena:
     # -- export ------------------------------------------------------------
 
     @classmethod
-    def export(cls, db: Database) -> "ColumnArena":
-        """Copy every fixed-width buffer of *db* into a new shared segment."""
+    def export(cls, db: Database,
+               zone_entries: Optional[List[tuple]] = None) -> "ColumnArena":
+        """Copy every fixed-width buffer of *db* into a new shared segment.
+
+        *zone_entries* are ``(store_key, value)`` pairs from
+        :func:`repro.core.statistics.fresh_zone_entries`; their summary
+        arrays ride in the same segment so attached databases prune
+        from the exact zone maps the parent built, zero-copy.
+        """
+        from .statistics import ColumnZoneMap, DeletionZoneMap
+
         plan: List[Tuple[str, np.ndarray]] = []
         manifest = ArenaManifest(segment="", db_name=db.name)
 
@@ -130,6 +146,19 @@ class ColumnArena:
             manifest.references.append(
                 (ref.child_table, ref.child_column,
                  ref.parent_table, ref.parent_key))
+
+        for i, (store_key, value) in enumerate(zone_entries or ()):
+            if isinstance(value, ColumnZoneMap):
+                keys = (f"$zm{i}//min", f"$zm{i}//max")
+                plan.append((keys[0], value.mins))
+                plan.append((keys[1], value.maxs))
+                manifest.zone_maps.append(
+                    (store_key, "column", value.block_rows, keys))
+            elif isinstance(value, DeletionZoneMap):
+                keys = (f"$zm{i}//del",)
+                plan.append((keys[0], value.deleted_any))
+                manifest.zone_maps.append(
+                    (store_key, "deletion", value.block_rows, keys))
 
         offset = 0
         for key, array in plan:
@@ -198,11 +227,15 @@ class AttachedDatabase:
 
     Holds the shared-memory mapping open for as long as the rebuilt
     :attr:`db` is in use; :meth:`close` drops the mapping (the owner is
-    responsible for unlinking).
+    responsible for unlinking).  ``zone_maps`` are the parent's exported
+    zone-map summaries as ``(store_key, value)`` pairs over zero-copy
+    views — the attaching side decides which store to seed with them.
     """
 
-    def __init__(self, db: Database, shm: shared_memory.SharedMemory):
+    def __init__(self, db: Database, shm: shared_memory.SharedMemory,
+                 zone_maps: Optional[List[tuple]] = None):
         self.db = db
+        self.zone_maps: List[tuple] = list(zone_maps or ())
         self._shm: Optional[shared_memory.SharedMemory] = shm
 
     def close(self) -> None:
@@ -255,7 +288,18 @@ def attach_database(manifest: ArenaManifest) -> AttachedDatabase:
     for child_table, child_column, parent_table, parent_key in \
             manifest.references:
         db.add_reference(child_table, child_column, parent_table, parent_key)
-    return AttachedDatabase(db, shm)
+
+    from .statistics import ColumnZoneMap, DeletionZoneMap
+
+    zone_maps: List[tuple] = []
+    for store_key, kind, block_rows, keys in manifest.zone_maps:
+        if kind == "column":
+            value: object = ColumnZoneMap(block_rows, view(keys[0]),
+                                          view(keys[1]))
+        else:
+            value = DeletionZoneMap(block_rows, view(keys[0]))
+        zone_maps.append((store_key, value))
+    return AttachedDatabase(db, shm, zone_maps)
 
 
 def _wrap_column(entry: dict, data: np.ndarray):

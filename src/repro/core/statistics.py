@@ -1,21 +1,34 @@
-"""Column and table statistics for cost-based planning.
+"""Column and table statistics for cost-based planning and data skipping.
 
 A-Store's optimizer needs three quantities: predicate selectivities,
 dimension sizes (filter-vs-probe), and group-by cardinalities
 (array-vs-hash).  This module collects them once at load time so repeated
 planning does not re-sample the data; the optimizer falls back to its
 sampling estimators for columns without collected statistics.
+
+It also owns the **zone maps** behind the engine's block-level data
+skipping: per-block min/max summaries (plus a deletion summary) of a
+table's fixed-width columns, built lazily per column and stamped with
+``Table.mutation_count`` so a mutated table can never satisfy a lookup
+with a stale summary.  Zone maps live in any mutation-stamped store
+honouring the ``get(tier, key, db)`` / ``put(tier, key, value, stamps,
+nbytes)`` protocol — the engine passes its shared
+:class:`~repro.engine.cache.QueryCache` (the ``"zone"`` tier), process
+workers pass the cache of their attached database (seeded zero-copy from
+the arena manifest), and library users fall back to a private per-database
+store created here.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SchemaError
-from .column import AIRColumn, DictColumn, StringColumn
+from .column import AIRColumn, DictColumn, FixedColumn, StringColumn
 from .schema import Database
 from .table import Table
 
@@ -149,3 +162,241 @@ def assert_consistent(db: Database) -> None:
     problems = validate_references(db)
     if problems:
         raise SchemaError("; ".join(problems))
+
+
+# -- zone maps (block-level data skipping) ------------------------------------
+
+
+#: Largest zone-map block; :func:`default_zone_block_rows` never exceeds it.
+MAX_ZONE_BLOCK_ROWS = 65536
+#: Smallest zone-map block (finer summaries stop paying for themselves).
+MIN_ZONE_BLOCK_ROWS = 1024
+
+
+def default_zone_block_rows(num_rows: int) -> int:
+    """The block size used when the caller does not force one.
+
+    Targets ~256 blocks per table (fine enough that a selective band's
+    boundary blocks waste little) on power-of-two boundaries, clamped to
+    [:data:`MIN_ZONE_BLOCK_ROWS`, :data:`MAX_ZONE_BLOCK_ROWS`] so tiny
+    tables do not get per-row summaries and huge tables do not get
+    megablock summaries.  Verdict evaluation is O(blocks) on a handful
+    of vectors, so resolution is nearly free.
+    """
+    if num_rows <= 0:
+        return MIN_ZONE_BLOCK_ROWS
+    target = max(1, num_rows // 256)
+    block = 1 << max(0, target - 1).bit_length()
+    return max(MIN_ZONE_BLOCK_ROWS, min(MAX_ZONE_BLOCK_ROWS, block))
+
+
+@dataclass(frozen=True)
+class ColumnZoneMap:
+    """Per-block min/max of one fixed-width column.
+
+    Block *b* covers physical rows ``[b * block_rows, (b+1) * block_rows)``
+    — including deleted slots, whose values can only *widen* a block's
+    range, so a summary built over physical rows is always a sound
+    superset of any visible selection.  Float columns summarize with
+    NaN-ignoring reducers so a block mixing NaNs and values keeps usable
+    bounds; an all-NaN block keeps NaN bounds, on which every interval
+    comparison is False — such a block is conservatively *scanned*, and
+    its NaN rows then fail the predicates row-wise, so results are
+    unaffected either way.
+    """
+
+    block_rows: int
+    mins: np.ndarray
+    maxs: np.ndarray
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.mins)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.mins.nbytes + self.maxs.nbytes)
+
+
+@dataclass(frozen=True)
+class DeletionZoneMap:
+    """Per-block deletion summary: does block *b* contain deleted slots?"""
+
+    block_rows: int
+    deleted_any: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.deleted_any.nbytes)
+
+
+def build_column_zone_map(column, block_rows: int) -> Optional[ColumnZoneMap]:
+    """A :class:`ColumnZoneMap` for *column*, or ``None`` if the layout
+    has no orderable fixed-width values (dictionary codes order by
+    insertion, not by value; string heaps are variable-width)."""
+    if not isinstance(column, FixedColumn):  # AIRColumn subclasses it
+        return None
+    values = column.values()
+    if values.dtype.kind not in ("i", "u", "f", "b"):
+        return None
+    n = len(values)
+    if n == 0:
+        return ColumnZoneMap(block_rows,
+                             np.empty(0, dtype=values.dtype),
+                             np.empty(0, dtype=values.dtype))
+    starts = np.arange(0, n, block_rows, dtype=np.int64)
+    if values.dtype.kind == "f":
+        mins = np.fmin.reduceat(values, starts)
+        maxs = np.fmax.reduceat(values, starts)
+    else:
+        mins = np.minimum.reduceat(values, starts)
+        maxs = np.maximum.reduceat(values, starts)
+    return ColumnZoneMap(block_rows, mins, maxs)
+
+
+def build_deletion_zone_map(table: Table, block_rows: int) -> DeletionZoneMap:
+    """Per-block "contains deleted slots" summary of *table*."""
+    deleted = table._deleted
+    n = len(deleted)
+    if n == 0:
+        return DeletionZoneMap(block_rows, np.empty(0, dtype=bool))
+    starts = np.arange(0, n, block_rows, dtype=np.int64)
+    return DeletionZoneMap(
+        block_rows, np.logical_or.reduceat(deleted, starts))
+
+
+#: Store marker for columns whose layout cannot be zone-mapped, so the
+#: build is not retried on every query.
+_UNPRUNABLE = "__unprunable__"
+
+
+def zone_map_key(table: str, column: Optional[str],
+                 block_rows: int) -> tuple:
+    """The store key of one zone-map entry (``column=None``: deletions)."""
+    if column is None:
+        return ("zonedel", table, block_rows)
+    return ("zonemap", table, column, block_rows)
+
+
+class ZoneMaps:
+    """Lazily built, mutation-stamped zone maps of one database.
+
+    A thin facade over a stamped *store* (see module docstring): every
+    :meth:`column` / :meth:`deletions` call revalidates the entry's
+    recorded ``(table, mutation_count)`` stamps against the live
+    database, so a mutation after a build can never yield a stale — and
+    therefore never a wrong — skip decision.
+    """
+
+    def __init__(self, db: Database, store, block_rows: int = 0):
+        self._db = db
+        self._store = store
+        self._block_rows = int(block_rows)
+
+    def block_rows_for(self, table: str) -> int:
+        """The resolved block size used for *table*'s zone maps."""
+        if self._block_rows > 0:
+            return self._block_rows
+        return default_zone_block_rows(self._db.table(table).num_rows)
+
+    def column(self, table: str, name: str) -> Optional[ColumnZoneMap]:
+        """The zone map of ``table.name`` (built on first use), or
+        ``None`` when the column's layout cannot be summarized."""
+        block_rows = self.block_rows_for(table)
+        key = zone_map_key(table, name, block_rows)
+        hit = self._store.get("zone", key, self._db)
+        if hit is not None:
+            return None if isinstance(hit, str) else hit
+        tab = self._db.table(table)
+        if name not in tab:
+            return None
+        stamps = ((table, tab.mutation_count),)  # read before the build
+        zm = build_column_zone_map(tab[name], block_rows)
+        self._store.put("zone", key, zm if zm is not None else _UNPRUNABLE,
+                        stamps, zm.nbytes if zm is not None else 0)
+        return zm
+
+    def deletions(self, table: str) -> DeletionZoneMap:
+        """The deletion summary of *table* (built on first use)."""
+        block_rows = self.block_rows_for(table)
+        key = zone_map_key(table, None, block_rows)
+        hit = self._store.get("zone", key, self._db)
+        if hit is not None:
+            return hit
+        tab = self._db.table(table)
+        stamps = ((table, tab.mutation_count),)
+        dzm = build_deletion_zone_map(tab, block_rows)
+        self._store.put("zone", key, dzm, stamps, dzm.nbytes)
+        return dzm
+
+
+class StampedStore:
+    """A minimal mutation-stamped store with the QueryCache protocol.
+
+    The fallback used when no shared query cache is supplied — entries
+    revalidate their ``(table, mutation_count)`` stamps on every lookup,
+    exactly like the engine's cache tiers.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, Tuple[object, tuple]] = {}
+
+    def get(self, tier: str, key: tuple, db: Database):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, stamps = entry
+        for name, count in stamps:
+            try:
+                table = db.table(name)
+            except Exception:
+                table = None
+            if table is None or table.mutation_count != count:
+                self._entries.pop(key, None)
+                return None
+        return value
+
+    def put(self, tier: str, key: tuple, value, stamps, nbytes: int = 0):
+        self._entries[key] = (value, tuple(stamps))
+        return True
+
+    def items(self) -> List[Tuple[tuple, object]]:
+        return list((key, value) for key, (value, _) in self._entries.items())
+
+
+_FALLBACK_STORES: "weakref.WeakKeyDictionary[Database, StampedStore]" = (
+    weakref.WeakKeyDictionary())
+
+
+def zone_maps_for(db: Database, store=None, block_rows: int = 0) -> ZoneMaps:
+    """Zone maps of *db* backed by *store* (or a per-database fallback).
+
+    The engine passes its shared query cache so zone-map builds show up
+    as a regular cache tier (``astore cache``); without one, a private
+    stamped store per database object keeps the same invalidation
+    guarantees.
+    """
+    if store is None:
+        store = _FALLBACK_STORES.get(db)
+        if store is None:
+            store = _FALLBACK_STORES[db] = StampedStore()
+    return ZoneMaps(db, store, block_rows)
+
+
+def fresh_zone_entries(db: Database, store) -> List[Tuple[tuple, object]]:
+    """All still-fresh zone-map entries of *store* for arena export.
+
+    Returns ``(key, value)`` pairs whose stamps match the live database;
+    unprunable markers are skipped (workers re-derive them for free).
+    """
+    out: List[Tuple[tuple, object]] = []
+    if store is None:
+        return out
+    if hasattr(store, "tier_items"):
+        items: Iterable = store.tier_items("zone", db)
+    else:
+        items = [(key, store.get("zone", key, db)) for key, _ in store.items()]
+    for key, value in items:
+        if isinstance(value, (ColumnZoneMap, DeletionZoneMap)):
+            out.append((key, value))
+    return out

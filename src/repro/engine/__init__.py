@@ -20,6 +20,7 @@ from .operators import (
     Operator,
     PredicateFilter,
     Project,
+    ReorderState,
     ValueGather,
 )
 from .orderby import sort_indices
@@ -27,14 +28,17 @@ from .pipeline import materialize, result_to_table
 from .result import ExecutionStats, QueryResult
 from .sharding import (
     BoundQuery,
+    LeafFilterSpec,
     LeafProducts,
     ProcessShardBackend,
+    PruneCounters,
     ShardOutcome,
 )
 from .slice import (
     ArraySlice,
     DictSlice,
     PositionalProvider,
+    RowRange,
     chain_map,
     dimension_provider,
     universal_provider,
@@ -44,7 +48,8 @@ __all__ = [
     "Aggregate", "AggregationState", "AIRProbe", "ApplyMask",
     "array_aggregate", "ArraySlice", "AStoreEngine", "BoundQuery",
     "build_axes", "chain_map", "combine_codes", "dimension_provider",
-    "LeafProducts", "ProcessShardBackend", "ShardOutcome",
+    "LeafFilterSpec", "LeafProducts", "ProcessShardBackend",
+    "PruneCounters", "ReorderState", "RowRange", "ShardOutcome",
     "DictSlice", "EngineOptions", "evaluate_measure", "evaluate_predicate",
     "ExecutionStats", "Filter", "finalize", "GroupAxis", "GroupCombine",
     "hash_aggregate", "IntersectScan", "like_to_regex", "MaskFilter",

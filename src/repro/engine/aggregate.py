@@ -2,11 +2,15 @@
 
 *Array-based* aggregation scatters measures into a dense aggregation array
 addressed by the Measure Index (``np.bincount`` / ``ufunc.at`` — positional
-addressing, no key comparisons).  *Hash-based* aggregation first compacts
-the observed Measure Index values with a sort-based grouping
-(``np.unique``), the vectorized stand-in for a hash table: it pays a
-key-ordering cost per selected row, which is exactly the overhead the
-paper's array variant avoids.
+addressing, no key comparisons).  *Hash-based* aggregation compacts the
+observed Measure Index values first; when the observed code domain is
+small relative to the selection it skips the sort-based compaction
+(``np.unique``'s sort **and** its inverse-building second pass) and
+scatters over offset codes directly — the offsets live in a scratch-pool
+buffer, so the common morsel pays no allocation either.  Wide, sparse
+domains keep the sort-based grouping, the vectorized stand-in for a hash
+table whose key-ordering cost per selected row is exactly the overhead
+the paper's array variant avoids.
 
 Both produce an :class:`AggregationState` that merges element-wise, so the
 multicore path (Section 5) aggregates partitions independently and
@@ -22,6 +26,11 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..plan.binder import AggSpec
+from .scratch import local_pool
+
+#: Scratch-pool slot reserved for offset group codes (bool masks use the
+#: default slots of the same pool).
+_CODES_SLOT = 7
 
 
 @dataclass
@@ -105,7 +114,34 @@ def array_aggregate(specs: Sequence[AggSpec],
 def hash_aggregate(specs: Sequence[AggSpec],
                    measures: Dict[str, np.ndarray],
                    codes: np.ndarray) -> AggregationState:
-    """Aggregate after compacting the observed group ids (hash stand-in)."""
+    """Aggregate after compacting the observed group ids (hash stand-in).
+
+    When the observed code range is already dense — ``max - min + 1``
+    not much larger than the number of rows — the per-morsel
+    ``np.unique`` sort and its inverse-building second pass are skipped
+    entirely: offset codes (written into a scratch buffer) address the
+    scatter directly, and empty cells are dropped by ``finalize`` as
+    usual.  Sparse/huge domains keep the sort-based compaction.
+    """
+    n = len(codes)
+    if n:
+        lo = int(codes.min())
+        hi = int(codes.max())
+        domain = hi - lo + 1
+        if domain <= max(1024, 4 * n):
+            if lo == 0 and codes.dtype == np.int64:
+                offsets = codes
+            else:
+                offsets = np.subtract(
+                    codes, lo, out=local_pool().take(n, np.int64,
+                                                     slot=_CODES_SLOT),
+                    casting="unsafe")
+            counts = np.bincount(offsets, minlength=domain).astype(np.float64)
+            state = AggregationState(
+                specs=specs, ngroups=domain, counts=counts,
+                group_ids=np.arange(lo, hi + 1, dtype=np.int64))
+            _accumulate(state, specs, measures, offsets, domain)
+            return state
     uniq, inverse = np.unique(codes, return_inverse=True)
     counts = np.bincount(inverse, minlength=len(uniq)).astype(np.float64)
     state = AggregationState(specs=specs, ngroups=len(uniq), counts=counts,

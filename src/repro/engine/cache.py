@@ -42,6 +42,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -50,8 +51,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..core import Database
 from ..sqlparser.parser import parse
 
-#: Cache tiers, in lookup order of a warm query.
-TIERS = ("plan", "leaf", "axis", "result")
+#: Cache tiers, in lookup order of a warm query.  ``zone`` holds the
+#: per-block zone-map summaries behind data skipping (see
+#: :mod:`repro.core.statistics`) — stamped and invalidated like every
+#: compile tier, but keyed by data layout rather than by query.
+TIERS = ("plan", "leaf", "axis", "zone", "result")
 
 Stamps = Tuple[Tuple[str, int], ...]
 
@@ -71,6 +75,7 @@ class TierStats:
     stores: int = 0
     invalidations: int = 0
     evictions: int = 0
+    expirations: int = 0
     bytes: int = 0
     entries: int = 0
 
@@ -85,36 +90,62 @@ class TierStats:
 
 
 class _Entry:
-    __slots__ = ("value", "stamps", "nbytes")
+    __slots__ = ("value", "stamps", "nbytes", "created")
 
-    def __init__(self, value, stamps: Stamps, nbytes: int):
+    def __init__(self, value, stamps: Stamps, nbytes: int,
+                 created: float = 0.0):
         self.value = value
         self.stamps = stamps
         self.nbytes = nbytes
+        self.created = created
 
 
 class QueryCache:
-    """A three-tier compile cache plus the opt-in result serving tier.
+    """A multi-tier compile cache plus the opt-in result serving tier.
 
     Entries are LRU-evicted per tier beyond ``max_entries``; the result
     tier is additionally byte-budgeted (``result_budget_bytes``, with a
-    per-entry cap) since results can be arbitrarily large.  Lookups
-    revalidate the entry's recorded mutation stamps against the live
-    database, so a stale entry can never be served — it is dropped and
-    counted as an invalidation.
+    per-entry cap), entry-capped (``max_result_entries``) and optionally
+    TTL-bounded (``result_ttl_seconds``) since a serving deployment must
+    bound both the footprint and the age of what it answers from.
+    Lookups revalidate the entry's recorded mutation stamps against the
+    live database, so a stale entry can never be served — it is dropped
+    and counted as an invalidation (expired results count separately).
     """
 
     def __init__(self, max_entries: int = 512,
                  result_budget_bytes: int = 128 << 20,
-                 max_result_entry_bytes: int = 32 << 20):
+                 max_result_entry_bytes: int = 32 << 20,
+                 result_ttl_seconds: float = 0.0,
+                 max_result_entries: int = 0,
+                 clock=time.monotonic):
         self.max_entries = max_entries
         self.result_budget_bytes = result_budget_bytes
         self.max_result_entry_bytes = max_result_entry_bytes
+        self.result_ttl_seconds = float(result_ttl_seconds)
+        self.max_result_entries = int(max_result_entries)
+        self._clock = clock
         self._lock = threading.RLock()
         self._tiers: Dict[str, "OrderedDict[tuple, _Entry]"] = {
             tier: OrderedDict() for tier in TIERS}
         self._stats: Dict[str, TierStats] = {
             tier: TierStats() for tier in TIERS}
+
+    def configure_result_tier(self, ttl_seconds: Optional[float] = None,
+                              max_entries: Optional[int] = None) -> None:
+        """Adjust the serving-tier bounds (``None`` leaves a bound as
+        is; 0 disables it).  The cache is shared per database, so the
+        engine applies explicit settings, last writer wins."""
+        with self._lock:
+            if ttl_seconds is not None:
+                self.result_ttl_seconds = float(ttl_seconds)
+            if max_entries is not None:
+                self.max_result_entries = int(max_entries)
+
+    def _entry_cap(self, tier: str) -> int:
+        if tier == "result" and self.max_result_entries > 0:
+            return min(self.max_entries, self.max_result_entries)
+        return self.max_entries
 
     # -- core protocol ------------------------------------------------------
 
@@ -125,6 +156,14 @@ class QueryCache:
             stats = self._stats[tier]
             entry = entries.get(key)
             if entry is None:
+                stats.misses += 1
+                return None
+            if (tier == "result" and self.result_ttl_seconds > 0
+                    and self._clock() - entry.created
+                    > self.result_ttl_seconds):
+                entries.pop(key, None)
+                stats.bytes -= entry.nbytes
+                stats.expirations += 1
                 stats.misses += 1
                 return None
             if not self._fresh(entry, db):
@@ -148,17 +187,27 @@ class QueryCache:
             old = entries.pop(key, None)
             if old is not None:
                 stats.bytes -= old.nbytes
-            entries[key] = _Entry(value, stamps, nbytes)
+            entries[key] = _Entry(value, stamps, nbytes,
+                                  created=self._clock())
             stats.stores += 1
             stats.bytes += nbytes
             budget = (self.result_budget_bytes if tier == "result" else None)
-            while len(entries) > self.max_entries or (
+            while len(entries) > self._entry_cap(tier) or (
                     budget is not None and stats.bytes > budget
                     and len(entries) > 1):
                 _, evicted = entries.popitem(last=False)
                 stats.bytes -= evicted.nbytes
                 stats.evictions += 1
             return True
+
+    def tier_items(self, tier: str, db: Database) -> List[Tuple[tuple, object]]:
+        """``(key, value)`` pairs of *tier* whose stamps are still fresh
+        (used by the arena export to ship zone maps; stale entries are
+        skipped without being counted as lookups)."""
+        with self._lock:
+            return [(key, entry.value)
+                    for key, entry in self._tiers[tier].items()
+                    if self._fresh(entry, db)]
 
     @staticmethod
     def _fresh(entry: _Entry, db: Database) -> bool:
@@ -195,14 +244,14 @@ class QueryCache:
         return out
 
     def stats_rows(self) -> List[list]:
-        """``[tier, entries, hits, misses, hit %, invalidated, KiB]`` rows
-        for :func:`repro.bench.format_table`."""
+        """``[tier, entries, hits, misses, hit %, invalidated, expired,
+        KiB]`` rows for :func:`repro.bench.format_table`."""
         rows = []
         for tier, stats in self.stats().items():
             rows.append([
                 tier, stats.entries, stats.hits, stats.misses,
                 100.0 * stats.hit_rate, stats.invalidations,
-                stats.bytes / 1024.0,
+                stats.expirations, stats.bytes / 1024.0,
             ])
         return rows
 

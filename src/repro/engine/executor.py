@@ -57,7 +57,6 @@ from .grouping import GroupAxis, build_axes, decode_group_columns
 from .operators import (
     BACKENDS,
     MorselDispatcher,
-    PredicateFilter,
     merge_timings,
     value_grouping,
 )
@@ -65,15 +64,16 @@ from .orderby import sort_indices, top_k_indices
 from .result import ExecutionStats, QueryResult
 from .sharding import (
     BoundQuery,
+    LeafFilterSpec,
     LeafProducts,
     ProcessShardBackend,
+    PruneCounters,
     acquire_shard_backend,
+    build_predicate_filter,
     fold_outcomes,
     merge_outcome_states,
     release_shard_backend,
 )
-from .slice import dimension_provider
-from .expression import evaluate_predicate
 
 
 @dataclass(frozen=True)
@@ -99,7 +99,20 @@ class EngineOptions:
       (plans, leaf products, group axes);
     * ``cache_results`` — additionally serve exact query repeats from
       the cache's result tier (the serving tier; stamped like every
-      other tier, so mutations invalidate instead of going stale).
+      other tier, so mutations invalidate instead of going stale);
+    * ``result_ttl_seconds`` / ``result_cache_entries`` — bounds on the
+      serving tier (0 = leave the shared cache's current bound);
+    * ``use_pruning`` — block-level data skipping: zone maps decide per
+      fact-table block whether any (or every) row can pass, so morsels
+      that cannot contribute are never run;
+    * ``adaptive_filters`` — micro-adaptive filter ordering: the scan
+      chain re-orders by the pass-rates observed on earlier morsels
+      (with periodic re-exploration), never changing results;
+    * ``zone_block_rows`` — force a zone-map block size (0 = per-table
+      default, :func:`repro.core.statistics.default_zone_block_rows`);
+    * ``leaf_ship_bytes`` — packed predicate vectors larger than this
+      ship to process workers as rebuild recipes instead of bits
+      (worker-side leaf processing over the shared arena).
     """
 
     scan: str = "column"
@@ -114,6 +127,12 @@ class EngineOptions:
     variant_name: str = "AIRScan_C_P_G"
     use_cache: bool = True
     cache_results: bool = False
+    result_ttl_seconds: float = 0.0
+    result_cache_entries: int = 0
+    use_pruning: bool = True
+    adaptive_filters: bool = True
+    zone_block_rows: int = 0
+    leaf_ship_bytes: int = 64 << 10
 
 
 #: The five query processors of the paper's Table 6.
@@ -197,6 +216,11 @@ class AStoreEngine:
         # variant) over the same data reuses dimension scans and axes
         self.cache: Optional[QueryCache] = (
             query_cache_for(db) if self.options.use_cache else None)
+        if self.cache is not None and (self.options.result_ttl_seconds
+                                       or self.options.result_cache_entries):
+            self.cache.configure_result_tier(
+                ttl_seconds=self.options.result_ttl_seconds or None,
+                max_entries=self.options.result_cache_entries or None)
 
     @classmethod
     def variant(cls, db: Database, name: str, **overrides) -> "AStoreEngine":
@@ -264,7 +288,9 @@ class AStoreEngine:
         o = self.options
         return (f"{o.variant_name}|{o.scan}|{o.use_predicate_filter}|"
                 f"{o.use_array_aggregation}|{o.cache.llc_bytes}|"
-                f"{o.morsel_rows}|{o.chunk_rows}|{o.sample_size}")
+                f"{o.morsel_rows}|{o.chunk_rows}|{o.sample_size}|"
+                f"{o.use_pruning}|{o.adaptive_filters}|{o.zone_block_rows}|"
+                f"{o.leaf_ship_bytes}")
 
     def compile(self, query, snapshot: Optional[int] = None) -> BoundQuery:
         """Compile *query* into a portable bound plan.
@@ -331,6 +357,9 @@ class AStoreEngine:
             chunk_rows=self.options.chunk_rows,
             use_array_hint=bool(physical.use_array_agg),
             cache_events=events,
+            prune_enabled=self.options.use_pruning,
+            adaptive=self.options.adaptive_filters,
+            zone_block_rows=self.options.zone_block_rows,
         )
         bound.leaf_seconds = time.perf_counter() - t0
         return bound
@@ -352,6 +381,7 @@ class AStoreEngine:
 
         With ``cache_results`` enabled, an exact repeat whose mutation
         stamps still hold is served straight from the result tier."""
+        bound.hydrate(self.db)  # lazily-shipped leaf filters, if unpickled
         serve = (self.cache is not None and self.options.cache_results
                  and bound.cache_key is not None)
         serve_stamps = None
@@ -411,11 +441,13 @@ class AStoreEngine:
         logical = physical.logical
         leaf = LeafProducts()
         cache = self.cache
+        ship_limit = self.options.leaf_ship_bytes
         for dd in physical.dim_decisions:
             if not dd.use_filter:
                 leaf.probes[dd.first_dim] = dd.predicate
                 leaf.probe_selectivity[dd.first_dim] = dd.estimated_selectivity
                 continue
+            spec = LeafFilterSpec(dd.first_dim, dd.predicate, snapshot)
             key = involved = stamps = None
             if cache is not None:
                 # the mask gathers through the whole subtree reachable
@@ -431,17 +463,19 @@ class AStoreEngine:
                     pf, density = hit
                     leaf.filters[dd.first_dim] = pf
                     leaf.filter_density[dd.first_dim] = density
+                    if pf.nbytes > ship_limit:
+                        leaf.lazy_specs[dd.first_dim] = spec
                     _bump(events, "leaf_hits")
                     continue
-            provider = dimension_provider(self.db, dd.first_dim, logical.paths)
-            mask = evaluate_predicate(dd.predicate, provider)
-            dim = self.db.table(dd.first_dim)
-            if snapshot is not None or dim.has_deletes:
-                mask = mask & dim.live_mask(snapshot)
-            pf = PredicateFilter(mask)
+            pf = build_predicate_filter(self.db, logical.paths, spec)
             density = pf.density
             leaf.filters[dd.first_dim] = pf
             leaf.filter_density[dd.first_dim] = density
+            if pf.nbytes > ship_limit:
+                # a big vector crosses process boundaries as its recipe:
+                # workers rebuild it from the shared arena instead of
+                # unpickling dimension-sized payloads per plan
+                leaf.lazy_specs[dd.first_dim] = spec
             if cache is not None:
                 cache.put("leaf", key, (pf, density), stamps, pf.nbytes)
                 _bump(events, "leaf_misses")
@@ -474,11 +508,15 @@ class AStoreEngine:
     def _run_column_scan(self, bound: BoundQuery, base: np.ndarray,
                          stats: ExecutionStats) -> QueryResult:
         dispatcher = MorselDispatcher(self.options.parallel_backend)
+        counters = PruneCounters()
         morsels = bound.make_morsels(self.db, base, self.options.workers,
-                                     bound.morsel_rows)
+                                     bound.morsel_rows, prune=counters)
         stats.morsels = len(morsels)
+        self._fold_prune(stats, counters)
 
+        reorders_before = self._reorders(bound)
         scanned = dispatcher.run(morsels, bound.scan_pipeline)
+        stats.filters_reordered += self._reorders(bound) - reorders_before
         merge_timings(stats, scanned)
         total_selected = 0
         for result in scanned:
@@ -515,8 +553,11 @@ class AStoreEngine:
         interpreter loop.
         """
         dispatcher = MorselDispatcher("serial")
-        morsels = bound.make_morsels(self.db, base, 1, bound.chunk_rows)
+        counters = PruneCounters()
+        morsels = bound.make_morsels(self.db, base, 1, bound.chunk_rows,
+                                     prune=counters)
         stats.morsels = len(morsels)
+        self._fold_prune(stats, counters)
 
         results = dispatcher.run(morsels, bound.row_pipeline)
         merge_timings(stats, results)
@@ -547,9 +588,12 @@ class AStoreEngine:
     def _run_projection(self, bound: BoundQuery, base: np.ndarray,
                         stats: ExecutionStats) -> QueryResult:
         dispatcher = MorselDispatcher("serial")
+        counters = PruneCounters()
         results = dispatcher.run(
-            bound.make_morsels(self.db, base, 1, 0, allow_identity=False),
+            bound.make_morsels(self.db, base, 1, 0, allow_identity=False,
+                               prune=counters),
             bound.projection_pipeline)
+        self._fold_prune(stats, counters)
         merge_timings(stats, results)
         chunks = [value for result in results
                   for value in result.finishes.values()]
@@ -559,6 +603,18 @@ class AStoreEngine:
         stats.morsels = len(results)
         return self._finish(bound.logical,
                             _concat_projection(bound.logical, chunks), stats)
+
+    # -- stats helpers --------------------------------------------------------
+
+    @staticmethod
+    def _fold_prune(stats: ExecutionStats, counters: PruneCounters) -> None:
+        stats.morsels_skipped += counters.blocks_skipped
+        stats.morsels_accepted += counters.blocks_accepted
+
+    @staticmethod
+    def _reorders(bound: BoundQuery) -> int:
+        state = bound.__dict__.get("_reorder")
+        return state.reorders if state is not None else 0
 
     # -- sharded (process-backend) execution ----------------------------------
 
@@ -583,6 +639,10 @@ class AStoreEngine:
         selectivities (their product over the exact predicate-vector
         densities); per-shard partial states merge in shard order.
         """
+        # warm the parent's zone maps for this plan's prunable columns
+        # before a (first) arena export, so workers attach the
+        # summaries zero-copy instead of re-deriving them
+        bound.warm_zone_maps(self.db)
         backend = self._ensure_shard_backend()
         use_array: Optional[bool] = None
         agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
@@ -663,6 +723,8 @@ def _served_result(cached: QueryResult, seconds: float) -> QueryResult:
     stats.rows_selected = src.rows_selected
     stats.groups = src.groups
     stats.morsels = src.morsels
+    stats.morsels_skipped = src.morsels_skipped
+    stats.morsels_accepted = src.morsels_accepted
     stats.used_array_aggregation = src.used_array_aggregation
     stats.filter_modes = dict(src.filter_modes)
     stats.total_seconds = seconds

@@ -25,9 +25,10 @@ arena (:mod:`repro.engine.sharding`).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,11 +56,12 @@ class PredicateFilter:
     positional gather, ``mask[air_positions]``.
     """
 
-    __slots__ = ("packed", "_mask")
+    __slots__ = ("packed", "_mask", "_prefix")
 
     def __init__(self, mask: np.ndarray):
         self._mask = np.ascontiguousarray(mask, dtype=bool)
         self.packed = Bitmap.from_bool_array(self._mask)
+        self._prefix: Optional[np.ndarray] = None
 
     def probe(self, positions: np.ndarray,
               out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -71,6 +73,18 @@ class PredicateFilter:
             return self._mask[positions]
         return np.take(self._mask, positions, out=out)
 
+    def pass_counts(self) -> np.ndarray:
+        """Prefix sums of the mask: ``pass_counts()[j]`` = passes among
+        dimension rows ``[0, j)``.  ``cs[hi+1] - cs[lo]`` counts passes
+        in a position range — 0 means no FK in ``[lo, hi]`` can probe
+        through (skip), a full range means every FK must (accept).
+        Built lazily, cached on the filter, never pickled."""
+        if self._prefix is None:
+            prefix = np.zeros(len(self._mask) + 1, dtype=np.int64)
+            np.cumsum(self._mask, dtype=np.int64, out=prefix[1:])
+            self._prefix = prefix
+        return self._prefix
+
     def __getstate__(self):
         # Only the packed vector crosses process boundaries (it is what the
         # paper argues must stay cache-resident); workers unpack on attach.
@@ -79,6 +93,7 @@ class PredicateFilter:
     def __setstate__(self, packed) -> None:
         self.packed = packed
         self._mask = packed.to_bool_array()
+        self._prefix = None
 
     @property
     def density(self) -> float:
@@ -107,18 +122,23 @@ class Morsel:
     ``codes`` carries the composite Measure Index once
     :class:`GroupCombine` has run, and ``pending`` holds a deferred
     keep-mask for pipelines that evaluate every predicate before
-    shrinking (the row-scan variant).
+    shrinking (the row-scan variant).  ``prefiltered=True`` marks a
+    morsel whose rows are *known* to pass every filter-like step (zone
+    maps proved each block fully inside every predicate interval), so
+    filter operators pass it through untouched.
     """
 
-    __slots__ = ("positions", "provider", "codes", "pending")
+    __slots__ = ("positions", "provider", "codes", "pending", "prefiltered")
 
     def __init__(self, positions: Optional[np.ndarray], provider,
                  codes: Optional[np.ndarray] = None,
-                 pending: Optional[np.ndarray] = None):
+                 pending: Optional[np.ndarray] = None,
+                 prefiltered: bool = False):
         self.positions = positions
         self.provider = provider
         self.codes = codes
         self.pending = pending
+        self.prefiltered = prefiltered
 
     def __len__(self) -> int:
         if self.positions is None:
@@ -173,6 +193,79 @@ class OverlayProvider:
         )
 
 
+# -- micro-adaptive filter ordering ------------------------------------------
+
+
+class ReorderState:
+    """Observed pass-rates for a filter chain (Vectorwise-style
+    micro-adaptivity).
+
+    The plan orders filter-like steps by *estimated* selectivity; this
+    state re-orders them by the pass-rates actually observed on earlier
+    morsels, with periodic re-exploration (every ``explore_every``-th
+    trip runs the static order so a step whose selectivity drifted gets
+    re-measured).  Reordering a conjunction never changes its result —
+    only which step shrinks the selection first — so adaptivity is a
+    pure performance knob.  One state is shared across all pipeline
+    instances of a query (and across queries on a cached plan); sizing
+    happens on first use, and the lock never crosses a pickle.
+    """
+
+    def __init__(self, explore_every: int = 16):
+        self.explore_every = max(2, int(explore_every))
+        self.passes: List[float] = []
+        self.rows: List[float] = []
+        self.trips = 0
+        self.reorders = 0
+        self._last: Optional[Tuple[int, ...]] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self, n: int) -> None:
+        while len(self.rows) < n:
+            self.passes.append(0.0)
+            self.rows.append(0.0)
+
+    def record(self, step: int, kept: int, total: int) -> None:
+        """Fold one step's observed (kept, total) into its pass-rate."""
+        with self._lock:
+            self._ensure(step + 1)
+            self.passes[step] += kept
+            self.rows[step] += total
+
+    def order(self, static: Sequence[int]) -> List[int]:
+        """The step order for the next pipeline instance.
+
+        Unmeasured steps sort first (optimistically selective, so they
+        get measured); measured steps sort by observed pass-rate; every
+        ``explore_every``-th trip re-runs the static order.
+        """
+        with self._lock:
+            self.trips += 1
+            self._ensure(max(static, default=-1) + 1)
+            if self.trips % self.explore_every == 1 or all(
+                    self.rows[i] == 0 for i in static):
+                chosen = list(static)
+            else:
+                def rate(i: int) -> float:
+                    return (self.passes[i] / self.rows[i]
+                            if self.rows[i] else -1.0)
+                chosen = sorted(static, key=rate)
+            key = tuple(chosen)
+            if self._last is not None and key != self._last:
+                self.reorders += 1
+            self._last = key
+            return chosen
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
 # -- operator protocol -------------------------------------------------------
 
 
@@ -205,21 +298,28 @@ class FilterLike(Operator):
     ``defer=True`` accumulates the mask on the morsel instead of
     shrinking it (full-tuple processing: every predicate sees every
     row); :class:`ApplyMask` performs the deferred refinement.
+
+    ``observer`` (set post-construction by chains that adapt) is a
+    ``(ReorderState, step_id)`` pair receiving the observed pass count
+    of every evaluated mask; a ``prefiltered`` morsel — zone maps proved
+    all its rows pass — flows through untouched.
     """
 
     selectivity = 1.0
+    observer: Optional[Tuple[ReorderState, int]] = None
 
     def __init__(self, label: Optional[str] = None,
                  selectivity: float = 1.0, defer: bool = False):
         super().__init__(label)
         self.selectivity = selectivity
         self.defer = defer
+        self.observer = None
 
     def mask(self, morsel: Morsel) -> np.ndarray:
         raise NotImplementedError
 
     def process(self, morsel: Morsel) -> Morsel:
-        if not len(morsel):
+        if morsel.prefiltered or not len(morsel):
             return morsel
         keep = self.mask(morsel)
         if self.defer:
@@ -230,7 +330,13 @@ class FilterLike(Operator):
             else:
                 np.logical_and(morsel.pending, keep, out=morsel.pending)
             return morsel
-        return morsel.refine(keep)
+        out = morsel.refine(keep)
+        if self.observer is not None:
+            # the refined length IS the pass count — rate observation
+            # costs nothing on the non-deferred path
+            state, step = self.observer
+            state.record(step, len(out), len(morsel))
+        return out
 
 
 class Filter(FilterLike):
@@ -322,30 +428,48 @@ class IntersectScan(Operator):
     """Operator-at-a-time scan with full materialization (MonetDB-like).
 
     Every contained filter is evaluated over the *entire* morsel — no
-    selection-vector short-circuit, which is the BAT-algebra cost
-    profile the paper measures in Tables 3–5 — and the per-filter
+    per-row selection-vector short-circuit, which is the BAT-algebra
+    cost profile the paper measures in Tables 3–5 — and the per-filter
     candidate sets are intersected positionally over the morsel's row
     domain with boolean masks.  (An earlier version materialized sorted
     OID lists and combined them with ``np.intersect1d``, paying a sort
     per filter per morsel; candidate sets over one morsel share its
     position domain, so a linear mask AND is the same intersection.)
+
+    With an ``adapt`` :class:`ReorderState` the scan becomes
+    micro-adaptive: steps run in observed pass-rate order (periodically
+    re-exploring the plan order), and once the running intersection is
+    empty the remaining candidate lists — which could only be
+    intersected away — are skipped.  Conjunction order and early-out on
+    an empty set never change the surviving rows, only the work done.
     """
 
     name = "intersect-scan"
 
     def __init__(self, steps: Sequence[FilterLike],
-                 label: Optional[str] = None):
+                 label: Optional[str] = None,
+                 adapt: Optional[ReorderState] = None):
         super().__init__(label)
         self.steps = list(steps)
+        self.adapt = adapt
 
     def process(self, morsel: Morsel) -> Morsel:
-        if not len(morsel):
+        if morsel.prefiltered or not len(morsel):
             return morsel
+        order: Sequence[int] = range(len(self.steps))
+        if self.adapt is not None:
+            order = self.adapt.order(list(order))
         keep: Optional[np.ndarray] = None
-        for step in self.steps:
-            mask = step.mask(morsel)  # full-morsel evaluation, always
+        for i in order:
+            step = self.steps[i]
+            mask = step.mask(morsel)  # full-morsel evaluation
+            if self.adapt is not None:
+                self.adapt.record(i, int(np.count_nonzero(mask)),
+                                  len(morsel))
             keep = (np.array(mask, dtype=bool) if keep is None
                     else np.logical_and(keep, mask, out=keep))
+            if self.adapt is not None and not keep.any():
+                break  # empty intersection: remaining lists are moot
         if keep is None:
             return morsel
         return morsel.refine(keep)

@@ -37,6 +37,9 @@ class ExecutionStats:
     rows_selected: int = 0
     groups: int = 0
     morsels: int = 0
+    morsels_skipped: int = 0     # zone blocks proven empty, never run
+    morsels_accepted: int = 0    # zone blocks proven all-pass (no probes)
+    filters_reordered: int = 0   # micro-adaptive order changes observed
     used_array_aggregation: bool = False
     filter_modes: Dict[str, str] = field(default_factory=dict)
     operator_seconds: Dict[str, float] = field(default_factory=dict)

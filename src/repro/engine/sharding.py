@@ -41,10 +41,12 @@ import numpy as np
 
 from ..core import Database
 from ..core.arena import AttachedDatabase, ColumnArena, attach_database
+from ..core.statistics import fresh_zone_entries, zone_maps_for
 from ..errors import ExecutionError
 from ..plan.binder import LogicalPlan
 from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
 from ..plan.optimizer import OpSpec
+from .cache import query_cache_for, table_stamps
 from .grouping import GroupAxis, total_groups
 from .operators import (
     AIRProbe,
@@ -59,11 +61,12 @@ from .operators import (
     MorselResult,
     Operator,
     PredicateFilter,
+    ReorderState,
     Aggregate,
     Project,
     ValueGather,
 )
-from .slice import universal_provider
+from .slice import RowRange, dimension_provider, universal_provider
 
 
 def visible_positions(db: Database, root: str,
@@ -92,6 +95,37 @@ def baseline_filter_steps(logical: LogicalPlan,
     return steps
 
 
+@dataclass(frozen=True)
+class LeafFilterSpec:
+    """The recipe for (re)building one dimension predicate vector.
+
+    Ships instead of the packed bits when the vector exceeds the
+    engine's ``leaf_ship_bytes`` threshold: a worker evaluates the
+    predicate once against its attached copy of the dimension (a
+    shared-memory view, so the scan is zero-copy) and memoizes the
+    result in its local leaf tier — large dimensions then cost one
+    worker-side scan instead of a per-plan pickle payload.
+    """
+
+    first_dim: str
+    predicate: BoundExpression
+    snapshot: Optional[int]
+
+
+def build_predicate_filter(db: Database, paths,
+                           spec: LeafFilterSpec) -> PredicateFilter:
+    """Evaluate one dimension predicate into a packed vector (the leaf
+    stage's kernel, shared by the executor and shard workers)."""
+    from .expression import evaluate_predicate
+
+    provider = dimension_provider(db, spec.first_dim, paths)
+    mask = evaluate_predicate(spec.predicate, provider)
+    dim = db.table(spec.first_dim)
+    if spec.snapshot is not None or dim.has_deletes:
+        mask = mask & dim.live_mask(spec.snapshot)
+    return PredicateFilter(mask)
+
+
 @dataclass
 class LeafProducts:
     """Outcome of the leaf-processing stage, in portable form.
@@ -102,6 +136,11 @@ class LeafProducts:
     the group axes (Section 4.3) with their globally-encoded group
     vectors, which is what lets per-shard aggregation states merge
     without re-encoding.
+
+    ``lazy_specs`` lists filters that cross process boundaries as
+    :class:`LeafFilterSpec` recipes instead of packed bits (worker-side
+    leaf processing); :meth:`__getstate__` swaps them out of the pickle
+    and :meth:`hydrate` rebuilds any that are missing.
     """
 
     filters: Dict[str, PredicateFilter] = field(default_factory=dict)
@@ -109,6 +148,53 @@ class LeafProducts:
     probes: Dict[str, BoundExpression] = field(default_factory=dict)
     probe_selectivity: Dict[str, float] = field(default_factory=dict)
     axes: List[GroupAxis] = field(default_factory=list)
+    lazy_specs: Dict[str, LeafFilterSpec] = field(default_factory=dict)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if self.lazy_specs:
+            state["filters"] = {dim: pf for dim, pf in self.filters.items()
+                                if dim not in self.lazy_specs}
+        return state
+
+    def hydrate(self, db: Database, logical: LogicalPlan) -> None:
+        """Build any lazily-shipped filters against *db*, memoized in
+        the database's shared leaf tier (per worker, that is the
+        attached database's cache, so repeated plans rebuild nothing)."""
+        for dim, spec in self.lazy_specs.items():
+            if dim in self.filters:
+                continue
+            cache = query_cache_for(db)
+            involved = tuple(sorted({dim} | logical.subtree_of(dim)))
+            key = ("worker-pf", dim, involved, spec.snapshot, spec.predicate)
+            pf = cache.get("leaf", key, db)
+            if pf is None:
+                stamps = table_stamps(db, involved)
+                pf = build_predicate_filter(db, logical.paths, spec)
+                cache.put("leaf", key, pf, stamps, pf.nbytes)
+            self.filters[dim] = pf
+
+
+#: Per-block prune verdicts: drop the block / run it / run it with the
+#: filter chain proven redundant.
+PRUNE_SKIP, PRUNE_SCAN, PRUNE_ACCEPT = 0, 1, 2
+
+
+def _state_runs(states: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal ``[start, stop)`` runs of equal values in *states*."""
+    breaks = np.flatnonzero(np.diff(states)) + 1
+    edges = [0, *breaks.tolist(), len(states)]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+@dataclass
+class PruneCounters:
+    """What the data-skipping layer did for one execution (block units)."""
+
+    blocks_skipped: int = 0
+    blocks_accepted: int = 0
+    blocks_scanned: int = 0
+    pruned: bool = False
 
 
 @dataclass(eq=False)
@@ -145,6 +231,18 @@ class BoundQuery:
     leaf_seconds: float = 0.0        # time spent producing ``leaf``
     cache_key: Optional[tuple] = None
     cache_events: Dict[str, int] = field(default_factory=dict)
+    prune_enabled: bool = True       # consult zone maps in make_morsels
+    adaptive: bool = True            # micro-adaptive filter ordering
+    zone_block_rows: int = 0         # 0 = per-table default block size
+
+    def __getstate__(self) -> dict:
+        # the reorder state is observed-runtime, not plan content: each
+        # process rebuilds its own (a lock also cannot cross a pickle);
+        # block-state memos are per-database-object and cannot travel
+        state = dict(self.__dict__)
+        state.pop("_reorder", None)
+        state.pop("_prune_states", None)
+        return state
 
     @property
     def ngroups(self) -> int:
@@ -152,7 +250,21 @@ class BoundQuery:
         return (total_groups([axis.card for axis in self.leaf.axes])
                 if self.leaf.axes else 1)
 
+    def hydrate(self, db: Database) -> None:
+        """Rebuild lazily-shipped leaf filters against *db* (no-op when
+        every filter travelled with the plan)."""
+        if self.leaf.lazy_specs:
+            self.leaf.hydrate(db, self.logical)
+
     # -- pipeline binding ---------------------------------------------------
+
+    def reorder_state(self) -> ReorderState:
+        """The shared observed-pass-rate state of this plan's filters
+        (per process; lazily created, never pickled)."""
+        state = self.__dict__.get("_reorder")
+        if state is None:
+            state = self.__dict__["_reorder"] = ReorderState()
+        return state
 
     def filter_ops(self, defer: bool = False) -> List[FilterLike]:
         """Bind the filter-like DAG nodes, ordered by runtime selectivity.
@@ -160,7 +272,10 @@ class BoundQuery:
         The plan orders filters by *estimated* selectivity; once the
         predicate vectors exist their exact density is known, so the
         bound operators are re-sorted on the refreshed numbers (stable,
-        like the plan order).
+        like the plan order).  With ``adaptive`` on, the order further
+        tracks the pass-rates *observed* on earlier morsels (with
+        periodic re-exploration of the static order) — conjunct order
+        never changes results, only which step shrinks the morsel first.
         """
         leaf = self.leaf
         ops: List[FilterLike] = []
@@ -180,8 +295,15 @@ class BoundQuery:
                         dd.first_dim, "predicate", leaf.probes[dd.first_dim],
                         selectivity=leaf.probe_selectivity[dd.first_dim],
                         defer=defer))
-        ops.sort(key=lambda op: op.selectivity)
-        return ops
+        static = sorted(range(len(ops)), key=lambda i: ops[i].selectivity)
+        if self.adaptive and len(ops) > 1:
+            state = self.reorder_state()
+            order = state.order(static)
+            for i in order:
+                ops[i].observer = (state, i)
+        else:
+            order = static
+        return [ops[i] for i in order]
 
     def scan_pipeline(self) -> List[Operator]:
         """Phase-2 pipeline: filters/probes then the Measure Index."""
@@ -227,9 +349,20 @@ class BoundQuery:
         size; predicate-vector densities are exact and fact-conjunct
         selectivities are sampled, so the product is a sound stand-in.
         """
+        leaf = self.leaf
         fraction = 1.0
-        for op in self.filter_ops():
-            fraction *= min(1.0, max(0.0, float(op.selectivity)))
+        for spec in self.specs:
+            if spec.op == "filter":
+                sel = spec.selectivity
+            elif spec.op == "air-probe":
+                dim = spec.payload.first_dim
+                sel = (leaf.filter_density.get(dim)
+                       if dim in leaf.filters or dim in leaf.lazy_specs
+                       else leaf.probe_selectivity.get(dim))
+            else:
+                continue
+            if sel is not None:
+                fraction *= min(1.0, max(0.0, float(sel)))
         return max(1, int(nbase * fraction))
 
     # -- data binding --------------------------------------------------------
@@ -250,9 +383,322 @@ class BoundQuery:
         return Morsel(positions, universal_provider(
             db, self.logical.root, self.logical.paths, positions))
 
+    # -- data skipping -------------------------------------------------------
+
+    def prune_steps(self):
+        """The zone-map-checkable steps of this plan.
+
+        Returns ``(steps, complete, signature, involved)``: the steps as
+        ``("interval", ColumnInterval)`` / ``("fk", fk_column,
+        PredicateFilter)`` tuples, whether *every* filter-like node is
+        checkable (the precondition for fully-accepting a block), a
+        hashable signature of the checks (so block verdicts are
+        shareable between plans with the same predicate set), and the
+        tables the verdicts were derived from (their stamps invalidate
+        shared verdicts).
+        """
+        steps: List[tuple] = []
+        signature: List[tuple] = []
+        involved = {self.logical.root}
+        complete = True
+        for spec in self.specs:
+            if spec.op == "filter":
+                if spec.prune is not None:
+                    iv = spec.prune[1]
+                    steps.append(spec.prune)
+                    signature.append(("interval", iv.column, iv.lo, iv.hi,
+                                      iv.exact))
+                else:
+                    complete = False
+            elif spec.op == "air-probe":
+                dd = spec.payload
+                pf = self.leaf.filters.get(dd.first_dim)
+                if spec.prune is not None and pf is not None:
+                    fk = self._fk_column(dd.first_dim)
+                    if fk is not None:
+                        steps.append(("fk", fk, pf))
+                        signature.append(("fk", fk, dd.first_dim,
+                                          dd.predicate, self.snapshot))
+                        involved.add(dd.first_dim)
+                        involved.update(
+                            self.logical.subtree_of(dd.first_dim))
+                        continue
+                complete = False
+        return steps, complete, tuple(signature), involved
+
+    def _fk_column(self, first_dim: str) -> Optional[str]:
+        """The root-table AIR column referencing *first_dim*."""
+        for path in self.logical.paths:
+            ref = path.references[0]
+            if ref.parent_table == first_dim:
+                return ref.child_column
+        return None
+
+    def _block_states(self, db: Database):
+        """Per-zone-block prune verdicts, or ``None`` when nothing is
+        checkable.  Returns ``(states, block_rows)``.
+
+        Memoized twice: per plan against the root table's mutation
+        stamp (warm plans skip even the store lookup), and in the
+        database's shared stamped store keyed by the *predicate
+        signature* — so repeated cold compiles of the same (or a
+        same-shaped) query share one verdict evaluation, invalidated by
+        the stamps of every table it derived from."""
+        root = self.logical.root
+        stamp = db.table(root).mutation_count
+        memo = self.__dict__.get("_prune_states")
+        if (memo is not None and memo[0]() is db and memo[1] == stamp):
+            return memo[2], memo[3]
+        steps, complete, signature, involved = self.prune_steps()
+        states: Optional[np.ndarray] = None
+        block_rows = 0
+        store = key = None
+        if steps:
+            store = query_cache_for(db)
+            key = ("zonestate", root, self.zone_block_rows, signature)
+            hit = store.get("zone", key, db)
+            if hit is not None:
+                states, block_rows = hit
+            else:
+                stamps = table_stamps(db, involved)  # read before compute
+                states, block_rows = self._compute_block_states(
+                    db, steps, complete)
+                if states is not None:
+                    store.put("zone", key, (states, block_rows), stamps,
+                              states.nbytes)
+        self.__dict__["_prune_states"] = (weakref.ref(db), stamp,
+                                          states, block_rows)
+        return states, block_rows
+
+    def _compute_block_states(self, db: Database, steps: List[tuple],
+                              complete: bool):
+        if not steps:
+            return None, 0
+        root = self.logical.root
+        zones = zone_maps_for(db, store=query_cache_for(db),
+                              block_rows=self.zone_block_rows)
+        block_rows = zones.block_rows_for(root)
+        nrows = db.table(root).num_rows
+        if nrows == 0:
+            return None, 0
+        nblocks = -(-nrows // block_rows)
+        states = np.full(
+            nblocks, PRUNE_ACCEPT if complete else PRUNE_SCAN, dtype=np.int8)
+        checked = 0
+        for step in steps:
+            if step[0] == "interval":
+                iv = step[1]
+                zm = zones.column(root, iv.column.name)
+                if zm is None or zm.nblocks != nblocks:
+                    np.minimum(states, PRUNE_SCAN, out=states)
+                    continue
+                lo = -np.inf if iv.lo is None else iv.lo
+                hi = np.inf if iv.hi is None else iv.hi
+                empty = (zm.maxs < lo) | (zm.mins > hi)
+                full = (iv.exact & (zm.mins >= lo) & (zm.maxs <= hi)
+                        if iv.exact else np.zeros(nblocks, dtype=bool))
+            else:
+                _, fk, pf = step
+                zm = zones.column(root, fk)
+                if zm is None or zm.nblocks != nblocks:
+                    np.minimum(states, PRUNE_SCAN, out=states)
+                    continue
+                counts = pf.pass_counts()
+                lo_pos = zm.mins.astype(np.int64)
+                hi_pos = zm.maxs.astype(np.int64)
+                # blocks whose FK range strays outside the dimension
+                # (stale values in deleted slots) are scanned, not judged
+                valid = (lo_pos >= 0) & (hi_pos < len(counts) - 1)
+                lo_c = np.clip(lo_pos, 0, len(counts) - 1)
+                hi_c = np.clip(hi_pos + 1, 0, len(counts) - 1)
+                passes = counts[hi_c] - counts[lo_c]
+                empty = valid & (passes == 0)
+                full = valid & (passes == (hi_pos - lo_pos + 1))
+            checked += 1
+            states[~full] = np.minimum(states[~full], PRUNE_SCAN)
+            states[empty] = PRUNE_SKIP
+        if not checked:
+            return None, 0
+        return states, block_rows
+
+    def warm_zone_maps(self, db: Database) -> None:
+        """Build (or revalidate) the zone maps this plan prunes with.
+
+        Called by the parent before a process-backend arena export so
+        the summaries ride in the shared segment."""
+        if self.prune_enabled:
+            self._block_states(db)
+
+    def prune_base(self, db: Database, base: np.ndarray,
+                   counters: Optional[PruneCounters] = None):
+        """Drop base positions whose zone block cannot pass the filters.
+
+        Returns ``(surviving_positions, accept_mask, ranges)``.  For the
+        identity base (no deletes — the common cold scan) the survivors
+        come back as *ranges*: ``[(row_start, row_stop, accepted), …]``
+        runs of kept blocks, never materialized as position arrays, so
+        morsels over them keep zero-copy contiguous column views
+        (``accepted`` runs are additionally proven to pass every filter
+        by zone map alone).  Otherwise ``ranges`` is ``None`` and the
+        survivors are a filtered position array with an aligned
+        ``accept_mask`` (or ``None``).  Counters (block units) feed
+        ``ExecutionStats``.
+        """
+        if not self.prune_enabled or len(base) == 0:
+            return base, None, None
+        states, block_rows = self._block_states(db)
+        if states is None:
+            return base, None, None
+        nrows = db.table(self.logical.root).num_rows
+        if bool((states == PRUNE_SCAN).all()):
+            # nothing to skip or accept: stay off the hot path entirely
+            if counters is not None:
+                counters.blocks_scanned += len(states)
+                counters.pruned = True
+            return base, None, None
+        if counters is not None:
+            counters.pruned = True
+        ranged = len(base) == nrows
+        if not ranged and self.snapshot is None:
+            # deletes present — but if every deleted slot lies in a
+            # *skipped* block (old data dropped, recent band queried),
+            # the kept blocks are still fully visible and the ranged
+            # fast path stays sound.  The per-block deletion summary is
+            # stamped like the min/max maps, so it can never miss a
+            # fresh delete.
+            dzm = zone_maps_for(
+                db, store=query_cache_for(db),
+                block_rows=self.zone_block_rows).deletions(self.logical.root)
+            if (len(dzm.deleted_any) == len(states)
+                    and not bool(np.any(dzm.deleted_any
+                                        & (states != PRUNE_SKIP)))):
+                ranged = True
+        if ranged:
+            # survivors are exactly the kept blocks' row ranges
+            ranges: List[tuple] = []
+            for s, e in _state_runs(states):
+                state = states[s]
+                if counters is not None:
+                    n = e - s
+                    if state == PRUNE_SKIP:
+                        counters.blocks_skipped += n
+                    elif state == PRUNE_ACCEPT:
+                        counters.blocks_accepted += n
+                    else:
+                        counters.blocks_scanned += n
+                if state != PRUNE_SKIP:
+                    ranges.append((s * block_rows,
+                                   min(e * block_rows, nrows),
+                                   state == PRUNE_ACCEPT))
+            return base, None, ranges
+        blocks = base // block_rows
+        pos_state = states[blocks]
+        if counters is not None:
+            present = np.bincount(blocks, minlength=len(states)) > 0
+            counters.blocks_skipped += int(
+                np.count_nonzero(present & (states == PRUNE_SKIP)))
+            counters.blocks_accepted += int(
+                np.count_nonzero(present & (states == PRUNE_ACCEPT)))
+            counters.blocks_scanned += int(
+                np.count_nonzero(present & (states == PRUNE_SCAN)))
+        keep = pos_state != PRUNE_SKIP
+        if not keep.all():
+            base = base[keep]
+            pos_state = pos_state[keep]
+        accept = None
+        if (pos_state == PRUNE_ACCEPT).any():
+            accept = pos_state == PRUNE_ACCEPT
+        return base, accept, None
+
+    @staticmethod
+    def _split(arr: np.ndarray, parts: int,
+               morsel_rows: int) -> List[np.ndarray]:
+        """Partition + chunk, identically for positions and any array
+        aligned with them (same lengths in, same boundaries out)."""
+        return [chunk
+                for part in MorselDispatcher.partition(arr, parts)
+                for chunk in MorselDispatcher.chunk(part, morsel_rows)]
+
+    @staticmethod
+    def partition_ranges(ranges: Sequence[tuple],
+                         parts: int) -> List[List[tuple]]:
+        """Cut ``(start, stop, accepted)`` ranges into at most *parts*
+        row-balanced partitions, preserving order (the range analogue of
+        :meth:`MorselDispatcher.partition`, deterministic so every shard
+        worker derives identical boundaries)."""
+        total = sum(stop - start for start, stop, _ in ranges)
+        parts = max(1, min(parts, total)) if total else 1
+        quotas = [total // parts + (1 if i < total % parts else 0)
+                  for i in range(parts)]
+        out: List[List[tuple]] = []
+        pending = [(s, e, a) for s, e, a in ranges if e > s]
+        cur = 0
+        for quota in quotas:
+            part: List[tuple] = []
+            need = quota
+            while need > 0 and cur < len(pending):
+                s, e, a = pending[cur]
+                take = min(need, e - s)
+                part.append((s, s + take, a))
+                need -= take
+                if take == e - s:
+                    cur += 1
+                else:
+                    pending[cur] = (s + take, e, a)
+            if part:
+                out.append(part)
+        return out or [[]]
+
+    @staticmethod
+    def chunk_ranges(ranges: Sequence[tuple],
+                     morsel_rows: int) -> List[tuple]:
+        """Subdivide ranges into at most ``morsel_rows``-row pieces
+        (0 = leave whole), preserving order."""
+        if morsel_rows <= 0:
+            return list(ranges)
+        out: List[tuple] = []
+        for s, e, a in ranges:
+            for cs in range(s, e, morsel_rows):
+                out.append((cs, min(cs + morsel_rows, e), a))
+        return out
+
+    def _morsels_from_ranges(self, db: Database, ranges: Sequence[tuple],
+                             parts: int, morsel_rows: int,
+                             allow_identity: bool) -> List[Morsel]:
+        """Morsels over contiguous survivor bands.
+
+        Each piece carries a :class:`~repro.engine.slice.RowRange`, so
+        root-table column access stays zero-copy views — the pruned scan
+        pays per *surviving* row, not per visited position.  Pipelines
+        that must not alias storage (projections) get owned position
+        arrays instead.
+        """
+        pieces = [piece
+                  for part in self.partition_ranges(ranges, parts)
+                  for piece in self.chunk_ranges(part, morsel_rows)]
+        if not pieces:
+            return [self.morsel(db, np.empty(0, dtype=np.int64))]
+        nrows = db.table(self.logical.root).num_rows
+        morsels: List[Morsel] = []
+        for start, stop, accepted in pieces:
+            if len(pieces) == 1 and stop - start == nrows and allow_identity:
+                morsel = self.morsel(db, None, full=True)
+            elif allow_identity:
+                rng = RowRange(start, stop)
+                morsel = Morsel(rng, universal_provider(
+                    db, self.logical.root, self.logical.paths, rng))
+            else:
+                positions = np.arange(start, stop, dtype=np.int64)
+                morsel = self.morsel(db, positions)
+            morsel.prefiltered = bool(accepted)
+            morsels.append(morsel)
+        return morsels
+
     def make_morsels(self, db: Database, base: np.ndarray,
                      parts: int, morsel_rows: int,
-                     allow_identity: bool = True) -> List[Morsel]:
+                     allow_identity: bool = True,
+                     prune: Optional[PruneCounters] = None,
+                     accept: Optional[np.ndarray] = None) -> List[Morsel]:
         """Partition *base* into morsels, detecting the identity case.
 
         ``base`` positions are always sorted unique root row ids, so a
@@ -264,14 +710,35 @@ class BoundQuery:
         alias buffers that later in-place updates rewrite.  Aggregating
         pipelines always reduce into owned arrays, so they keep the
         zero-copy fast path.
+
+        With *prune* the zone maps are consulted first: blocks no row of
+        which can pass are dropped, and morsels made entirely of
+        fully-accepted blocks are marked ``prefiltered`` so the filter
+        chain passes them through untouched.  Identity-base survivors
+        stay contiguous *ranges* (zero-copy views, see
+        :meth:`_morsels_from_ranges`); *accept* feeds a pre-pruned
+        accept mask in (the shard path, which prunes before partitioning
+        so every worker sees identical boundaries).
         """
-        chunks = [chunk
-                  for part in MorselDispatcher.partition(base, parts)
-                  for chunk in MorselDispatcher.chunk(part, morsel_rows)]
+        if prune is not None and accept is None:
+            base, accept, ranges = self.prune_base(db, base, prune)
+            if ranges is not None:
+                return self._morsels_from_ranges(db, ranges, parts,
+                                                 morsel_rows, allow_identity)
+        chunks = self._split(base, parts, morsel_rows)
+        accept_chunks = (self._split(accept, parts, morsel_rows)
+                         if accept is not None else None)
         nrows = db.table(self.logical.root).num_rows
         full = (allow_identity and len(chunks) == 1
                 and len(chunks[0]) == nrows)
-        return [self.morsel(db, chunk, full=full) for chunk in chunks]
+        morsels = []
+        for i, chunk in enumerate(chunks):
+            morsel = self.morsel(db, chunk, full=full)
+            if (accept_chunks is not None
+                    and bool(accept_chunks[i].all())):
+                morsel.prefiltered = True
+            morsels.append(morsel)
+        return morsels
 
     def referenced_columns(self) -> List[BoundColumn]:
         """Every column the full-tuple variants must materialize."""
@@ -303,12 +770,20 @@ class BoundQuery:
 
     def run_shard(self, db: Database, shard: int, nshards: int,
                   use_array: Optional[bool]) -> "ShardOutcome":
-        """Rebuild the pipeline and run one horizontal shard to completion."""
+        """Rebuild the pipeline and run one horizontal shard to completion.
+
+        Pruning happens *before* partitioning so every worker derives
+        the same surviving positions and therefore identical shard
+        boundaries; block counters are reported by shard 0 only (all
+        shards compute the same verdicts).
+        """
+        self.hydrate(db)
         base = self.base_positions(db)
-        parts = MorselDispatcher.partition(base, nshards)
-        if shard >= len(parts):
-            return ShardOutcome()
-        mine = parts[shard]
+        counters = PruneCounters()
+        accept: Optional[np.ndarray] = None
+        ranges: Optional[List[tuple]] = None
+        if self.prune_enabled:
+            base, accept, ranges = self.prune_base(db, base, counters)
         if self.scan == "row":
             rows = self.chunk_rows
             factory = self.row_pipeline
@@ -318,10 +793,35 @@ class BoundQuery:
         else:
             rows = self.morsel_rows
             factory = lambda: self.column_pipeline(bool(use_array))  # noqa: E731
-        morsels = self.make_morsels(db, mine, 1, rows,
-                                    allow_identity=self.scan != "projection")
+        allow_identity = self.scan != "projection"
+        if ranges is not None:
+            range_parts = self.partition_ranges(ranges, nshards)
+            if shard >= len(range_parts) and shard > 0:
+                return ShardOutcome()
+            mine_ranges = (range_parts[shard]
+                           if shard < len(range_parts) else [])
+            morsels = self._morsels_from_ranges(db, mine_ranges, 1, rows,
+                                                allow_identity)
+        else:
+            parts = MorselDispatcher.partition(base, nshards)
+            if shard >= len(parts):  # shard 0 always runs
+                return ShardOutcome()
+            mine = parts[shard]
+            my_accept = (MorselDispatcher.partition(accept, nshards)[shard]
+                         if accept is not None else None)
+            morsels = self.make_morsels(db, mine, 1, rows,
+                                        allow_identity=allow_identity,
+                                        accept=my_accept)
+        state = self.reorder_state() if self.adaptive else None
+        reorders_before = state.reorders if state is not None else 0
         results = MorselDispatcher("serial").run(morsels, factory)
-        return ShardOutcome.collect(results)
+        outcome = ShardOutcome.collect(results)
+        if shard == 0 and counters.pruned:
+            outcome.morsels_skipped = counters.blocks_skipped
+            outcome.morsels_accepted = counters.blocks_accepted
+        if state is not None:
+            outcome.reorders = state.reorders - reorders_before
+        return outcome
 
 
 @dataclass(eq=False)
@@ -343,7 +843,9 @@ class BaselineBoundQuery:
     def pipeline(self) -> List[Operator]:
         steps = baseline_filter_steps(self.logical, self.dim_filters)
         if self.shape == "materializing":
-            return [IntersectScan(steps), ValueGather(self.logical)]
+            adapt = self.__dict__.setdefault("_adapt", ReorderState())
+            return [IntersectScan(steps, adapt=adapt),
+                    ValueGather(self.logical)]
         return [*steps, ValueGather(self.logical)]
 
     def base_positions(self, db: Database) -> np.ndarray:
@@ -389,6 +891,9 @@ class ShardOutcome:
     selected: int = 0
     morsels: int = 0
     seconds: float = 0.0
+    morsels_skipped: int = 0
+    morsels_accepted: int = 0
+    reorders: int = 0
 
     @classmethod
     def collect(cls, results: Sequence[MorselResult]) -> "ShardOutcome":
@@ -421,6 +926,9 @@ def fold_outcomes(outcomes: Sequence[ShardOutcome], stats,
     """
     stats.morsels += sum(o.morsels for o in outcomes)
     stats.rows_selected += sum(o.selected for o in outcomes)
+    stats.morsels_skipped += sum(o.morsels_skipped for o in outcomes)
+    stats.morsels_accepted += sum(o.morsels_accepted for o in outcomes)
+    stats.filters_reordered += sum(o.reorders for o in outcomes)
     for outcome in outcomes:
         for label, seconds in outcome.timings.items():
             stats.operator_seconds[label] = (
@@ -464,9 +972,20 @@ _PLAN_CACHE: Tuple[int, object] = (-1, None)
 
 
 def _worker_attach(manifest) -> None:
-    """Pool initializer: attach the shared arena once per worker."""
+    """Pool initializer: attach the shared arena once per worker.
+
+    The parent's exported zone maps seed the attached database's cache
+    (stamped with the attached tables' — immutable — mutation counts),
+    so worker-side pruning starts from the exact summaries the parent
+    built, zero-copy.
+    """
     global _ATTACHED
     _ATTACHED = attach_database(manifest)
+    cache = query_cache_for(_ATTACHED.db)
+    for store_key, value in _ATTACHED.zone_maps:
+        table = store_key[1]
+        stamps = ((table, _ATTACHED.db.table(table).mutation_count),)
+        cache.put("zone", store_key, value, stamps, value.nbytes)
 
 
 def _worker_run(task: ShardTask) -> ShardOutcome:
@@ -518,7 +1037,11 @@ class ProcessShardBackend:
         # memo with the plan.
         self._plan_pickles: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary())
-        self.arena = ColumnArena.export(db)
+        # zone maps built so far ride in the segment: workers attach the
+        # parent's summaries zero-copy instead of re-scanning columns
+        # (summaries built after the export are rebuilt worker-side)
+        self.arena = ColumnArena.export(
+            db, zone_entries=fresh_zone_entries(db, query_cache_for(db)))
         ctx = multiprocessing.get_context("spawn")
         self._pool = ctx.Pool(self.workers, initializer=_worker_attach,
                               initargs=(self.arena.manifest,))

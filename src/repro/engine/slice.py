@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from ..core import Database
-from ..core.column import AIRColumn, DictColumn
+from ..core.column import AIRColumn, DictColumn, FixedColumn
 from ..core.dictionary import Dictionary
 from ..core.schema import Reference, ReferencePath
 from ..errors import ExecutionError
@@ -64,6 +64,37 @@ class DictSlice:
 
 
 Slice = ArraySlice | DictSlice
+
+
+class RowRange:
+    """A contiguous band of base-table rows (``[start, stop)``).
+
+    The data-skipping layer yields survivors as whole zone-block runs;
+    carrying them as a range instead of an id array lets the provider
+    serve root-table slices as zero-copy views (like the identity
+    morsel) rather than positional gathers.
+    """
+
+    __slots__ = ("start", "stop")
+
+    def __init__(self, start: int, stop: int):
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def __len__(self) -> int:
+        return max(0, self.stop - self.start)
+
+    def as_positions(self) -> np.ndarray:
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    def take(self, idx: np.ndarray) -> np.ndarray:
+        """Global ids of the range rows selected by *idx*."""
+        return idx + self.start
+
+    __getitem__ = take  # morsels refine positions with ``positions[idx]``
+
+    def __repr__(self) -> str:
+        return f"RowRange({self.start}, {self.stop})"
 
 
 def chain_map(paths: Iterable[ReferencePath], base: str) -> Dict[str, List[Reference]]:
@@ -140,6 +171,8 @@ class PositionalProvider:
             )
         if prev is None:
             pos = column.values()
+        elif isinstance(prev, RowRange):
+            pos = column.values()[prev.start: prev.stop]  # zero-copy view
         else:
             pos = column.take(prev)
         self._cache[table] = pos
@@ -149,6 +182,14 @@ class PositionalProvider:
         """The slice of ``table.column_name`` aligned with the base rows."""
         column = self._db.table(table)[column_name]
         pos = self.positions_for(table)
+        if isinstance(pos, RowRange):
+            # contiguous base band: root-table slices stay views
+            if isinstance(column, DictColumn):
+                return DictSlice(column.codes()[pos.start: pos.stop],
+                                 column.dictionary)
+            if isinstance(column, FixedColumn):
+                return ArraySlice(column.values()[pos.start: pos.stop])
+            pos = pos.as_positions()  # variable-width layouts gather
         if isinstance(column, DictColumn):
             codes = column.codes() if pos is None else column.take_codes(pos)
             return DictSlice(codes, column.dictionary)
@@ -157,7 +198,9 @@ class PositionalProvider:
 
     def rebase(self, positions: np.ndarray) -> "PositionalProvider":
         """A new provider over a subset/reordering of base rows."""
-        if self._positions is not None:
+        if isinstance(self._positions, RowRange):
+            positions = self._positions.take(positions)
+        elif self._positions is not None:
             positions = self._positions[positions]
         return PositionalProvider(self._db, self._base, self._chains, positions)
 

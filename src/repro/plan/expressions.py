@@ -111,3 +111,76 @@ def bound_columns(expr: BoundExpression) -> list[BoundColumn]:
 def tables_of(expr: BoundExpression) -> set[str]:
     """The set of tables an expression touches."""
     return {c.table for c in bound_columns(expr)}
+
+
+@dataclass(frozen=True)
+class ColumnInterval:
+    """A value interval implied by a predicate over one column.
+
+    Rows passing the predicate satisfy ``lo <= column <= hi`` (``None``
+    bounds are unbounded) — a *necessary* condition, which is what makes
+    interval-vs-zone-map disjointness a sound skip.  ``exact`` marks
+    intervals that are also *sufficient*: every value inside the
+    interval passes (true for pure range/equality predicates, false for
+    the IN-list superset interval), which is what allows a block whose
+    zone-map range lies entirely inside the interval to be accepted
+    without evaluating the predicate.
+    """
+
+    column: BoundColumn
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    exact: bool = True
+
+
+def _interval_literal(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def predicate_interval(expr: BoundExpression) -> Optional[ColumnInterval]:
+    """The :class:`ColumnInterval` implied by *expr*, or ``None``.
+
+    Recognizes single-column comparisons against numeric literals
+    (``=``, ``<``, ``<=``, ``>``, ``>=``, either operand order),
+    non-negated BETWEEN with literal bounds, and non-negated IN over
+    numeric literals (as a superset interval).  Anything else — LIKE,
+    disjunctions, negations, arithmetic, string bounds — is not interval-
+    prunable and returns ``None``.
+    """
+    if isinstance(expr, BoundCompare):
+        left, right, op = expr.left, expr.right, expr.op
+        if (isinstance(right, BoundColumn)
+                and isinstance(left, BoundLiteral)):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            left, right = right, left
+            op = flipped.get(op, op)
+        if not (isinstance(left, BoundColumn)
+                and isinstance(right, BoundLiteral)
+                and _interval_literal(right.value)):
+            return None
+        value = right.value
+        if op == "=":
+            return ColumnInterval(left, value, value)
+        if op == "<":
+            return ColumnInterval(left, None, value, exact=False)
+        if op == "<=":
+            return ColumnInterval(left, None, value)
+        if op == ">":
+            return ColumnInterval(left, value, None, exact=False)
+        if op == ">=":
+            return ColumnInterval(left, value, None)
+        return None  # <> implies no interval
+    if isinstance(expr, BoundBetween) and not expr.negated:
+        if (isinstance(expr.expr, BoundColumn)
+                and isinstance(expr.low, BoundLiteral)
+                and isinstance(expr.high, BoundLiteral)
+                and _interval_literal(expr.low.value)
+                and _interval_literal(expr.high.value)):
+            return ColumnInterval(expr.expr, expr.low.value, expr.high.value)
+        return None
+    if isinstance(expr, BoundIn) and not expr.negated:
+        if (isinstance(expr.expr, BoundColumn) and expr.values
+                and all(_interval_literal(v) for v in expr.values)):
+            return ColumnInterval(expr.expr, min(expr.values),
+                                  max(expr.values), exact=False)
+    return None

@@ -27,7 +27,7 @@ from ..core import Database
 from ..core.column import DictColumn
 from ..errors import PlanError
 from .binder import GroupKey, LogicalPlan
-from .expressions import BoundAnd, BoundExpression
+from .expressions import BoundAnd, BoundExpression, predicate_interval
 
 
 @dataclass(frozen=True)
@@ -70,17 +70,32 @@ class OpSpec:
     the bound object the engine needs (an expression, a
     :class:`DimDecision`, …), and ``selectivity`` is the optimizer's
     estimate used for ordering filter-like nodes.
+
+    ``prune`` annotates nodes the data-skipping layer can evaluate
+    against zone maps alone: ``("interval", ColumnInterval)`` for fact
+    predicates with a literal interval, ``("fk", first_dim)`` for
+    dimension probes whose predicate vector exists at bind time (the
+    engine turns it into an FK-range pass count).
     """
 
     op: str
     detail: str = ""
     payload: object = None
     selectivity: Optional[float] = None
+    prune: Optional[tuple] = None
 
     def render(self) -> str:
         text = f"{self.op}({self.detail})" if self.detail else self.op
         if self.selectivity is not None:
             text += f" [sel~{self.selectivity:.4f}]"
+        if self.prune is not None:
+            if self.prune[0] == "interval":
+                iv = self.prune[1]
+                lo = "-inf" if iv.lo is None else iv.lo
+                hi = "+inf" if iv.hi is None else iv.hi
+                text += f" [prune {iv.column.name} in {lo}..{hi}]"
+            else:
+                text += f" [prune fk-range via {self.prune[1]}]"
         return text
 
 
@@ -136,13 +151,19 @@ def build_pipeline(logical: LogicalPlan,
     specs: List[OpSpec] = [OpSpec("scan", logical.root)]
     steps: List[OpSpec] = []
     for expr, sel in fact_conjuncts:
+        interval = predicate_interval(expr)
+        prune = None
+        if interval is not None and interval.column.table == logical.root:
+            prune = ("interval", interval)
         steps.append(OpSpec("filter", str(expr), payload=expr,
-                            selectivity=sel))
+                            selectivity=sel, prune=prune))
     for dd in dim_decisions:
         mode = "vector" if dd.use_filter else "predicate"
         steps.append(OpSpec("air-probe", f"{dd.first_dim}:{mode}",
                             payload=dd,
-                            selectivity=dd.estimated_selectivity))
+                            selectivity=dd.estimated_selectivity,
+                            prune=("fk", dd.first_dim) if dd.use_filter
+                            else None))
     steps.sort(key=lambda s: s.selectivity)
     specs.extend(steps)
     if logical.is_projection:

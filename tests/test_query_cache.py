@@ -265,7 +265,8 @@ class TestQueryCacheMechanics:
         engine = fresh_engine(tiny_star)
         engine.query("SELECT count(*) AS n FROM lineorder")
         rows = engine.cache.stats_rows()
-        assert [row[0] for row in rows] == ["plan", "leaf", "axis", "result"]
+        assert [row[0] for row in rows] == [
+            "plan", "leaf", "axis", "zone", "result"]
 
 
 class TestScratchPool:
