@@ -8,6 +8,9 @@ from .harness import (
     backend_scaling_sweep,
     breakdown_rows,
     close_engines,
+    concurrency_payload,
+    concurrency_rows,
+    concurrency_sweep,
     explain_engines,
     operator_breakdown,
     pruning_payload,
@@ -34,6 +37,7 @@ from .timing import best_of, median_ms, ms, ns_per_tuple
 
 __all__ = [
     "backend_scaling_sweep", "best_of", "breakdown_rows", "close_engines",
+    "concurrency_payload", "concurrency_rows", "concurrency_sweep",
     "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest", "explain_engines",
     "format_ratio_note", "format_table", "host_info", "host_note",
     "median_ms", "ms", "ns_per_tuple", "operator_breakdown",

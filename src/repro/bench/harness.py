@@ -489,6 +489,142 @@ def pruning_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
     return payload
 
 
+def concurrency_sweep(sf: float = DEFAULT_SCALE,
+                      client_counts: Sequence[int] = (1, 8, 64),
+                      query_ids: Optional[Sequence[str]] = None,
+                      rounds: int = 2,
+                      backend: str = "serial",
+                      workers: int = 1,
+                      max_concurrency: Optional[int] = None,
+                      db: Optional[Database] = None,
+                      check_rows: bool = True) -> Dict[int, dict]:
+    """Serve-mode throughput and latency under concurrent clients.
+
+    For every client count an :class:`~repro.engine.serve.AsyncEngine`
+    (serving tier on, over *backend*/*workers*) runs N client
+    coroutines on one event loop; each client awaits the SSB flight
+    ``rounds`` times, with a per-client offset into the query order so
+    distinct queries are genuinely in flight together.  One unmeasured
+    warm-up flight primes the cache tiers (and provides the reference
+    rows for the differential); the measured window then contains
+    nothing but ``await engine.query`` calls.  Returns ``{clients:
+    cell}`` with aggregate ``qps``, latency percentiles ``p50_ms`` /
+    ``p95_ms`` / ``p99_ms``, the executed/served/coalesced counters,
+    and ``speedup_vs_1`` (aggregate qps relative to the 1-client cell).
+    """
+    import asyncio
+
+    import numpy as np
+
+    from ..engine.executor import AStoreEngine, EngineOptions
+    from ..engine.serve import AsyncEngine
+
+    database = db if db is not None else ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    rounds = max(1, rounds)
+    reference: Dict[str, list] = {}
+    out: Dict[int, dict] = {}
+
+    async def client(engine: AsyncEngine, offset: int,
+                     latencies: List[float]) -> None:
+        for round_no in range(rounds):
+            for i in range(len(ids)):
+                sql = SSB_QUERIES[ids[(i + offset) % len(ids)]]
+                t0 = time.perf_counter()
+                await engine.query(sql)
+                latencies.append(time.perf_counter() - t0)
+
+    async def run_cell(nclients: int) -> dict:
+        options = EngineOptions(parallel_backend=backend, workers=workers,
+                                cache_results=True)
+        async with AsyncEngine(database, options=options,
+                               max_concurrency=max_concurrency) as engine:
+            for query_id in ids:  # warm-up + differential (not measured)
+                result = await engine.query(SSB_QUERIES[query_id])
+                if check_rows:
+                    rows = result.rows()
+                    expected = reference.setdefault(query_id, rows)
+                    if rows != expected:
+                        raise AssertionError(
+                            f"{nclients} concurrent clients changed the "
+                            f"result of {query_id}")
+            before = engine.stats.snapshot()
+            latencies: List[float] = []
+            t0 = time.perf_counter()
+            await asyncio.gather(*(client(engine, offset, latencies)
+                                   for offset in range(nclients)))
+            wall = time.perf_counter() - t0
+            after = engine.stats.snapshot()
+        lat_ms = np.asarray(latencies) * 1e3
+        return {
+            "clients": nclients,
+            "queries": len(latencies),
+            "qps": len(latencies) / wall if wall else float("inf"),
+            "wall_ms": wall * 1e3,
+            "p50_ms": float(np.percentile(lat_ms, 50)),
+            "p95_ms": float(np.percentile(lat_ms, 95)),
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+            "peak_inflight": after["peak_inflight"],
+            "served_on_loop": after["served_on_loop"] - before["served_on_loop"],
+            "coalesced": after["coalesced"] - before["coalesced"],
+            "executed": after["executed"] - before["executed"],
+        }
+
+    # serial reference for the differential comes from a plain engine
+    if check_rows:
+        probe = AStoreEngine(database, EngineOptions(
+            parallel_backend="serial", use_cache=False))
+        for query_id in ids:
+            reference[query_id] = probe.query(SSB_QUERIES[query_id]).rows()
+
+    for nclients in client_counts:
+        out[int(nclients)] = asyncio.run(run_cell(int(nclients)))
+    if not out:
+        return out
+    # speedups are honest about their baseline: the 1-client cell when
+    # swept, else the smallest swept client count (recorded per cell)
+    base_clients = 1 if 1 in out else min(out)
+    base_qps = out[base_clients]["qps"]
+    for cell in out.values():
+        cell["baseline_clients"] = base_clients
+        cell["speedup_vs_base"] = (cell["qps"] / base_qps if base_qps
+                                   else float("nan"))
+    return out
+
+
+def concurrency_rows(times: Dict[int, dict]) -> List[List]:
+    """``[clients, queries, qps, p50, p95, p99, x vs baseline, served,
+    coalesced, executed]`` rows for :func:`repro.bench.format_table`
+    (the baseline client count is recorded in every cell)."""
+    rows: List[List] = []
+    for nclients in sorted(times):
+        cell = times[nclients]
+        rows.append([
+            nclients, cell["queries"], cell["qps"], cell["p50_ms"],
+            cell["p95_ms"], cell["p99_ms"], cell["speedup_vs_base"],
+            cell["served_on_loop"], cell["coalesced"], cell["executed"],
+        ])
+    return rows
+
+
+def concurrency_payload(times: Dict[int, dict], query_ids: Sequence[str],
+                        rounds: Optional[int] = None,
+                        backend: Optional[str] = None,
+                        workers: Optional[int] = None) -> dict:
+    """The ``BENCH_*.json`` payload for a concurrency sweep."""
+    payload = {
+        "queries": list(query_ids),
+        "cells": [times[nclients] for nclients in sorted(times)],
+    }
+    if rounds is not None:
+        payload["rounds"] = rounds
+    if backend is not None:
+        payload["backend"] = backend
+    if workers is not None:
+        payload["workers"] = workers
+    return payload
+
+
 def qps_rows(times: Dict[tuple, dict]) -> List[List]:
     """``[backend, workers, mode, qps, flight ms, x vs cold, hits]``
     rows for :func:`repro.bench.format_table`."""

@@ -10,7 +10,9 @@ Subcommands::
     astore bench ssb.npz                     # backend x workers scaling sweep
     astore bench ssb.npz --mode qps          # cold vs warm-cache throughput
     astore bench ssb.npz --mode pruning      # data skipping on vs off
+    astore bench ssb.npz --mode concurrency  # qps/latency at N in-flight clients
     astore cache ssb.npz                     # per-tier cache hit statistics
+    astore serve ssb.npz --port 7433         # asyncio line-protocol server
     astore validate ssb.npz                  # referential-integrity check
 
 ``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
@@ -116,13 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaling, qps (cold vs warm cache), or pruning sweep over "
              "SSB queries")
     bench.add_argument("database", help="a .npz archive of an SSB database")
-    bench.add_argument("--mode", choices=("scaling", "qps", "pruning"),
+    bench.add_argument("--mode",
+                       choices=("scaling", "qps", "pruning", "concurrency"),
                        default="scaling",
                        help="scaling: backend x workers best-of sweep; "
                             "qps: repeated-flight throughput, cold vs "
                             "warm-cache; pruning: cold flights with data "
                             "skipping on vs off, with skipped/scanned "
-                            "morsel counts")
+                            "morsel counts; concurrency: serve-mode qps + "
+                            "latency percentiles at N in-flight async "
+                            "clients")
     bench.add_argument("--backends", default=None,
                        help="comma-separated BACKENDS names (default: "
                             "serial,thread,process for scaling; serial "
@@ -134,7 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", type=int, default=3,
                        help="best-of repeats per cell (scaling mode)")
     bench.add_argument("--rounds", type=int, default=3,
-                       help="measured flights per cell (qps mode)")
+                       help="measured flights per cell (qps mode) or per "
+                            "client (concurrency mode)")
+    bench.add_argument("--clients", default="1,8,64",
+                       help="comma-separated in-flight client counts "
+                            "(concurrency mode)")
     bench.add_argument("--no-cache", action="store_true",
                        help="scaling mode: disable the query cache")
     bench.add_argument("--out", metavar="PATH",
@@ -166,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--result-entries", type=int, default=0, metavar="N",
                        help="cap the result tier at N entries "
                             "(0 = shared default)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve concurrent queries over TCP (newline-delimited JSON "
+             "or raw SQL in, JSON out; PING/SHUTDOWN admin lines)")
+    serve.add_argument("database", help="a .npz archive from 'generate'")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7433,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--variant", choices=sorted(VARIANTS),
+                       default="AIRScan_C_P_G")
+    serve.add_argument("--backend", choices=sorted(BACKENDS),
+                       default="serial",
+                       help="sync execution backend the async engine "
+                            "multiplexes over")
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--max-concurrency", type=int, default=0,
+                       help="bound on concurrently executing queries "
+                            "(0 = derive from the core count)")
+    serve.add_argument("--no-serve-cache", action="store_true",
+                       help="disable the result (serving) tier")
 
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
@@ -271,6 +301,9 @@ def _dispatch(args) -> int:
     if args.command == "cache":
         return _dispatch_cache(args)
 
+    if args.command == "serve":
+        return _dispatch_serve(args)
+
     if args.command == "validate":
         db = load_database(args.database)
         problems = validate_references(db)
@@ -315,7 +348,32 @@ def _dispatch_bench(args) -> int:
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
 
-    if args.mode == "pruning":
+    if args.mode == "concurrency":
+        from .bench import (
+            concurrency_payload,
+            concurrency_rows,
+            concurrency_sweep,
+        )
+
+        clients = [int(c) for c in args.clients.split(",")
+                   if c.strip()] or [1, 8, 64]
+        backend = backends[0]
+        workers = min(worker_counts)
+        times = concurrency_sweep(
+            client_counts=clients, query_ids=query_ids, rounds=args.rounds,
+            backend=backend, workers=workers, db=db)
+        base_clients = 1 if 1 in times else min(times)
+        text = host_note() + "\n" + format_table(
+            f"concurrency sweep over {db.name} (serve mode, {backend} "
+            f"backend, workers={workers}, {args.rounds} flights/client)",
+            ["clients", "queries", "qps", "p50 ms", "p95 ms", "p99 ms",
+             f"x vs {base_clients} client", "served", "coalesced",
+             "executed"],
+            concurrency_rows(times))
+        payload = concurrency_payload(times, query_ids, rounds=args.rounds,
+                                      backend=backend, workers=workers)
+        benchmark = "concurrency"
+    elif args.mode == "pruning":
         times = pruning_sweep(backends=backends, query_ids=query_ids,
                               rounds=args.rounds,
                               workers=min(worker_counts), db=db)
@@ -372,6 +430,29 @@ def _dispatch_bench(args) -> int:
     if args.json:
         write_bench_json(args.json, benchmark, payload)
         print(f"wrote {args.json}")
+    return 0
+
+
+def _dispatch_serve(args) -> int:
+    """``astore serve``: the asyncio line-protocol query server."""
+    import asyncio
+    from dataclasses import replace as dataclasses_replace
+
+    from .engine.serve import run_server
+
+    db = load_database(args.database)
+    options = dataclasses_replace(
+        VARIANTS[args.variant],
+        parallel_backend=args.backend,
+        workers=args.workers,
+        cache_results=not args.no_serve_cache,
+    )
+    try:
+        asyncio.run(run_server(
+            db, options=options, host=args.host, port=args.port,
+            max_concurrency=args.max_concurrency or None))
+    except KeyboardInterrupt:
+        print("astore serve: interrupted, shutting down")
     return 0
 
 

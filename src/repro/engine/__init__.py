@@ -3,7 +3,8 @@
 from .aggregate import AggregationState, array_aggregate, finalize, hash_aggregate
 from .cache import QueryCache, query_cache_for, table_stamps
 from .executor import AStoreEngine, EngineOptions, VARIANTS, rewrite_for_options
-from .scratch import ScratchPool, local_pool
+from .scratch import PoolLease, ScratchPool, lease_pool, local_pool
+from .serve import AsyncEngine, QueryServer, ServeStats, run_server, serve_tcp
 from .expression import evaluate_measure, evaluate_predicate, like_to_regex
 from .grouping import GroupAxis, build_axes, combine_codes, total_groups
 from .operators import (
@@ -46,7 +47,9 @@ from .slice import (
 
 __all__ = [
     "Aggregate", "AggregationState", "AIRProbe", "ApplyMask",
-    "array_aggregate", "ArraySlice", "AStoreEngine", "BoundQuery",
+    "array_aggregate", "ArraySlice", "AStoreEngine", "AsyncEngine",
+    "lease_pool", "PoolLease", "QueryServer", "run_server",
+    "serve_tcp", "ServeStats", "BoundQuery",
     "build_axes", "chain_map", "combine_codes", "dimension_provider",
     "LeafFilterSpec", "LeafProducts", "ProcessShardBackend",
     "PruneCounters", "ReorderState", "RowRange", "ShardOutcome",

@@ -26,8 +26,12 @@ stamps the shared-memory arena already uses:
   repeats.  Results are stamped like every other tier, so a mutation
   anywhere in the query's table set drops the entry instead of serving
   stale rows.  Served results share their column arrays with the cached
-  copy; callers treat result columns as read-only (as the repo already
-  does everywhere).
+  copy, and that sharing is **enforced immutable**: the executor
+  freezes the arrays (read-only views) before storing, :meth:`put`
+  rejects a writable result-tier entry, and every hit is handed out as
+  a per-caller :meth:`~repro.engine.result.QueryResult.served_copy`
+  with its own column map — one caller mutating a served result can
+  neither corrupt the cache nor be observed by a concurrent caller.
 
 Every entry records the ``(table, mutation_count)`` stamps of the
 tables it was computed from and is revalidated on lookup — an update to
@@ -178,7 +182,15 @@ class QueryCache:
 
     def put(self, tier: str, key: tuple, value, stamps: Stamps,
             nbytes: int = 0) -> bool:
-        """Store *value*; returns False when it exceeds the tier's caps."""
+        """Store *value*; returns False when it exceeds the tier's caps.
+
+        Result-tier values must be frozen (read-only column arrays, see
+        :meth:`QueryResult.freeze`): a writable entry would let one
+        served caller mutate what every later caller is handed."""
+        if tier == "result" and not _result_is_frozen(value):
+            raise ValueError(
+                "result-tier entries must be frozen QueryResults "
+                "(store result.freeze(), serve result.served_copy())")
         with self._lock:
             if tier == "result" and nbytes > self.max_result_entry_bytes:
                 return False
@@ -268,6 +280,12 @@ class QueryCache:
             if hits + misses:
                 rates[tier] = hits / (hits + misses)
         return rates
+
+
+def _result_is_frozen(value) -> bool:
+    """Duck-typed immutability check for serving-tier entries (anything
+    without a ``frozen`` attribute — e.g. a test stub — is let through)."""
+    return bool(getattr(value, "frozen", True))
 
 
 # -- canonical fingerprints ---------------------------------------------------

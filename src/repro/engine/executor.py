@@ -33,6 +33,7 @@ operators, and everything a worker process needs lives in the bound plan.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -212,6 +213,11 @@ class AStoreEngine:
         self.db = db
         self.options = options or EngineOptions()
         self._shard_backend: Optional[ProcessShardBackend] = None
+        # guards the engine's shard-backend slot: concurrent queries on
+        # one engine must not double-release a stale backend (each run
+        # additionally pins the backend it checked out, see
+        # _checkout_backend)
+        self._backend_lock = threading.Lock()
         # one cache is shared per database object, so every engine (and
         # variant) over the same data reuses dimension scans and axes
         self.cache: Optional[QueryCache] = (
@@ -238,7 +244,8 @@ class AStoreEngine:
 
     def close(self) -> None:
         """Release process-backend resources (worker pool + shared arena)."""
-        backend, self._shard_backend = self._shard_backend, None
+        with self._backend_lock:
+            backend, self._shard_backend = self._shard_backend, None
         if backend is not None:
             release_shard_backend(backend)
 
@@ -306,9 +313,26 @@ class AStoreEngine:
         bound-plan object, revalidated against the mutation stamps of
         every table it touches; ``leaf_seconds`` then reflects the
         lookup, not a recompile.
+
+        Note for concurrent callers: a cached plan is shared, so the
+        ``leaf_seconds``/``cache_events`` bookkeeping stamped on here is
+        last-writer-wins (timing skew only, never results).
+        :meth:`query` routes those per-execution values out-of-band
+        instead, so the serving path is free of even that skew.
         """
+        bound, leaf_seconds, events = self._compile_cached(query, snapshot)
+        bound.leaf_seconds = leaf_seconds
+        bound.cache_events = events
+        return bound
+
+    def _compile_cached(self, query, snapshot: Optional[int]
+                        ) -> Tuple[BoundQuery, float, Dict[str, int]]:
+        """Compile through the plan tier, returning the (possibly
+        shared) plan plus this call's own ``(leaf_seconds, events)`` —
+        nothing per-execution is written onto the shared object."""
         if self.cache is None:
-            return self._compile(self.plan(query), snapshot)
+            bound = self._compile(self.plan(query), snapshot)
+            return bound, bound.leaf_seconds, dict(bound.cache_events)
         t0 = time.perf_counter()
         stmt = parse_cached(query) if isinstance(query, str) else query
         key = (query_fingerprint(stmt, self._cache_token()), snapshot)
@@ -316,14 +340,8 @@ class AStoreEngine:
         if bound is not None:
             # Same object on purpose: shard backends memoize the plan
             # pickle by object identity, and any value-shared key would
-            # risk shipping stale bytes after a recompile.  The cost is
-            # that these two bookkeeping fields are shared — a later
-            # compile of the same query rewrites them, so stats read
-            # from a *held* plan can reflect the newest lookup.  That
-            # skews microsecond-level timings only, never results.
-            bound.leaf_seconds = time.perf_counter() - t0
-            bound.cache_events = {"plan_hits": 1}
-            return bound
+            # risk shipping stale bytes after a recompile.
+            return bound, time.perf_counter() - t0, {"plan_hits": 1}
         # stamps are captured BEFORE compiling: if a writer mutates a
         # table mid-compile, the stored entry carries the pre-mutation
         # stamp and the next lookup discards it — stamped-after, a
@@ -337,7 +355,7 @@ class AStoreEngine:
                        tuple(sorted((name, pre_stamps[name])
                                     for name in set(bound.logical.tables))),
                        bound_nbytes(bound))
-        return bound
+        return bound, bound.leaf_seconds, dict(events)
 
     def _compile(self, physical: PhysicalPlan, snapshot: Optional[int],
                  events: Optional[Dict[str, int]] = None) -> BoundQuery:
@@ -367,20 +385,67 @@ class AStoreEngine:
     # -- execution ----------------------------------------------------------
 
     def query(self, query, snapshot: Optional[int] = None) -> QueryResult:
-        """Compile (through the cache, when enabled) and execute *query*."""
-        return self.run_compiled(self.compile(query, snapshot))
+        """Compile (through the cache, when enabled) and execute *query*.
+
+        Safe for concurrent callers: per-execution bookkeeping travels
+        out-of-band instead of through fields of the shared cached plan.
+        """
+        bound, leaf_seconds, events = self._compile_cached(query, snapshot)
+        return self.run_compiled(bound, leaf_seconds=leaf_seconds,
+                                 cache_events=events)
 
     def execute(self, physical: PhysicalPlan,
                 snapshot: Optional[int] = None) -> QueryResult:
         """Run a physical plan, optionally against an MVCC *snapshot*."""
         return self.run_compiled(self._compile(physical, snapshot))
 
-    def run_compiled(self, bound: BoundQuery) -> QueryResult:
+    def result_key(self, query, snapshot: Optional[int] = None
+                   ) -> Optional[tuple]:
+        """The plan/result-tier cache key of *query* on this engine
+        (``None`` with the cache disabled) — what the serving layer uses
+        to coalesce concurrent identical queries."""
+        if self.cache is None:
+            return None
+        stmt = parse_cached(query) if isinstance(query, str) else query
+        return (query_fingerprint(stmt, self._cache_token()), snapshot)
+
+    def serve_cached(self, query, snapshot: Optional[int] = None,
+                     key: Optional[tuple] = None) -> Optional[QueryResult]:
+        """Result-tier-only lookup: a per-caller copy of the cached
+        result for an exact repeat, or ``None`` on a miss (including
+        cache/serving disabled or a stale entry).  Never compiles or
+        executes — this is the non-blocking fast path the async serving
+        layer answers from without leaving the event loop.  Callers
+        that already hold the :meth:`result_key` pass it to skip the
+        parse + fingerprint."""
+        if self.cache is None or not self.options.cache_results:
+            return None
+        t0 = time.perf_counter()
+        if key is None:
+            key = self.result_key(query, snapshot)
+        hit = self.cache.get("result", key, self.db)
+        if hit is None:
+            return None
+        return _served_result(hit, time.perf_counter() - t0)
+
+    def run_compiled(self, bound: BoundQuery,
+                     leaf_seconds: Optional[float] = None,
+                     cache_events: Optional[Dict[str, int]] = None
+                     ) -> QueryResult:
         """Execute a (possibly unpickled) bound plan on this engine's
         database, honouring the configured backend.
 
         With ``cache_results`` enabled, an exact repeat whose mutation
-        stamps still hold is served straight from the result tier."""
+        stamps still hold is served straight from the result tier — as
+        a frozen, per-caller copy, so served results can never alias
+        each other's mutations.  ``leaf_seconds``/``cache_events``
+        override the plan's stamped-on bookkeeping (the plan object is
+        shared between concurrent callers when cached; :meth:`query`
+        passes this call's own values)."""
+        if leaf_seconds is None:
+            leaf_seconds = bound.leaf_seconds
+        if cache_events is None:
+            cache_events = dict(bound.cache_events)
         bound.hydrate(self.db)  # lazily-shipped leaf filters, if unpickled
         serve = (self.cache is not None and self.options.cache_results
                  and bound.cache_key is not None)
@@ -390,13 +455,13 @@ class AStoreEngine:
             hit = self.cache.get("result", bound.cache_key, self.db)
             if hit is not None:
                 return _served_result(
-                    hit, time.perf_counter() - t_total + bound.leaf_seconds)
+                    hit, time.perf_counter() - t_total + leaf_seconds)
             # pre-execution stamps: a mutation racing this execution
             # leaves the stored result stamped stale, never stale-fresh
             serve_stamps = table_stamps(self.db, bound.logical.tables)
         stats = ExecutionStats(variant=bound.variant)
-        stats.leaf_seconds = bound.leaf_seconds
-        stats.cache_events = dict(bound.cache_events)
+        stats.leaf_seconds = leaf_seconds
+        stats.cache_events = dict(cache_events)
         for dim in bound.leaf.filters:
             stats.filter_modes[dim] = "vector"
         for dim in bound.leaf.probes:
@@ -416,12 +481,17 @@ class AStoreEngine:
         # leaf binding happened at compile time; fold it back in so the
         # total covers all three phases (phase sums never exceed it)
         stats.total_seconds = (time.perf_counter() - t_total
-                               + bound.leaf_seconds)
+                               + leaf_seconds)
         if serve:
+            # the cached copy is frozen (immutable views, private column
+            # map) and this caller gets its own wrapper over the same
+            # arrays — nobody holds a handle that can corrupt the tier
+            frozen = result.freeze()
             nbytes = sum(int(getattr(col, "nbytes", 0))
-                         for col in result.columns.values())
-            self.cache.put("result", bound.cache_key, result,
+                         for col in frozen.columns.values())
+            self.cache.put("result", bound.cache_key, frozen,
                            serve_stamps, nbytes)
+            return frozen.served_copy(stats)
         return result
 
     # -- stage 1: leaf processing (binding) ----------------------------------
@@ -618,17 +688,31 @@ class AStoreEngine:
 
     # -- sharded (process-backend) execution ----------------------------------
 
-    def _ensure_shard_backend(self) -> ProcessShardBackend:
-        backend = self._shard_backend
-        if backend is not None and backend.is_stale(self.db):
-            # the arena is a point-in-time copy; a mutation since export
-            # means the shards would serve stale rows — re-export
-            release_shard_backend(backend)
-            backend = self._shard_backend = None
-        if backend is None:
-            backend = self._shard_backend = acquire_shard_backend(
-                self.db, self.options.workers)
-        return backend
+    def _checkout_backend(self) -> ProcessShardBackend:
+        """A fresh (non-stale) shard backend, pinned for one run.
+
+        The engine-level lock makes the stale-check/release/re-acquire
+        sequence atomic — two concurrent queries on one engine can
+        never double-release the shared slot — and the extra
+        :meth:`~ProcessShardBackend.retain` reference keeps the
+        checked-out backend's pool and arena alive for the duration of
+        this run even if a concurrent query observes a mutation and
+        swaps the engine onto a fresh export mid-flight.  Callers pair
+        it with :func:`release_shard_backend`.
+        """
+        with self._backend_lock:
+            backend = self._shard_backend
+            if backend is not None and backend.is_stale(self.db):
+                # the arena is a point-in-time copy; a mutation since
+                # export means the shards would serve stale rows —
+                # re-export
+                release_shard_backend(backend)
+                backend = self._shard_backend = None
+            if backend is None:
+                backend = self._shard_backend = acquire_shard_backend(
+                    self.db, self.options.workers)
+            backend.retain()
+            return backend
 
     def _run_sharded(self, bound: BoundQuery, base: np.ndarray,
                      stats: ExecutionStats) -> QueryResult:
@@ -643,15 +727,18 @@ class AStoreEngine:
         # before a (first) arena export, so workers attach the
         # summaries zero-copy instead of re-deriving them
         bound.warm_zone_maps(self.db)
-        backend = self._ensure_shard_backend()
-        use_array: Optional[bool] = None
-        agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
-        if bound.scan == "column":
-            use_array = bound.decide_use_array(
-                bound.estimated_selected(len(base)))
-            agg_labels = ("aggregate",)
-        outcomes = backend.run(bound, nshards=self.options.workers,
-                               use_array=use_array)
+        backend = self._checkout_backend()
+        try:
+            use_array: Optional[bool] = None
+            agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
+            if bound.scan == "column":
+                use_array = bound.decide_use_array(
+                    bound.estimated_selected(len(base)))
+                agg_labels = ("aggregate",)
+            outcomes = backend.run(bound, nshards=self.options.workers,
+                                   use_array=use_array)
+        finally:
+            release_shard_backend(backend)
         fold_outcomes(outcomes, stats, agg_labels)
 
         if bound.scan == "projection":
@@ -711,11 +798,13 @@ def _bump(events: Dict[str, int], key: str) -> None:
 
 
 def _served_result(cached: QueryResult, seconds: float) -> QueryResult:
-    """A result-tier hit: the cached columns under fresh statistics.
+    """A result-tier hit: a per-caller copy of the cached result.
 
-    Column arrays are shared with the cached copy (results are treated
-    as read-only everywhere in the repo); counters carry over, timings
-    reflect the lookup — which is the point of the serving tier.
+    Column arrays are shared with the cached copy but frozen
+    (read-only views), and the caller gets its own column map — so a
+    served result can be neither written through nor used to corrupt
+    the cache.  Counters carry over; timings reflect the lookup, which
+    is the point of the serving tier.
     """
     src = cached.stats
     stats = ExecutionStats(variant=src.variant)
@@ -729,7 +818,7 @@ def _served_result(cached: QueryResult, seconds: float) -> QueryResult:
     stats.filter_modes = dict(src.filter_modes)
     stats.total_seconds = seconds
     stats.cache_events = {"result_hits": 1}
-    return QueryResult(cached.column_order, cached.columns, stats)
+    return cached.served_copy(stats)
 
 
 def _concat_projection(logical: LogicalPlan,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -44,6 +44,15 @@ class ExecutionStats:
     filter_modes: Dict[str, str] = field(default_factory=dict)
     operator_seconds: Dict[str, float] = field(default_factory=dict)
     cache_events: Dict[str, int] = field(default_factory=dict)
+
+    def clone(self) -> "ExecutionStats":
+        """An independent copy (dict fields included) — what a cached
+        result keeps, so no caller's stats object is shared with it."""
+        copy = replace(self)
+        copy.filter_modes = dict(self.filter_modes)
+        copy.operator_seconds = dict(self.operator_seconds)
+        copy.cache_events = dict(self.cache_events)
+        return copy
 
     @property
     def selectivity(self) -> float:
@@ -96,6 +105,37 @@ class QueryResult:
     def to_dicts(self) -> List[dict]:
         """All rows as ``{column: value}`` dictionaries."""
         return [dict(zip(self.column_order, row)) for row in self.rows()]
+
+    @property
+    def frozen(self) -> bool:
+        """True when every column array is read-only (a served result)."""
+        return all(not values.flags.writeable
+                   for values in self.columns.values()
+                   if isinstance(values, np.ndarray))
+
+    def freeze(self) -> "QueryResult":
+        """A read-only copy for the serving tier.
+
+        Column arrays are replaced by immutable views of the same
+        buffers (zero-copy), and the column map *and statistics* are
+        private copies, so a caller can neither write through a served
+        array nor reach the cached copy through a shared dict or stats
+        object.  Each serve hands out another :meth:`served_copy`,
+        never this object's own ``columns`` dict.
+        """
+        frozen: Dict[str, np.ndarray] = {}
+        for name, values in self.columns.items():
+            view = values.view()
+            view.flags.writeable = False
+            frozen[name] = view
+        return QueryResult(self.column_order, frozen, self.stats.clone())
+
+    def served_copy(self, stats: ExecutionStats) -> "QueryResult":
+        """A per-caller wrapper around this (frozen) result: shares the
+        immutable column arrays but owns its column map, order list and
+        statistics — concurrent callers can never observe each other's
+        mutations of a served result."""
+        return QueryResult(self.column_order, dict(self.columns), stats)
 
     def scalar(self):
         """The single value of a one-row, one-column result."""

@@ -1,18 +1,19 @@
-"""Per-thread scratch buffers for the morsel hot path.
+"""Scratch buffers for the morsel hot path: per-thread, or per-lease.
 
 Every morsel trip through a pipeline used to allocate a fresh boolean
 mask per filter-like operator (the probe gather, the existence check,
 the MVCC mask gather).  With small morsels the allocator — not the
 kernel work — dominates the profile.  This module keeps one growable
-buffer per ``(dtype, slot)`` pair **per thread**, so the serial backend
-reuses the same masks across every morsel of a query, each thread of
-the ``thread`` backend owns its own set, and a ``process`` shard worker
-keeps its buffers warm across queries for the lifetime of the worker.
+buffer per ``(dtype, slot)`` pair **per execution context**, so the
+serial backend reuses the same masks across every morsel of a query,
+each thread of the ``thread`` backend owns its own set, and a
+``process`` shard worker keeps its buffers warm across queries for the
+lifetime of the worker.
 
 Lifetime discipline (the reason this is safe):
 
 * a scratch view is valid only until the *next* request for the same
-  ``(dtype, slot)`` on the same thread;
+  ``(dtype, slot)`` in the same context;
 * operators therefore only hand scratch views to consumers that finish
   with them inside the same ``process()`` call (``Morsel.refine`` reads
   the mask once and materializes owned index/position arrays);
@@ -20,14 +21,28 @@ Lifetime discipline (the reason this is safe):
   masks, group codes, gathered values, aggregation states — is copied
   into (or built as) an owned array before it is stored.
 
+**Contexts.**  The sync backends identify a context with a thread: one
+pipeline runs per thread at a time, so a plain ``threading.local`` pool
+is safe and allocation-free.  Under asyncio that identification is
+wrong — many pipeline runs interleave on *one* event-loop thread, and a
+thread-keyed buffer handed to pipeline A would still be live when
+pipeline B awoke between awaits and asked for the same ``(dtype,
+slot)``.  Concurrent runs therefore take a **lease**
+(:func:`lease_pool`): a pool checked out from a free list for the
+duration of one pipeline run and published through a
+:class:`contextvars.ContextVar`, which asyncio copies per task — two
+interleaved tasks see two different pools, while the thread-local fast
+path below stays untouched for the sync backends.
+
 Requests larger than :data:`MAX_POOLED_ELEMENTS` bypass the pool so a
 one-off huge morsel cannot pin its high-water mark forever.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -76,9 +91,66 @@ class ScratchPool:
 
 _TLS = threading.local()
 
+#: The pool of the innermost active lease in this context (``None``
+#: outside a lease).  ContextVars are copied per asyncio task, so a
+#: lease taken inside one task is invisible to every other task even
+#: when they interleave on the same event-loop thread.
+_LEASED: "contextvars.ContextVar[Optional[ScratchPool]]" = (
+    contextvars.ContextVar("repro_scratch_lease", default=None))
+
+#: Returned lease pools waiting for the next checkout (bounded so a
+#: burst of concurrency cannot pin its high-water pool count forever).
+_FREE: List[ScratchPool] = []
+_FREE_LOCK = threading.Lock()
+MAX_FREE_POOLS = 64
+
+
+class PoolLease:
+    """A scratch pool checked out for exactly one pipeline run.
+
+    ``with lease_pool():`` makes :func:`local_pool` — and therefore
+    every operator's scratch request — resolve to a private pool for
+    the duration, then returns the pool (buffers kept warm) to the
+    free list.  Leases nest: the innermost lease wins, and exiting
+    restores the outer one.
+    """
+
+    __slots__ = ("pool", "_token")
+
+    def __init__(self) -> None:
+        self.pool: Optional[ScratchPool] = None
+        self._token = None
+
+    def __enter__(self) -> ScratchPool:
+        with _FREE_LOCK:
+            self.pool = _FREE.pop() if _FREE else ScratchPool()
+        self._token = _LEASED.set(self.pool)
+        return self.pool
+
+    def __exit__(self, *exc) -> None:
+        _LEASED.reset(self._token)
+        pool, self.pool = self.pool, None
+        with _FREE_LOCK:
+            if len(_FREE) < MAX_FREE_POOLS:
+                _FREE.append(pool)
+
+
+def lease_pool() -> PoolLease:
+    """Check out a scratch pool for one pipeline run (see module doc).
+
+    Use around any execution that can interleave with another on the
+    same thread (asyncio serving); the sync backends keep the cheaper
+    thread-local path."""
+    return PoolLease()
+
 
 def local_pool() -> ScratchPool:
-    """The calling thread's scratch pool (created on first use)."""
+    """The active scratch pool: the innermost lease of this context if
+    one is held, else the calling thread's pool (created on first use).
+    """
+    pool = _LEASED.get()
+    if pool is not None:
+        return pool
     pool = getattr(_TLS, "pool", None)
     if pool is None:
         pool = _TLS.pool = ScratchPool()

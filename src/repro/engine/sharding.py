@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import pickle
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -260,10 +261,13 @@ class BoundQuery:
 
     def reorder_state(self) -> ReorderState:
         """The shared observed-pass-rate state of this plan's filters
-        (per process; lazily created, never pickled)."""
+        (per process; lazily created, never pickled).  ``setdefault``
+        keeps the first-use creation atomic under the GIL, so two
+        concurrent pipeline binds on a shared cached plan can never end
+        up observing two different states (torn first-use sizing)."""
         state = self.__dict__.get("_reorder")
         if state is None:
-            state = self.__dict__["_reorder"] = ReorderState()
+            state = self.__dict__.setdefault("_reorder", ReorderState())
         return state
 
     def filter_ops(self, defer: bool = False) -> List[FilterLike]:
@@ -1034,9 +1038,11 @@ class ProcessShardBackend:
         # for the thousandth time ships the bytes serialized the first
         # time — and keeps its ``plan_seq``, so workers that already
         # hold the plan skip deserialization too.  Weak keys drop the
-        # memo with the plan.
+        # memo with the plan.  The memo lock keeps concurrent serving
+        # threads from racing the lookup-then-serialize sequence.
         self._plan_pickles: "weakref.WeakKeyDictionary" = (
             weakref.WeakKeyDictionary())
+        self._memo_lock = threading.Lock()
         # zone maps built so far ride in the segment: workers attach the
         # parent's summaries zero-copy instead of re-scanning columns
         # (summaries built after the export are rebuilt worker-side)
@@ -1050,22 +1056,33 @@ class ProcessShardBackend:
         """Has *db* been mutated since this backend's arena was exported?"""
         return database_stamp(db) != self.stamp
 
+    def retain(self) -> "ProcessShardBackend":
+        """Take one extra reference (e.g. to pin the backend for the
+        duration of a run); pair with :func:`release_shard_backend`."""
+        with _REGISTRY_LOCK:
+            self.refs += 1
+        return self
+
     def run(self, plan, nshards: Optional[int] = None,
             use_array: Optional[bool] = None) -> List[ShardOutcome]:
         """Run *plan* over ``nshards`` horizontal shards (default: one
-        per worker); outcomes come back in shard order."""
-        if self._pool is None:
+        per worker); outcomes come back in shard order.  Thread-safe:
+        concurrent callers multiplex over the one worker pool (the
+        pool's task queue interleaves their shard tasks)."""
+        pool = self._pool
+        if pool is None:
             raise ExecutionError("process shard backend is closed")
         nshards = nshards or self.workers
-        memo = self._plan_pickles.get(plan)
-        if memo is None:
-            memo = (next(self._plan_seq),
-                    pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))
-            self._plan_pickles[plan] = memo
+        with self._memo_lock:
+            memo = self._plan_pickles.get(plan)
+            if memo is None:
+                memo = (next(self._plan_seq),
+                        pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL))
+                self._plan_pickles[plan] = memo
         seq, plan_bytes = memo
         tasks = [ShardTask(plan_bytes, seq, shard, nshards, use_array)
                  for shard in range(nshards)]
-        return self._pool.map(_worker_run, tasks, chunksize=1)
+        return pool.map(_worker_run, tasks, chunksize=1)
 
     def close(self) -> None:
         """Terminate the workers and release the shared segment."""
@@ -1086,6 +1103,11 @@ class ProcessShardBackend:
 #: sweep over ten engines exports the database once, not ten times.
 _SHARED_BACKENDS: Dict[tuple, ProcessShardBackend] = {}
 
+#: Guards the registry *and* every backend's refcount.  Reentrant
+#: because a construction inside ``acquire_shard_backend`` can trigger
+#: GC, which can run ``_evict_backend`` finalizers on this same thread.
+_REGISTRY_LOCK = threading.RLock()
+
 
 def acquire_shard_backend(db: Database, workers: int) -> ProcessShardBackend:
     """A refcounted, staleness-checked shard backend for *db*.
@@ -1096,36 +1118,57 @@ def acquire_shard_backend(db: Database, workers: int) -> ProcessShardBackend:
     backend whose arena predates a database mutation is evicted here —
     current holders drain it via their own ``is_stale`` check — and a
     fresh export takes its place.
+
+    The registry lock is held across the whole
+    revalidate/evict/re-export/refcount sequence.  Unlocked, the
+    check-then-act had two races: a mutation between a caller's
+    staleness check and its ``refs += 1`` could hand that caller a
+    backend another thread had just evicted *and closed* (refs
+    transiently 0), and two concurrent releases could drive the count
+    negative and close a pool mid-use.
     """
     key = (id(db), max(1, int(workers)))
-    backend = _SHARED_BACKENDS.get(key)
-    if backend is not None and backend.is_stale(db):
-        _SHARED_BACKENDS.pop(key, None)
-        if backend.refs <= 0:
-            backend.close()
-        backend = None
-    if backend is None:
-        backend = ProcessShardBackend(db, workers)
-        backend._registry_key = key
-        _SHARED_BACKENDS[key] = backend
-        weakref.finalize(db, _evict_backend, key)
-    backend.refs += 1
-    return backend
+    with _REGISTRY_LOCK:
+        backend = _SHARED_BACKENDS.get(key)
+        if backend is not None and backend.is_stale(db):
+            _SHARED_BACKENDS.pop(key, None)
+            if backend.refs <= 0:
+                backend.close()
+            backend = None
+        if backend is None:
+            backend = ProcessShardBackend(db, workers)
+            backend._registry_key = key
+            _SHARED_BACKENDS[key] = backend
+            weakref.finalize(db, _evict_backend, key)
+        backend.refs += 1
+        return backend
 
 
 def release_shard_backend(backend: ProcessShardBackend) -> None:
-    """Drop one reference; the last holder closes arena and pool."""
-    backend.refs -= 1
-    if backend.refs <= 0:
+    """Drop one reference; the last holder closes arena and pool.
+
+    Idempotence guard: releasing an already fully-released backend is a
+    no-op rather than driving the count negative (which, unlocked, was
+    exactly how a mutate-while-acquire race double-closed live pools).
+    """
+    with _REGISTRY_LOCK:
+        if backend.refs <= 0:
+            return
+        backend.refs -= 1
+        if backend.refs > 0:
+            return
         key = backend._registry_key
         if key is not None and _SHARED_BACKENDS.get(key) is backend:
             _SHARED_BACKENDS.pop(key, None)
-        backend.close()
+    # close outside the lock: terminating a pool can take a while and
+    # nothing else can reach this backend any more (refs == 0, evicted)
+    backend.close()
 
 
 def _evict_backend(key: tuple) -> None:
     """Finalizer: the database was garbage-collected, so nobody can use
     (or properly release) the backend any more — close it outright."""
-    backend = _SHARED_BACKENDS.pop(key, None)
+    with _REGISTRY_LOCK:
+        backend = _SHARED_BACKENDS.pop(key, None)
     if backend is not None:
         backend.close()
