@@ -12,6 +12,9 @@ from .harness import (
     concurrency_rows,
     concurrency_sweep,
     explain_engines,
+    fleet_payload,
+    fleet_rows,
+    fleet_sweep,
     operator_breakdown,
     pruning_payload,
     pruning_rows,
@@ -39,6 +42,7 @@ __all__ = [
     "backend_scaling_sweep", "best_of", "breakdown_rows", "close_engines",
     "concurrency_payload", "concurrency_rows", "concurrency_sweep",
     "DEFAULT_REPEAT", "DEFAULT_SCALE", "EngineUnderTest", "explain_engines",
+    "fleet_payload", "fleet_rows", "fleet_sweep",
     "format_ratio_note", "format_table", "host_info", "host_note",
     "median_ms", "ms", "ns_per_tuple", "operator_breakdown",
     "pruning_payload", "pruning_rows", "pruning_speedups", "pruning_sweep",

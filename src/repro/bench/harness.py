@@ -625,6 +625,226 @@ def concurrency_payload(times: Dict[int, dict], query_ids: Sequence[str],
     return payload
 
 
+def fleet_sweep(sf: float = DEFAULT_SCALE,
+                worker_counts: Sequence[int] = (1, 2, 4),
+                client_counts: Sequence[int] = (1, 8, 64),
+                query_ids: Optional[Sequence[str]] = None,
+                rounds: int = 2,
+                db: Optional[Database] = None,
+                database_path: str = "",
+                max_concurrency: Optional[int] = None,
+                check_rows: bool = True) -> Dict[tuple, dict]:
+    """Multi-process serving-fleet throughput over real TCP clients.
+
+    For every fleet size a :class:`~repro.engine.fleet.ServeFleet`
+    exports the database into a shared-memory arena once and spawns N
+    server processes over one listening socket and one cross-process
+    query store.  Per fleet, a differential pass first visits as many
+    distinct worker pids as it can reach and checks every query's rows
+    against a serial no-cache ground truth (JSON round-tripped, so the
+    comparison sees exactly what a client would).  Each ``(workers,
+    clients)`` cell then runs *clients* concurrent TCP connections,
+    each awaiting the flight ``rounds`` times with a per-client query
+    offset; the measured window contains nothing but request/response
+    round trips.  The fleet is stopped with a SHUTDOWN admin line (the
+    fan-out drain path, not a local teardown) between fleet sizes.
+
+    Returns ``{(workers, clients): cell}`` with ``qps``, latency
+    percentiles, distinct ``pids`` observed, cumulative cross-process
+    ``shared_hits``, and ``speedup_vs_base_workers`` (same client
+    count, smallest swept fleet).  Cells additionally record the
+    fleet's ``clean_exit`` flag once it is known.
+    """
+    import asyncio
+    import json as _json
+    import threading
+
+    import numpy as np
+
+    from ..engine.executor import AStoreEngine, EngineOptions
+    from ..engine.fleet import ServeFleet
+
+    database = db if db is not None else ssb_database(sf, airify=True)
+    ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
+    rounds = max(1, rounds)
+    out: Dict[tuple, dict] = {}
+
+    reference: Dict[str, list] = {}
+    if check_rows:
+        probe = AStoreEngine(database, EngineOptions(
+            parallel_backend="serial", use_cache=False))
+        for query_id in ids:
+            reference[query_id] = _json.loads(
+                _json.dumps(probe.query(SSB_QUERIES[query_id]).rows()))
+
+    async def rpc(reader, writer, line: str) -> dict:
+        writer.write((line + "\n").encode())
+        await writer.drain()
+        raw = await reader.readline()
+        if not raw:
+            raise AssertionError("fleet closed the connection mid-request")
+        resp = _json.loads(raw)
+        if isinstance(resp, dict) and "error" in resp:
+            raise AssertionError(f"fleet error: {resp['error']}")
+        return resp
+
+    async def differential(host: str, port: int, nworkers: int) -> set:
+        """Visit up to *nworkers* distinct pids; full checked flight each."""
+        seen: set = set()
+        for _ in range(24 * nworkers):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                pid = (await rpc(reader, writer, "STATS"))["pid"]
+                if pid in seen:
+                    continue
+                seen.add(pid)
+                for query_id in ids:
+                    resp = await rpc(reader, writer, _json.dumps(
+                        {"sql": SSB_QUERIES[query_id]}))
+                    if check_rows and resp["rows"] != reference[query_id]:
+                        raise AssertionError(
+                            f"fleet worker {pid} changed the result of "
+                            f"{query_id}")
+            finally:
+                writer.close()
+            if len(seen) >= nworkers:
+                break
+        return seen
+
+    async def collect_stats(host: str, port: int, nworkers: int) -> dict:
+        """Cumulative fleet stats: distinct pids + shared-tier hits."""
+        per_pid: Dict[int, dict] = {}
+        for _ in range(24 * nworkers):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                payload = await rpc(reader, writer, "STATS")
+            finally:
+                writer.close()
+            per_pid[payload["pid"]] = payload
+            if len(per_pid) >= nworkers:
+                break
+        shared_hits = sum(
+            tier.get("shared_hits", 0)
+            for payload in per_pid.values()
+            for tier in payload.get("cache", {}).values())
+        store = next((payload.get("shared_store") or {}
+                      for payload in per_pid.values()), {})
+        return {"pids": sorted(per_pid), "shared_hits": shared_hits,
+                "store": store}
+
+    async def run_cell(host: str, port: int, nworkers: int,
+                       nclients: int) -> dict:
+        latencies: List[float] = []
+
+        async def client(offset: int) -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for _round in range(rounds):
+                    for i in range(len(ids)):
+                        sql = SSB_QUERIES[ids[(i + offset) % len(ids)]]
+                        t0 = time.perf_counter()
+                        await rpc(reader, writer, _json.dumps({"sql": sql}))
+                        latencies.append(time.perf_counter() - t0)
+            finally:
+                writer.close()
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(client(offset) for offset in range(nclients)))
+        wall = time.perf_counter() - t0
+        stats = await collect_stats(host, port, nworkers)
+        lat_ms = np.asarray(latencies) * 1e3
+        return {
+            "workers": nworkers,
+            "clients": nclients,
+            "queries": len(latencies),
+            "qps": len(latencies) / wall if wall else float("inf"),
+            "wall_ms": wall * 1e3,
+            "p50_ms": float(np.percentile(lat_ms, 50)),
+            "p95_ms": float(np.percentile(lat_ms, 95)),
+            "p99_ms": float(np.percentile(lat_ms, 99)),
+            "pids": stats["pids"],
+            "shared_hits": stats["shared_hits"],
+            "store": stats["store"],
+        }
+
+    async def shutdown(host: str, port: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await rpc(reader, writer, "SHUTDOWN")
+        finally:
+            writer.close()
+
+    for nworkers in worker_counts:
+        nworkers = int(nworkers)
+        fleet = ServeFleet(
+            database, database_path=database_path,
+            options=EngineOptions(parallel_backend="serial",
+                                  cache_results=True),
+            workers=nworkers, port=0, max_concurrency=max_concurrency)
+        host, port = fleet.start()
+        exit_holder: List[int] = []
+        waiter = threading.Thread(
+            target=lambda f=fleet: exit_holder.append(f.wait()), daemon=True)
+        waiter.start()
+        cells: List[dict] = []
+        try:
+            await_pids = asyncio.run(differential(host, port, nworkers))
+            for nclients in client_counts:
+                cell = asyncio.run(run_cell(host, port, nworkers,
+                                            int(nclients)))
+                cell["differential_pids"] = sorted(await_pids)
+                out[(nworkers, int(nclients))] = cell
+                cells.append(cell)
+        finally:
+            try:
+                asyncio.run(shutdown(host, port))
+            except (OSError, AssertionError):  # already draining
+                pass
+            waiter.join(timeout=120)
+            fleet.close()
+        clean = bool(exit_holder) and exit_holder[0] == 0
+        for cell in cells:
+            cell["clean_exit"] = clean
+
+    # speedups against the smallest swept fleet at the same client count
+    if out:
+        base_workers = min(w for w, _ in out)
+        for (nworkers, nclients), cell in out.items():
+            base = out.get((base_workers, nclients))
+            cell["baseline_workers"] = base_workers
+            cell["speedup_vs_base_workers"] = (
+                cell["qps"] / base["qps"] if base and base["qps"]
+                else float("nan"))
+    return out
+
+
+def fleet_rows(times: Dict[tuple, dict]) -> List[List]:
+    """``[fleet, clients, queries, qps, p50, p95, p99, x vs baseline,
+    shared hits, pids]`` rows for :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    for key in sorted(times):
+        cell = times[key]
+        rows.append([
+            cell["workers"], cell["clients"], cell["queries"], cell["qps"],
+            cell["p50_ms"], cell["p95_ms"], cell["p99_ms"],
+            cell["speedup_vs_base_workers"], cell["shared_hits"],
+            len(cell["pids"]),
+        ])
+    return rows
+
+
+def fleet_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
+                  rounds: Optional[int] = None) -> dict:
+    """The ``BENCH_*.json`` payload for a fleet sweep."""
+    payload = {
+        "queries": list(query_ids),
+        "cells": [times[key] for key in sorted(times)],
+    }
+    if rounds is not None:
+        payload["rounds"] = rounds
+    return payload
+
+
 def qps_rows(times: Dict[tuple, dict]) -> List[List]:
     """``[backend, workers, mode, qps, flight ms, x vs cold, hits]``
     rows for :func:`repro.bench.format_table`."""

@@ -19,8 +19,15 @@ Subcommands::
 and ``--workers N`` — the ``process`` backend shards the fact table over
 worker processes attached to a shared-memory column arena — plus
 ``--no-cache`` to disable the mutation-stamped query cache and
-``--no-pruning`` to disable zone-map data skipping.  ``cache`` can bound
-the result (serving) tier with ``--result-ttl``/``--result-entries``.  ``query
+``--no-pruning`` to disable zone-map data skipping.  ``serve --workers N``
+(N > 1) starts a *fleet* of N server processes sharing one listening
+socket and one cross-process query store (``--fleet-data``,
+``--no-shared-store``); per-server shard workers are set with
+``--backend-workers``.  ``cache`` can bound the result (serving) tier
+with ``--result-ttl``/``--result-entries``, and ``cache --shared`` runs
+a cross-process shared-store demonstration.  ``bench --mode concurrency
+--fleet-workers 1,2,4`` sweeps fleet sizes instead of client counts
+alone.  ``query
 --breakdown`` additionally prints the stage and per-operator timing
 breakdowns (with ``--repeat N`` the last, warm execution is reported:
 near-zero leaf time on a plan-cache hit).  ``bench`` records the
@@ -144,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--clients", default="1,8,64",
                        help="comma-separated in-flight client counts "
                             "(concurrency mode)")
+    bench.add_argument("--fleet-workers", default=None, metavar="N,N,...",
+                       help="concurrency mode: sweep multi-process serving "
+                            "fleets of these sizes (e.g. 1,2,4) instead of "
+                            "a single in-process server")
     bench.add_argument("--no-cache", action="store_true",
                        help="scaling mode: disable the query cache")
     bench.add_argument("--out", metavar="PATH",
@@ -175,11 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--result-entries", type=int, default=0, metavar="N",
                        help="cap the result tier at N entries "
                             "(0 = shared default)")
+    cache.add_argument("--shared", action="store_true",
+                       help="demonstrate the cross-process shared store: "
+                            "run the flight in two subprocesses sharing "
+                            "one shm-backed query store and report the "
+                            "second process's shared-tier hits")
 
     serve = sub.add_parser(
         "serve",
         help="serve concurrent queries over TCP (newline-delimited JSON "
-             "or raw SQL in, JSON out; PING/SHUTDOWN admin lines)")
+             "or raw SQL in, JSON out; PING/STATS/SHUTDOWN admin lines); "
+             "--workers N>1 grows a multi-process fleet")
     serve.add_argument("database", help="a .npz archive from 'generate'")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7433,
@@ -190,7 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
                        default="serial",
                        help="sync execution backend the async engine "
                             "multiplexes over")
-    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="server processes; N > 1 starts a fleet "
+                            "sharing one listening socket and one "
+                            "cross-process query store")
+    serve.add_argument("--backend-workers", type=int, default=1,
+                       help="shard workers inside each server's engine "
+                            "(the old serve --workers meaning)")
+    serve.add_argument("--fleet-data", choices=("arena", "copy"),
+                       default="arena",
+                       help="fleet data placement: one shared-memory "
+                            "arena (read-only, default) or a private "
+                            "writable copy per worker")
+    serve.add_argument("--no-shared-store", action="store_true",
+                       help="fleet: disable the cross-process shared "
+                            "query store")
     serve.add_argument("--max-concurrency", type=int, default=0,
                        help="bound on concurrently executing queries "
                             "(0 = derive from the core count)")
@@ -348,7 +379,26 @@ def _dispatch_bench(args) -> int:
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
 
-    if args.mode == "concurrency":
+    if args.mode == "concurrency" and args.fleet_workers:
+        from .bench import fleet_payload, fleet_rows, fleet_sweep
+
+        clients = [int(c) for c in args.clients.split(",")
+                   if c.strip()] or [1, 8, 64]
+        fleet_sizes = [int(w) for w in args.fleet_workers.split(",")
+                       if w.strip()] or [1, 2]
+        times = fleet_sweep(worker_counts=fleet_sizes,
+                            client_counts=clients, query_ids=query_ids,
+                            rounds=args.rounds, db=db,
+                            database_path=args.database)
+        text = host_note() + "\n" + format_table(
+            f"fleet sweep over {db.name} (multi-process serve, "
+            f"{args.rounds} flights/client)",
+            ["fleet", "clients", "queries", "qps", "p50 ms", "p95 ms",
+             "p99 ms", "x vs 1 worker", "shared hits", "pids"],
+            fleet_rows(times))
+        payload = fleet_payload(times, query_ids, rounds=args.rounds)
+        benchmark = "fleet_concurrency"
+    elif args.mode == "concurrency":
         from .bench import (
             concurrency_payload,
             concurrency_rows,
@@ -434,19 +484,36 @@ def _dispatch_bench(args) -> int:
 
 
 def _dispatch_serve(args) -> int:
-    """``astore serve``: the asyncio line-protocol query server."""
+    """``astore serve``: the asyncio line-protocol query server.
+
+    ``--workers 1`` (default) runs a single in-process server;
+    ``--workers N`` for N > 1 starts a fleet of N server processes over
+    one listening socket and one cross-process shared query store.
+    """
     import asyncio
     from dataclasses import replace as dataclasses_replace
 
     from .engine.serve import run_server
 
-    db = load_database(args.database)
     options = dataclasses_replace(
         VARIANTS[args.variant],
         parallel_backend=args.backend,
-        workers=args.workers,
+        workers=args.backend_workers,
         cache_results=not args.no_serve_cache,
     )
+    if args.workers > 1:
+        from .engine.fleet import run_fleet
+
+        db = (load_database(args.database)
+              if args.fleet_data == "arena" else None)
+        return run_fleet(
+            db, database_path=args.database, options=options,
+            host=args.host, port=args.port, workers=args.workers,
+            max_concurrency=args.max_concurrency or None,
+            data_mode=args.fleet_data,
+            shared_store=not args.no_shared_store)
+
+    db = load_database(args.database)
     try:
         asyncio.run(run_server(
             db, options=options, host=args.host, port=args.port,
@@ -456,14 +523,88 @@ def _dispatch_serve(args) -> int:
     return 0
 
 
+def _shared_cache_flight(database, store_name, query_ids, variant, conn):
+    """Subprocess body for ``astore cache --shared``: run one SSB flight
+    with the query cache backed by *store_name* and report tier stats.
+
+    Top-level so the ``spawn`` start method can pickle it.
+    """
+    from .workloads import SSB_QUERIES
+
+    db = load_database(database)
+    with AStoreEngine.variant(db, variant, cache_results=True,
+                              shared_store=store_name) as engine:
+        for query_id in query_ids:
+            engine.query(SSB_QUERIES[query_id])
+        counters = engine.cache.counters()
+    import os as _os
+
+    conn.send({"pid": _os.getpid(), "counters": counters})
+    conn.close()
+
+
+def _dispatch_cache_shared(args, query_ids) -> int:
+    """``astore cache --shared``: two spawned processes, one flight each,
+    over a single shm-backed :class:`SharedQueryStore`.  The second
+    process's plan/result tiers should hit the store, not recompute."""
+    import multiprocessing
+
+    from .bench import host_note
+    from .core.shmcache import SharedQueryStore, store_available
+
+    if not store_available():
+        print("error: shared query store unavailable on this platform",
+              file=sys.stderr)
+        return 1
+    ctx = multiprocessing.get_context("spawn")
+    store = SharedQueryStore.create()
+    print(host_note())
+    try:
+        rows = []
+        for flight_no in (1, 2):
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shared_cache_flight,
+                args=(args.database, store.segment, query_ids,
+                      args.variant, child))
+            proc.start()
+            child.close()
+            report = parent.recv()
+            proc.join()
+            counters = report["counters"]
+            rows.append([
+                flight_no, report["pid"],
+                counters.get("plan.shared_hits", 0),
+                counters.get("result.shared_hits", 0),
+                counters.get("plan.shared_misses", 0)
+                + counters.get("result.shared_misses", 0)])
+        totals = store.counters()
+    finally:
+        store.close()  # owner close unlinks the segment + lock file
+    print(format_table(
+        f"cross-process shared store over {args.database} "
+        f"({len(query_ids)}-query flight per process)",
+        ["flight", "pid", "plan sh hits", "result sh hits", "sh misses"],
+        rows))
+    print(f"store: {totals['stores']} stores, {totals['hits']} hits, "
+          f"{totals['misses']} misses, {totals['entries']} entries, "
+          f"{totals['data_bytes_used'] / 1024:.0f} KiB used")
+    if rows[1][2] + rows[1][3] == 0:
+        print("error: second process saw no shared hits", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _dispatch_cache(args) -> int:
     """``astore cache``: flights through the cache + per-tier statistics."""
     from .bench import host_note
     from .workloads import SSB_QUERIES
 
-    db = load_database(args.database)
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
+    if args.shared:
+        return _dispatch_cache_shared(args, query_ids)
+    db = load_database(args.database)
     flights = []
     with AStoreEngine.variant(db, args.variant, workers=args.workers,
                               parallel_backend=args.backend,
@@ -489,8 +630,8 @@ def _dispatch_cache(args) -> int:
         ["flight", "cache", "ms"], flights))
     print(format_table(
         "query cache tiers",
-        ["tier", "entries", "hits", "misses", "hit %", "invalidated",
-         "expired", "KiB"],
+        ["tier", "entries", "hits", "misses", "sh hits", "sh miss",
+         "hit %", "invalidated", "expired", "KiB"],
         stats_rows))
     return 0
 

@@ -1,0 +1,622 @@
+"""Cross-process shared cache tiers: one segment, many serving workers.
+
+A fleet of ``astore serve`` worker processes (see
+:mod:`repro.engine.fleet`) each runs its own engine and its own
+per-process :class:`~repro.engine.cache.QueryCache` — but a result one
+worker computed is just as valid in every sibling.  The
+:class:`SharedQueryStore` is the second-level backend behind those
+per-process tiers: a single POSIX shared-memory segment
+(``multiprocessing.shared_memory``, the same machinery as
+:mod:`repro.core.arena`) holding pickled plan/result payloads plus the
+*published mutation stamps* that keep cross-process invalidation exactly
+as precise as the single-process tiers.
+
+Segment layout (all regions 64-byte aligned, numpy views over the
+mapping)::
+
+    [ header ]  magic/version, geometry, write cursor, generation,
+                shared counters (hits/misses/stores/invalidations/...)
+    [ stamps ]  open-addressed (table-name hash -> published mutation
+                count) slots — the mutation broadcast table
+    [ slots  ]  open-addressed entry directory: 16-byte key digest ->
+                (offset, length, generation, lru sequence)
+    [ data   ]  bump-allocated entry heap; entries are
+                u32 stamp-length | pickled stamps | payload bytes
+
+**Freshness.**  Every entry records the ``(table, mutation_count)``
+stamps it was computed under.  A reader with local count ``L`` and
+published count ``P`` accepts an entry stamped ``C`` iff ``C == L`` and
+``P <= C`` — so a worker that has applied a mutation rejects every
+pre-mutation entry (``C != L``), and a worker that has *not yet* applied
+a broadcast mutation rejects entries that raced it (``P > C``).
+:meth:`publish_stamps` is the broadcast: whoever applies (or first
+observes) a mutation raises the published count, and every sibling's
+shared lookups go cold until fresh entries are stored.
+
+**Eviction.**  The heap is a bump allocator; when it fills, the
+*generation* counter bumps and the cursor resets — one epoch flush
+drops every older entry (their directory slots fail the generation
+check).  Coarse, but O(1), allocation-free, and exactly as safe as the
+stamp protocol: a dropped entry is a miss, never a wrong answer.
+
+**Locking and lifecycle.**  Cross-process mutual exclusion is one
+``fcntl.lockf`` byte-range lock on a sidecar lock file (operations are
+an index probe plus a memcpy, so a single exclusive lock beats
+reader/writer juggling), combined with an in-process lock because POSIX
+record locks are per-process.  A *second* byte of the lock file is the
+liveness lock: every attached process holds it shared for its lifetime,
+and the kernel releases it on process death — no matter how the process
+died.  :func:`sweep_stale_segments` (run on fleet start) removes any
+``astore-sqs-*`` segment whose liveness byte can be locked exclusively,
+so a SIGKILLed fleet never strands ``/dev/shm`` segments or the store's
+lock.  The creating process owns the segment and unlinks it on close;
+attachers only drop their mapping.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import threading
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+
+try:  # POSIX record locks; the store is unavailable without them
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Segment name prefix — the stale sweep only ever touches these.
+SEGMENT_PREFIX = "astore-sqs-"
+
+_ALIGN = 64
+_MAGIC = 0x41535153  # "ASQS"
+_VERSION = 1
+
+_HEADER_DTYPE = np.dtype([
+    ("magic", "<u8"), ("version", "<u8"),
+    ("stamp_slots", "<u8"), ("entry_slots", "<u8"),
+    ("data_offset", "<u8"), ("data_size", "<u8"),
+    ("cursor", "<u8"), ("generation", "<u8"), ("seq", "<u8"),
+    ("hits", "<u8"), ("misses", "<u8"), ("stores", "<u8"),
+    ("invalidations", "<u8"), ("evictions", "<u8"),
+    ("stamp_publishes", "<u8"), ("rejected", "<u8"),
+])
+
+_STAMP_DTYPE = np.dtype([
+    ("used", "<u8"), ("key", "<u8"), ("count", "<u8"),
+])
+
+_SLOT_DTYPE = np.dtype([
+    ("used", "<u8"), ("digest", "S16"),
+    ("offset", "<u8"), ("length", "<u8"),
+    ("generation", "<u8"), ("seq", "<u8"),
+])
+
+#: Linear-probe window for the entry directory (collisions past the
+#: window overwrite the least-recently-stored slot in it).
+_PROBE = 8
+
+_COUNTER_FIELDS = ("hits", "misses", "stores", "invalidations",
+                   "evictions", "stamp_publishes", "rejected")
+
+Stamps = Tuple[Tuple[str, int], ...]
+
+
+def store_available() -> bool:
+    """Whether this platform can host a shared store (POSIX locks)."""
+    return fcntl is not None and os.name == "posix"
+
+
+def _align(nbytes: int) -> int:
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+def _lock_path(segment: str) -> str:
+    return os.path.join(tempfile.gettempdir(), f"{segment}.lock")
+
+
+def _name_hash(name: str) -> int:
+    digest = hashlib.blake2b(name.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") or 1  # 0 is the empty slot
+
+
+def _token_digest(token: str) -> bytes:
+    return hashlib.blake2b(token.encode(), digest_size=16).digest()
+
+
+class _LockFile:
+    """The store's sidecar lock file: byte 0 = liveness, byte 1 = mutex."""
+
+    _LIVENESS, _MUTEX = 0, 1
+
+    def __init__(self, segment: str):
+        self.path = _lock_path(segment)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        # held (shared) until close: the kernel drops it on process
+        # death, so a lockable liveness byte == every holder is gone
+        fcntl.lockf(self._fd, fcntl.LOCK_SH, 1, self._LIVENESS)
+
+    def acquire(self) -> None:
+        fcntl.lockf(self._fd, fcntl.LOCK_EX, 1, self._MUTEX)
+
+    def release(self) -> None:
+        fcntl.lockf(self._fd, fcntl.LOCK_UN, 1, self._MUTEX)
+
+    def close(self, unlink: bool = False) -> None:
+        fd, self._fd = self._fd, -1
+        if fd < 0:
+            return
+        os.close(fd)  # closing drops both record locks
+        if unlink:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+class SharedQueryStore:
+    """A shared-memory second-level cache shared by a worker fleet.
+
+    Create with :meth:`create` (the owner; unlinks on close) or
+    :meth:`attach` (workers; close only drops the mapping).  All methods
+    are safe to call concurrently from any number of threads and
+    processes.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool,
+                 max_entry_bytes: int):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._owner = owner
+        self.max_entry_bytes = max_entry_bytes
+        self._tlock = threading.RLock()  # record locks are per-process
+        self._lockfile = _LockFile(shm.name)
+        header = np.ndarray(1, dtype=_HEADER_DTYPE, buffer=shm.buf)[0]
+        if owner:
+            pass  # create() initialised the header before we got here
+        elif int(header["magic"]) != _MAGIC:
+            self._lockfile.close()
+            shm.close()
+            raise StorageError(
+                f"segment {shm.name!r} is not a SharedQueryStore")
+        elif int(header["version"]) != _VERSION:
+            self._lockfile.close()
+            shm.close()
+            raise StorageError(
+                f"store {shm.name!r} has layout version "
+                f"{int(header['version'])}, expected {_VERSION}")
+        self._header = np.ndarray(1, dtype=_HEADER_DTYPE, buffer=shm.buf)
+        stamp_off = _align(_HEADER_DTYPE.itemsize)
+        self._stamps = np.ndarray(
+            int(header["stamp_slots"]), dtype=_STAMP_DTYPE,
+            buffer=shm.buf, offset=stamp_off)
+        slot_off = stamp_off + _align(self._stamps.nbytes)
+        self._slots = np.ndarray(
+            int(header["entry_slots"]), dtype=_SLOT_DTYPE,
+            buffer=shm.buf, offset=slot_off)
+        self._data_offset = int(header["data_offset"])
+        self._data_size = int(header["data_size"])
+        _LIVE_STORES[shm.name] = self
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, data_bytes: int = 64 << 20, entry_slots: int = 512,
+               stamp_slots: int = 128,
+               max_entry_bytes: int = 32 << 20) -> "SharedQueryStore":
+        """Create a new store; the caller owns (and later unlinks) it."""
+        if not store_available():
+            raise StorageError(
+                "SharedQueryStore needs POSIX record locks (fcntl)")
+        stamp_off = _align(_HEADER_DTYPE.itemsize)
+        slot_off = stamp_off + _align(stamp_slots * _STAMP_DTYPE.itemsize)
+        data_off = slot_off + _align(entry_slots * _SLOT_DTYPE.itemsize)
+        total = data_off + _align(data_bytes)
+        suffix = hashlib.blake2b(os.urandom(16), digest_size=6).hexdigest()
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{suffix}"
+        # (a fresh POSIX segment is zero-filled, so slots/stamps start empty)
+        shm = shared_memory.SharedMemory(create=True, name=name, size=total)
+        header = np.ndarray(1, dtype=_HEADER_DTYPE, buffer=shm.buf)
+        header[0] = (_MAGIC, _VERSION, stamp_slots, entry_slots,
+                     data_off, _align(data_bytes), 0, 0, 0,
+                     0, 0, 0, 0, 0, 0, 0)
+        return cls(shm, owner=True,
+                   max_entry_bytes=min(max_entry_bytes, data_bytes))
+
+    @classmethod
+    def attach(cls, segment: str,
+               max_entry_bytes: int = 32 << 20) -> "SharedQueryStore":
+        """Attach to an existing store by segment name."""
+        if not store_available():
+            raise StorageError(
+                "SharedQueryStore needs POSIX record locks (fcntl)")
+        try:
+            shm = _attach_untracked(segment)
+        except FileNotFoundError:
+            raise StorageError(
+                f"shared store segment {segment!r} does not exist") from None
+        return cls(shm, owner=False, max_entry_bytes=max_entry_bytes)
+
+    # -- core protocol ------------------------------------------------------
+
+    def get(self, token: str, db) -> Optional[Tuple[Stamps, bytes]]:
+        """The ``(stamps, payload)`` stored under *token*, or ``None``.
+
+        Freshness is checked here, under the store lock, against *db*'s
+        live mutation counts and the published broadcast counts — a
+        stale entry is dropped (and counted) instead of returned.  The
+        returned stamps passed that check, so the caller can stamp a
+        promoted local entry with them verbatim.
+        """
+        digest = _token_digest(token)
+        with self._lock():
+            header = self._header[0]
+            index = self._find(digest)
+            if index < 0:
+                header["misses"] += 1
+                return None
+            slot = self._slots[index]
+            blob = self._read_blob(slot)
+            if blob is None:
+                slot["used"] = 0
+                header["misses"] += 1
+                return None
+            stamps, payload = blob
+            if not self._fresh(stamps, db):
+                slot["used"] = 0
+                header["invalidations"] += 1
+                header["misses"] += 1
+                return None
+            header["seq"] += 1
+            slot["seq"] = header["seq"]
+            header["hits"] += 1
+            return stamps, payload
+
+    def put(self, token: str, stamps: Stamps, payload: bytes) -> bool:
+        """Store *payload* under *token*; False when it cannot fit."""
+        stamp_bytes = pickle.dumps(tuple(stamps),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        blob = struct.pack("<I", len(stamp_bytes)) + stamp_bytes + payload
+        need = _align(len(blob))
+        digest = _token_digest(token)
+        with self._lock():
+            header = self._header[0]
+            if need > self._data_size or len(payload) > self.max_entry_bytes:
+                header["rejected"] += 1
+                return False
+            cursor = int(header["cursor"])
+            if cursor + need > self._data_size:
+                # epoch flush: restart the heap, orphaning every entry
+                # of the previous generation (they fail the generation
+                # check and read as misses)
+                live = int(np.count_nonzero(
+                    (self._slots["used"] != 0)
+                    & (self._slots["generation"] == header["generation"])))
+                header["evictions"] += live
+                header["generation"] += 1
+                cursor = 0
+            view = np.frombuffer(blob, dtype=np.uint8)
+            start = self._data_offset + cursor
+            dst = np.ndarray(len(blob), dtype=np.uint8,
+                             buffer=self._shm.buf, offset=start)
+            dst[...] = view
+            header["cursor"] = cursor + need
+            header["seq"] += 1
+            index = self._claim(digest)
+            self._slots[index] = (1, digest, cursor, len(blob),
+                                  header["generation"], header["seq"])
+            header["stores"] += 1
+            return True
+
+    def publish_stamps(self, db) -> None:
+        """Broadcast *db*'s current mutation counts to every sibling.
+
+        Called by whoever applies (or first locally observes) a
+        mutation; published counts only ever go up, so replays and
+        concurrent publishes are harmless.
+        """
+        with self._lock():
+            header = self._header[0]
+            for name, table in db.tables.items():
+                self._publish_one(_name_hash(name), table.mutation_count)
+            header["stamp_publishes"] += 1
+
+    def published_count(self, name: str) -> int:
+        """The broadcast mutation count of table *name* (0 = never)."""
+        with self._lock():
+            index = self._find_stamp(_name_hash(name))
+            return int(self._stamps[index]["count"]) if index >= 0 else 0
+
+    # -- freshness ----------------------------------------------------------
+
+    def _fresh(self, stamps: Stamps, db) -> bool:
+        for name, count in stamps:
+            try:
+                local = db.table(name).mutation_count
+            except Exception:
+                return False
+            if count != local:
+                return False
+            index = self._find_stamp(_name_hash(name))
+            if index >= 0 and int(self._stamps[index]["count"]) > count:
+                return False
+        return True
+
+    def _publish_one(self, key: int, count: int) -> None:
+        slots = self._stamps
+        n = len(slots)
+        start = key % n
+        for step in range(n):
+            slot = slots[(start + step) % n]
+            if not slot["used"]:
+                slot["used"] = 1
+                slot["key"] = key
+                slot["count"] = count
+                return
+            if int(slot["key"]) == key:
+                slot["count"] = max(int(slot["count"]), count)
+                return
+        # table full: drop the publish for an arbitrary victim slot —
+        # overwriting would resurrect entries of the evicted table, so
+        # instead poison the generation to flush everything
+        header = self._header[0]
+        header["generation"] += 1
+        header["cursor"] = 0
+
+    def _find_stamp(self, key: int) -> int:
+        slots = self._stamps
+        n = len(slots)
+        start = key % n
+        for step in range(n):
+            index = (start + step) % n
+            slot = slots[index]
+            if not slot["used"]:
+                return -1
+            if int(slot["key"]) == key:
+                return index
+        return -1
+
+    # -- entry directory ----------------------------------------------------
+
+    def _find(self, digest: bytes) -> int:
+        slots = self._slots
+        n = len(slots)
+        start = int.from_bytes(digest[:8], "little") % n
+        generation = int(self._header[0]["generation"])
+        for step in range(_PROBE):
+            index = (start + step) % n
+            slot = slots[index]
+            if (slot["used"] and bytes(slot["digest"]) == digest
+                    and int(slot["generation"]) == generation):
+                return index
+        return -1
+
+    def _claim(self, digest: bytes) -> int:
+        slots = self._slots
+        n = len(slots)
+        start = int.from_bytes(digest[:8], "little") % n
+        generation = int(self._header[0]["generation"])
+        victim, victim_seq = start % n, None
+        for step in range(_PROBE):
+            index = (start + step) % n
+            slot = slots[index]
+            if (not slot["used"]
+                    or int(slot["generation"]) != generation
+                    or bytes(slot["digest"]) == digest):
+                return index
+            seq = int(slot["seq"])
+            if victim_seq is None or seq < victim_seq:
+                victim, victim_seq = index, seq
+        self._header[0]["evictions"] += 1
+        return victim
+
+    def _read_blob(self, slot) -> Optional[Tuple[Stamps, bytes]]:
+        offset = int(slot["offset"])
+        length = int(slot["length"])
+        if length < 4 or offset + length > self._data_size:
+            return None
+        start = self._data_offset + offset
+        raw = bytes(self._shm.buf[start:start + length])
+        (stamp_len,) = struct.unpack_from("<I", raw)
+        if 4 + stamp_len > length:
+            return None
+        try:
+            stamps = pickle.loads(raw[4:4 + stamp_len])
+        except Exception:
+            return None
+        return stamps, raw[4 + stamp_len:]
+
+    # -- introspection ------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Fleet-wide cumulative counters (shared across processes)."""
+        with self._lock():
+            header = self._header[0]
+            out = {name: int(header[name]) for name in _COUNTER_FIELDS}
+            out["entries"] = int(np.count_nonzero(
+                (self._slots["used"] != 0)
+                & (self._slots["generation"] == header["generation"])))
+            out["generation"] = int(header["generation"])
+            out["data_bytes_used"] = int(header["cursor"])
+            out["data_bytes_total"] = self._data_size
+            return out
+
+    @property
+    def segment(self) -> str:
+        return self._shm.name if self._shm is not None else ""
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping (and, for the owner, unlink the segment and
+        its lock file).  Idempotent."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        _LIVE_STORES.pop(shm.name, None)
+        self._lockfile.close(unlink=self._owner)
+        shm.close()
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedQueryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _lock(self):
+        return _StoreLock(self)
+
+
+class _StoreLock:
+    """In-process lock + cross-process record lock, as one context."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: SharedQueryStore):
+        self._store = store
+
+    def __enter__(self):
+        self._store._tlock.acquire()
+        if self._store._shm is None:
+            self._store._tlock.release()
+            raise StorageError("shared store is closed")
+        self._store._lockfile.acquire()
+
+    def __exit__(self, *exc):
+        try:
+            self._store._lockfile.release()
+        finally:
+            self._store._tlock.release()
+
+
+# -- process-wide registries --------------------------------------------------
+
+
+#: Every not-yet-closed store in this process, drained at exit.
+_LIVE_STORES: Dict[str, SharedQueryStore] = {}
+
+#: Attach memo: engines configured with ``EngineOptions.shared_store``
+#: share one mapping per segment (closed at process exit, never by the
+#: engines themselves — the owner unlinks).
+_ATTACHED: Dict[str, SharedQueryStore] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def attach_store(segment: str) -> SharedQueryStore:
+    """The process-wide shared mapping of *segment* (attached once)."""
+    with _ATTACH_LOCK:
+        store = _ATTACHED.get(segment)
+        if store is None or store.closed:
+            store = _ATTACHED[segment] = SharedQueryStore.attach(segment)
+        return store
+
+
+def close_attached_stores() -> None:
+    """Drop every memoized attach mapping (worker teardown path)."""
+    with _ATTACH_LOCK:
+        for store in _ATTACHED.values():
+            store.close()
+        _ATTACHED.clear()
+
+
+@atexit.register
+def _drain_live_stores() -> None:  # pragma: no cover - process teardown
+    for store in list(_LIVE_STORES.values()):
+        store.close()
+
+
+def _attach_untracked(segment: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    On Python versions where attaching registers the segment (the owner
+    already did), an *independent* attacher's tracker would unlink the
+    segment under the owner when the attacher exits.  Suppressing the
+    registration for the attach call leaves the owner's accounting
+    intact in every topology (spawned child or unrelated process)."""
+    try:  # pragma: no cover - depends on stdlib version
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+    except Exception:
+        return shared_memory.SharedMemory(name=segment)
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=segment)
+    finally:
+        resource_tracker.register = original
+
+
+# -- stale-segment sweep ------------------------------------------------------
+
+
+def list_segments() -> List[str]:
+    """All ``astore-sqs-*`` segments currently in ``/dev/shm``."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(name for name in os.listdir(shm_dir)
+                  if name.startswith(SEGMENT_PREFIX))
+
+
+def sweep_stale_segments() -> List[str]:
+    """Remove store segments whose every holder has died.
+
+    A segment is stale when its lock file's liveness byte can be locked
+    exclusively (the kernel releases record locks on process death, so
+    SIGKILL mid-serve still counts) — or when the lock file is gone
+    entirely.  Returns the removed segment names.
+    """
+    removed: List[str] = []
+    if not store_available():
+        return removed
+    for segment in list_segments():
+        if segment in _LIVE_STORES:
+            continue  # ours, definitionally live
+        path = _lock_path(segment)
+        stale = False
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except FileNotFoundError:
+            stale = True
+        else:
+            try:
+                fcntl.lockf(fd, fcntl.LOCK_EX | fcntl.LOCK_NB, 1, 0)
+            except OSError:
+                pass  # somebody holds the liveness byte: live store
+            else:
+                stale = True
+            finally:
+                os.close(fd)
+        if stale:
+            try:
+                os.unlink(os.path.join("/dev/shm", segment))
+            except OSError:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            removed.append(segment)
+    return removed

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import pickle
 import threading
 import time
 import weakref
@@ -60,6 +61,13 @@ from ..sqlparser.parser import parse
 #: :mod:`repro.core.statistics`) — stamped and invalidated like every
 #: compile tier, but keyed by data layout rather than by query.
 TIERS = ("plan", "leaf", "axis", "zone", "result")
+
+#: Tiers mirrored into an attached cross-process
+#: :class:`~repro.core.shmcache.SharedQueryStore`: plans and results
+#: travel as pickles with deterministic keys; the leaf/axis/zone tiers
+#: stay per-process (their keys embed process-local objects and their
+#: values are cheap to rebuild relative to a result or a whole plan).
+SHARED_TIERS = ("plan", "result")
 
 Stamps = Tuple[Tuple[str, int], ...]
 
@@ -82,6 +90,11 @@ class TierStats:
     expirations: int = 0
     bytes: int = 0
     entries: int = 0
+    #: second-level lookups against an attached cross-process store:
+    #: a shared hit follows a local miss (a sibling worker's entry
+    #: answered), a shared miss means both levels came up empty
+    shared_hits: int = 0
+    shared_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -134,6 +147,8 @@ class QueryCache:
             tier: OrderedDict() for tier in TIERS}
         self._stats: Dict[str, TierStats] = {
             tier: TierStats() for tier in TIERS}
+        #: optional cross-process second level (see attach_shared_store)
+        self._shared = None
 
     def configure_result_tier(self, ttl_seconds: Optional[float] = None,
                               max_entries: Optional[int] = None) -> None:
@@ -151,17 +166,99 @@ class QueryCache:
             return min(self.max_entries, self.max_result_entries)
         return self.max_entries
 
+    # -- the cross-process second level --------------------------------------
+
+    def attach_shared_store(self, store) -> None:
+        """Attach a :class:`~repro.core.shmcache.SharedQueryStore` as
+        the second level behind the :data:`SHARED_TIERS`: local misses
+        consult it (promoting hits into the local tier), local stores
+        publish to it, and locally observed invalidations broadcast the
+        new mutation stamps to every sibling process."""
+        with self._lock:
+            self._shared = store
+
+    def shared_store(self):
+        """The attached shared store, or ``None``."""
+        return self._shared
+
+    def _shared_get(self, tier: str, key: tuple, db: Database):
+        store = self._shared
+        if store is None or tier not in SHARED_TIERS:
+            return None
+        if tier == "result" and self.result_ttl_seconds > 0:
+            # the store does not track entry age; a TTL-bounded serving
+            # tier must not resurrect results of unknown vintage
+            return None
+        stats = self._stats[tier]
+        try:
+            found = store.get(_shared_token(tier, key), db)
+        except Exception:
+            found = None
+        if found is None:
+            stats.shared_misses += 1
+            return None
+        stamps, payload = found
+        try:
+            value, nbytes = self._decode_shared(tier, key, payload)
+        except Exception:
+            stats.shared_misses += 1
+            return None
+        # promote: the next repeat is a local dict lookup, no unpickle
+        self._store_local(tier, key, value, stamps, nbytes)
+        stats.shared_hits += 1
+        return value
+
+    def _decode_shared(self, tier: str, key: tuple, payload: bytes):
+        value = pickle.loads(payload)
+        if tier == "result":
+            # unpickled arrays come back writable; re-freeze before the
+            # entry can be served (put() would reject it otherwise)
+            value = value.freeze()
+            nbytes = sum(int(getattr(col, "nbytes", 0))
+                         for col in value.columns.values())
+        else:
+            value.cache_key = key  # what run_compiled serves results under
+            nbytes = bound_nbytes(value)
+        return value, nbytes
+
+    def _publish_shared(self, tier: str, key: tuple, value,
+                        stamps: Stamps) -> None:
+        store = self._shared
+        if store is None or tier not in SHARED_TIERS or stamps is None:
+            return
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return  # an unpicklable artifact just stays process-local
+        try:
+            store.put(_shared_token(tier, key), stamps, payload)
+        except Exception:
+            pass
+
+    def _broadcast_stamps(self, db: Database) -> None:
+        """Tell sibling processes about a locally observed mutation."""
+        store = self._shared
+        if store is not None:
+            try:
+                store.publish_stamps(db)
+            except Exception:
+                pass
+
     # -- core protocol ------------------------------------------------------
 
     def get(self, tier: str, key: tuple, db: Database):
-        """The cached value, or ``None`` on a miss or a stale entry."""
+        """The cached value, or ``None`` on a miss or a stale entry.
+
+        With a shared store attached, a local miss on a shared tier
+        falls through to the cross-process second level — a sibling
+        worker's compile or execution answers instead of a redo."""
         with self._lock:
             entries = self._tiers[tier]
             stats = self._stats[tier]
             entry = entries.get(key)
             if entry is None:
                 stats.misses += 1
-                return None
+                return self._shared_get(tier, key, db)
             if (tier == "result" and self.result_ttl_seconds > 0
                     and self._clock() - entry.created
                     > self.result_ttl_seconds):
@@ -175,7 +272,10 @@ class QueryCache:
                 stats.bytes -= entry.nbytes
                 stats.invalidations += 1
                 stats.misses += 1
-                return None
+                # whoever observes a mutation first tells the fleet, so
+                # no sibling can keep serving shared pre-mutation entries
+                self._broadcast_stamps(db)
+                return self._shared_get(tier, key, db)
             entries.move_to_end(key)
             stats.hits += 1
             return entry.value
@@ -186,7 +286,9 @@ class QueryCache:
 
         Result-tier values must be frozen (read-only column arrays, see
         :meth:`QueryResult.freeze`): a writable entry would let one
-        served caller mutate what every later caller is handed."""
+        served caller mutate what every later caller is handed.  Shared
+        tiers are additionally published (pickled) to an attached
+        shared store, so sibling processes skip the same work."""
         if tier == "result" and not _result_is_frozen(value):
             raise ValueError(
                 "result-tier entries must be frozen QueryResults "
@@ -194,23 +296,29 @@ class QueryCache:
         with self._lock:
             if tier == "result" and nbytes > self.max_result_entry_bytes:
                 return False
-            entries = self._tiers[tier]
-            stats = self._stats[tier]
-            old = entries.pop(key, None)
-            if old is not None:
-                stats.bytes -= old.nbytes
-            entries[key] = _Entry(value, stamps, nbytes,
-                                  created=self._clock())
-            stats.stores += 1
-            stats.bytes += nbytes
-            budget = (self.result_budget_bytes if tier == "result" else None)
-            while len(entries) > self._entry_cap(tier) or (
-                    budget is not None and stats.bytes > budget
-                    and len(entries) > 1):
-                _, evicted = entries.popitem(last=False)
-                stats.bytes -= evicted.nbytes
-                stats.evictions += 1
+            self._store_local(tier, key, value, stamps, nbytes)
+            self._stats[tier].stores += 1
+            self._publish_shared(tier, key, value, stamps)
             return True
+
+    def _store_local(self, tier: str, key: tuple, value, stamps: Stamps,
+                     nbytes: int) -> None:
+        """Insert into the local tier and apply its entry/byte bounds
+        (shared by :meth:`put` and shared-hit promotion)."""
+        entries = self._tiers[tier]
+        stats = self._stats[tier]
+        old = entries.pop(key, None)
+        if old is not None:
+            stats.bytes -= old.nbytes
+        entries[key] = _Entry(value, stamps, nbytes, created=self._clock())
+        stats.bytes += nbytes
+        budget = (self.result_budget_bytes if tier == "result" else None)
+        while len(entries) > self._entry_cap(tier) or (
+                budget is not None and stats.bytes > budget
+                and len(entries) > 1):
+            _, evicted = entries.popitem(last=False)
+            stats.bytes -= evicted.nbytes
+            stats.evictions += 1
 
     def tier_items(self, tier: str, db: Database) -> List[Tuple[tuple, object]]:
         """``(key, value)`` pairs of *tier* whose stamps are still fresh
@@ -253,15 +361,21 @@ class QueryCache:
         for tier, stats in self.stats().items():
             out[f"{tier}.hits"] = stats.hits
             out[f"{tier}.misses"] = stats.misses
+            if tier in SHARED_TIERS:
+                out[f"{tier}.shared_hits"] = stats.shared_hits
+                out[f"{tier}.shared_misses"] = stats.shared_misses
         return out
 
     def stats_rows(self) -> List[list]:
-        """``[tier, entries, hits, misses, hit %, invalidated, expired,
-        KiB]`` rows for :func:`repro.bench.format_table`."""
+        """``[tier, entries, hits, misses, shared hits, shared misses,
+        hit %, invalidated, expired, KiB]`` rows for
+        :func:`repro.bench.format_table` (shared columns are zero
+        without an attached store)."""
         rows = []
         for tier, stats in self.stats().items():
             rows.append([
                 tier, stats.entries, stats.hits, stats.misses,
+                stats.shared_hits, stats.shared_misses,
                 100.0 * stats.hit_rate, stats.invalidations,
                 stats.expirations, stats.bytes / 1024.0,
             ])
@@ -280,6 +394,15 @@ class QueryCache:
             if hits + misses:
                 rates[tier] = hits / (hits + misses)
         return rates
+
+
+def _shared_token(tier: str, key: tuple) -> str:
+    """The cross-process key of a shared-tier entry.
+
+    Plan/result keys are ``(fingerprint_hex, snapshot)`` — built from
+    deterministic ``repr``s, so the same query text hashes to the same
+    token in every worker process."""
+    return f"{tier}|{key!r}"
 
 
 def _result_is_frozen(value) -> bool:

@@ -113,7 +113,11 @@ class EngineOptions:
       default, :func:`repro.core.statistics.default_zone_block_rows`);
     * ``leaf_ship_bytes`` — packed predicate vectors larger than this
       ship to process workers as rebuild recipes instead of bits
-      (worker-side leaf processing over the shared arena).
+      (worker-side leaf processing over the shared arena);
+    * ``shared_store`` — segment name of a cross-process
+      :class:`~repro.core.shmcache.SharedQueryStore` to attach as the
+      second level behind the query cache's plan/result tiers (empty =
+      per-process caching only; serving-fleet workers set this).
     """
 
     scan: str = "column"
@@ -134,6 +138,7 @@ class EngineOptions:
     adaptive_filters: bool = True
     zone_block_rows: int = 0
     leaf_ship_bytes: int = 64 << 10
+    shared_store: str = ""
 
 
 #: The five query processors of the paper's Table 6.
@@ -227,6 +232,12 @@ class AStoreEngine:
             self.cache.configure_result_tier(
                 ttl_seconds=self.options.result_ttl_seconds or None,
                 max_entries=self.options.result_cache_entries or None)
+        if self.cache is not None and self.options.shared_store:
+            # fleet workers: one process-wide mapping per segment, shared
+            # by every engine over it; the fleet supervisor owns/unlinks
+            from ..core.shmcache import attach_store
+            self.cache.attach_shared_store(
+                attach_store(self.options.shared_store))
 
     @classmethod
     def variant(cls, db: Database, name: str, **overrides) -> "AStoreEngine":

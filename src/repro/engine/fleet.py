@@ -1,0 +1,522 @@
+"""The serving fleet: N server processes over one arena and one store.
+
+``astore serve --workers N`` runs a :class:`ServeFleet`: *N* spawned
+worker processes, each a full :class:`~repro.engine.serve.AsyncEngine`
++ :class:`~repro.engine.serve.QueryServer` on its own event loop —
+its own GIL, its own core — all answering on **one** listening address.
+What PR 5 could only simulate with threads behind a single GIL becomes
+real parallel serving:
+
+* **One socket, N acceptors.**  Where the platform has ``SO_REUSEPORT``
+  (Linux, the BSDs), every worker binds + listens on the same address
+  and the kernel load-balances accepted connections across them.  The
+  supervisor holds a bound (never listening) placeholder socket so the
+  port stays reserved across worker respawns.  Without ``SO_REUSEPORT``
+  the supervisor itself accepts and ships each connection's fd to a
+  worker over its control pipe (``multiprocessing.reduction``) — same
+  protocol, same drain rules, via
+  :meth:`~repro.engine.serve.QueryServer.handle_socket`.
+* **One data copy.**  In ``arena`` mode (the default) the supervisor
+  exports the database once into a shared-memory
+  :class:`~repro.core.arena.ColumnArena` and workers attach read-only,
+  zero-copy — N workers, one copy of the columns, exported zone maps
+  included.  ``copy`` mode gives every worker its own writable load
+  from an ``.npz`` path instead (what the racing-mutation tests use).
+* **One cache fleet-wide.**  The supervisor owns a
+  :class:`~repro.core.shmcache.SharedQueryStore`; every worker's
+  :class:`~repro.engine.cache.QueryCache` attaches it as the second
+  level behind its plan/result tiers, so one worker's compile or
+  execution is every sibling's warm hit, and mutation stamps broadcast
+  through it keep cross-process invalidation exact.
+* **Supervision.**  The supervisor respawns workers that die (a
+  SIGKILLed worker costs its in-flight connections, nothing else — the
+  stale-segment sweep plus kernel-released record locks mean no leaked
+  ``/dev/shm`` segments and no stranded store lock).  A ``SHUTDOWN``
+  received by *any* worker fans out: the worker tells the supervisor,
+  the supervisor broadcasts ``drain`` to every sibling, each worker
+  finishes its in-flight requests and exits, and :meth:`ServeFleet.wait`
+  returns 0 only after every child is reaped.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.arena import ArenaManifest, ColumnArena, attach_database
+from ..core.shmcache import (
+    SharedQueryStore,
+    close_attached_stores,
+    store_available,
+    sweep_stale_segments,
+)
+from ..core.statistics import fresh_zone_entries
+from ..errors import AStoreError
+from .cache import query_cache_for
+from .executor import EngineOptions
+from .serve import AsyncEngine, QueryServer, serve_tcp
+
+#: Control-pipe messages (worker -> supervisor are tuples; supervisor ->
+#: worker are the strings "drain" / ("conn",) + an fd in handoff mode).
+_READY, _SHUTDOWN, _EXITING = "ready", "shutdown", "exiting"
+
+
+def reuseport_available() -> bool:
+    """Whether this platform can share one listening port kernel-side."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    """A TCP socket bound with ``SO_REUSEPORT`` (not yet listening)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+@dataclass
+class FleetSpec:
+    """Everything a spawned worker needs (picklable, shipped once)."""
+
+    host: str
+    port: int
+    options: EngineOptions
+    store_name: str = ""                      # "" = no shared store
+    manifest: Optional[ArenaManifest] = None  # arena mode
+    database_path: str = ""                   # copy mode
+    max_concurrency: Optional[int] = None
+    drain_seconds: float = 10.0
+    handoff: bool = False                     # no SO_REUSEPORT: fd handoff
+
+
+def _fleet_worker_main(spec: FleetSpec, index: int, conn) -> None:
+    """Entry point of one spawned fleet worker."""
+    import asyncio
+
+    try:
+        asyncio.run(_fleet_worker(spec, index, conn))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+async def _fleet_worker(spec: FleetSpec, index: int, conn) -> None:
+    import asyncio
+
+    attached = None
+    if spec.manifest is not None:
+        attached = attach_database(spec.manifest)
+        db = attached.db
+        # seed the zone tier from the parent's exported summaries, the
+        # same way process-backend shard workers do
+        cache = query_cache_for(db)
+        for store_key, value in attached.zone_maps:
+            table = store_key[1]
+            stamps = ((table, db.table(table).mutation_count),)
+            cache.put("zone", store_key, value, stamps, value.nbytes)
+    else:
+        from ..io import load_database
+        db = load_database(spec.database_path)
+
+    options = spec.options
+    if spec.store_name:
+        options = replace(options, shared_store=spec.store_name)
+    engine = AsyncEngine(db, options=options,
+                         max_concurrency=spec.max_concurrency)
+
+    loop = asyncio.get_running_loop()
+    if spec.handoff:
+        server = QueryServer(engine=engine, drain_seconds=spec.drain_seconds)
+    else:
+        sock = _reuseport_socket(spec.host, spec.port)
+        server = await serve_tcp(engine, sock=sock)
+        server.drain_seconds = spec.drain_seconds
+
+    def on_control() -> None:
+        from multiprocessing import reduction
+        try:
+            while conn.poll():
+                message = conn.recv()
+                if message == "drain":
+                    server.shutdown_event.set()
+                elif message == ("conn",):
+                    fd = reduction.recv_handle(conn)
+                    client = socket.socket(fileno=fd)
+                    loop.create_task(server.handle_socket(client))
+        except (EOFError, OSError):
+            # supervisor died: drain what we have and exit
+            with contextlib.suppress(Exception):
+                loop.remove_reader(conn.fileno())
+            server.shutdown_event.set()
+
+    loop.add_reader(conn.fileno(), on_control)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, server.shutdown_event.set)
+
+    async def notify_shutdown() -> None:
+        # tell the supervisor the moment a SHUTDOWN (or signal) lands,
+        # so the drain fans out to siblings while we are still draining
+        await server.shutdown_event.wait()
+        with contextlib.suppress(Exception):
+            conn.send((_SHUTDOWN, os.getpid()))
+
+    notifier = asyncio.create_task(notify_shutdown())
+    conn.send((_READY, os.getpid()))
+    try:
+        await server.wait_closed()  # serves until SHUTDOWN/drain, then drains
+    finally:
+        notifier.cancel()
+        with contextlib.suppress(Exception):
+            await notifier
+        with contextlib.suppress(Exception):
+            loop.remove_reader(conn.fileno())
+        with contextlib.suppress(Exception):
+            conn.send((_EXITING, os.getpid(), server.requests))
+        if attached is not None:
+            attached.close()
+        close_attached_stores()
+
+
+@dataclass
+class _Worker:
+    index: int
+    process: "multiprocessing.process.BaseProcess"
+    pipe: "multiprocessing.connection.Connection"
+    clean_exit: bool = False
+
+
+class ServeFleet:
+    """Supervisor for a multi-process serving fleet.
+
+    Typical use (the CLI's ``astore serve --workers N`` path)::
+
+        fleet = ServeFleet(db, options=options, workers=4, port=7433)
+        host, port = fleet.start()
+        exit_code = fleet.wait()     # serves until a SHUTDOWN fans out
+
+    ``data_mode="arena"`` (default) exports *db* once into shared
+    memory; ``data_mode="copy"`` makes every worker load its own
+    writable copy from *database_path* (mutation tests).  The shared
+    query store is on by default wherever the platform supports it.
+    """
+
+    def __init__(self, db=None, *, database_path: str = "",
+                 options: Optional[EngineOptions] = None,
+                 host: str = "127.0.0.1", port: int = 0, workers: int = 2,
+                 max_concurrency: Optional[int] = None,
+                 data_mode: str = "arena", shared_store: bool = True,
+                 store_bytes: int = 64 << 20, drain_seconds: float = 10.0,
+                 respawn_limit: int = 16, force_handoff: bool = False,
+                 announce=None):
+        if os.name != "posix":
+            raise AStoreError("the serving fleet requires a POSIX platform")
+        if data_mode not in ("arena", "copy"):
+            raise AStoreError(f"unknown fleet data mode {data_mode!r}")
+        if data_mode == "arena" and db is None:
+            raise AStoreError("arena mode needs a loaded database")
+        if data_mode == "copy" and not database_path:
+            raise AStoreError("copy mode needs a database path")
+        self.db = db
+        self.database_path = str(database_path)
+        self.options = options or EngineOptions(parallel_backend="serial",
+                                                cache_results=True)
+        self.host, self.port = host, int(port)
+        self.workers = max(1, int(workers))
+        self.max_concurrency = max_concurrency
+        self.data_mode = data_mode
+        self.shared_store = bool(shared_store) and store_available()
+        self.store_bytes = store_bytes
+        self.drain_seconds = drain_seconds
+        self.respawn_limit = int(respawn_limit)
+        self.handoff = bool(force_handoff) or not reuseport_available()
+        self.announce = announce or (lambda *_: None)
+        self.swept: List[str] = []
+        self.respawns = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: Dict[int, _Worker] = {}
+        self._spec: Optional[FleetSpec] = None
+        self._store: Optional[SharedQueryStore] = None
+        self._arena: Optional[ColumnArena] = None
+        self._placeholder: Optional[socket.socket] = None
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._accept_stop = threading.Event()
+        self._pipe_lock = threading.Lock()
+        self._draining = False
+        self._failed = False
+        self._started = False
+        self._closed = False
+        self._rr = 0  # round-robin cursor (handoff mode)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, ready_timeout: float = 120.0) -> Tuple[str, int]:
+        """Sweep stale segments, export data, spawn workers, and wait
+        until every worker is accepting.  Returns the bound address."""
+        if self._started:
+            raise AStoreError("fleet already started")
+        self._started = True
+        self.swept = sweep_stale_segments()
+        if self.swept:
+            self.announce(f"astore serve: swept stale shared-store "
+                          f"segments: {', '.join(self.swept)}")
+        if self.shared_store:
+            self._store = SharedQueryStore.create(data_bytes=self.store_bytes)
+        if self.handoff:
+            self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._listener.setsockopt(socket.SOL_SOCKET,
+                                      socket.SO_REUSEADDR, 1)
+            self._listener.bind((self.host, self.port))
+            self._listener.listen(128)
+            self.port = self._listener.getsockname()[1]
+        else:
+            # a bound, never-listening placeholder: reserves the port for
+            # the reuseport group across worker deaths and respawns
+            self._placeholder = _reuseport_socket(self.host, self.port)
+            self.port = self._placeholder.getsockname()[1]
+
+        manifest = None
+        if self.data_mode == "arena":
+            self._arena = ColumnArena.export(
+                self.db, zone_entries=fresh_zone_entries(
+                    self.db, query_cache_for(self.db)))
+            manifest = self._arena.manifest
+        self._spec = FleetSpec(
+            host=self.host, port=self.port, options=self.options,
+            store_name=self._store.segment if self._store else "",
+            manifest=manifest, database_path=self.database_path,
+            max_concurrency=self.max_concurrency,
+            drain_seconds=self.drain_seconds, handoff=self.handoff)
+
+        for index in range(self.workers):
+            self._spawn(index)
+        self._await_ready(ready_timeout)
+        if self.handoff:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="astore-fleet-accept",
+                daemon=True)
+            self._accept_thread.start()
+        self.announce(
+            f"astore serve: fleet of {self.workers} worker(s) listening on "
+            f"{self.host}:{self.port} "
+            f"({'fd-handoff' if self.handoff else 'SO_REUSEPORT'}, "
+            f"data={self.data_mode}, "
+            f"shared_store={'on' if self._store else 'off'})")
+        return (self.host, self.port)
+
+    def _spawn(self, index: int) -> None:
+        parent_pipe, child_pipe = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_fleet_worker_main, args=(self._spec, index, child_pipe),
+            name=f"astore-fleet-{index}")
+        process.start()
+        child_pipe.close()
+        self._workers[index] = _Worker(index, process, parent_pipe)
+
+    def _await_ready(self, timeout: float) -> None:
+        pending = set(self._workers)
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise AStoreError(
+                    f"fleet workers not ready after {timeout:.0f}s "
+                    f"(still waiting on {sorted(pending)})")
+            ready = multiprocessing.connection.wait(
+                [self._workers[i].pipe for i in pending],
+                timeout=min(remaining, 0.5))
+            for pipe in ready:
+                index = next(i for i in pending
+                             if self._workers[i].pipe is pipe)
+                try:
+                    message = pipe.recv()
+                except (EOFError, OSError):
+                    process = self._workers[index].process
+                    process.join(timeout=5)
+                    exitcode = process.exitcode
+                    self.close()
+                    raise AStoreError(
+                        f"fleet worker {index} died during startup "
+                        f"(exitcode={exitcode})") from None
+                if message and message[0] == _READY:
+                    pending.discard(index)
+
+    # -- serving ------------------------------------------------------------
+
+    def wait(self) -> int:
+        """Monitor the fleet until it drains; respawn dead workers.
+
+        Returns the exit code: 0 when a SHUTDOWN (or
+        :meth:`request_stop`) drained every worker and all children
+        were reaped cleanly, 1 otherwise."""
+        while self._workers:
+            pipes = [w.pipe for w in self._workers.values()]
+            with contextlib.suppress(OSError):
+                for pipe in multiprocessing.connection.wait(pipes,
+                                                            timeout=0.25):
+                    self._drain_pipe(pipe)
+            for index in list(self._workers):
+                worker = self._workers[index]
+                if worker.process.is_alive():
+                    continue
+                worker.process.join()
+                self._drain_pipe(worker.pipe)  # flush any final messages
+                worker.pipe.close()
+                del self._workers[index]
+                if self._draining or worker.clean_exit:
+                    if not worker.clean_exit and worker.process.exitcode != 0:
+                        self._failed = True
+                    continue
+                # unexpected death mid-serve: respawn into the same slot
+                self.respawns += 1
+                if self.respawns > self.respawn_limit:
+                    self.announce(
+                        f"astore serve: worker {index} died "
+                        f"(exitcode={worker.process.exitcode}); respawn "
+                        f"limit {self.respawn_limit} exceeded, draining")
+                    self._failed = True
+                    self.request_stop()
+                    continue
+                self.announce(
+                    f"astore serve: worker {index} died "
+                    f"(exitcode={worker.process.exitcode}); respawning")
+                self._spawn(index)
+        self.close()
+        return 0 if (self._draining and not self._failed) else 1
+
+    def _drain_pipe(self, pipe) -> None:
+        try:
+            while pipe.poll():
+                message = pipe.recv()
+                if not message:
+                    continue
+                if message[0] == _SHUTDOWN and not self._draining:
+                    self.announce("astore serve: SHUTDOWN received; "
+                                  "draining fleet")
+                    self.request_stop()
+                elif message[0] == _EXITING:
+                    for worker in self._workers.values():
+                        if worker.pipe is pipe:
+                            worker.clean_exit = True
+        except (EOFError, OSError):
+            pass
+
+    def request_stop(self) -> None:
+        """Fan a graceful drain out to every worker."""
+        self._draining = True
+        self._accept_stop.set()
+        for worker in self._workers.values():
+            if worker.process.is_alive():
+                with contextlib.suppress(Exception):
+                    with self._pipe_lock:
+                        worker.pipe.send("drain")
+
+    # -- fd handoff (no SO_REUSEPORT) ---------------------------------------
+
+    def _accept_loop(self) -> None:  # pragma: no cover - exercised via tests
+        from multiprocessing import reduction
+
+        self._listener.settimeout(0.25)
+        while not self._accept_stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            worker = self._pick_worker()
+            if worker is None:
+                client.close()
+                continue
+            try:
+                with self._pipe_lock:
+                    worker.pipe.send(("conn",))
+                    reduction.send_handle(worker.pipe, client.fileno(),
+                                          worker.process.pid)
+            except Exception:
+                pass
+            client.close()  # the worker holds its own duplicate now
+
+    def _pick_worker(self) -> Optional[_Worker]:
+        alive = [w for w in self._workers.values() if w.process.is_alive()]
+        if not alive:
+            return None
+        self._rr += 1
+        return alive[self._rr % len(alive)]
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release supervisor-owned resources (idempotent).  Called by
+        :meth:`wait` after the last child is reaped; safe on error paths
+        with workers still up (they are terminated, not drained)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._accept_stop.set()
+        for worker in self._workers.values():
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            with contextlib.suppress(Exception):
+                worker.pipe.close()
+        self._workers.clear()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+        for sock in (self._placeholder, self._listener):
+            if sock is not None:
+                with contextlib.suppress(OSError):
+                    sock.close()
+        self._placeholder = self._listener = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "ServeFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.request_stop()
+        if self._workers:
+            self.wait()
+        self.close()
+
+
+def run_fleet(db=None, *, database_path: str = "",
+              options: Optional[EngineOptions] = None,
+              host: str = "127.0.0.1", port: int = 7433, workers: int = 2,
+              max_concurrency: Optional[int] = None, data_mode: str = "arena",
+              shared_store: bool = True, announce=print) -> int:
+    """``astore serve --workers N``: start a fleet, serve until a
+    SHUTDOWN fans out (Ctrl-C drains gracefully), return the exit code."""
+    fleet = ServeFleet(db, database_path=database_path, options=options,
+                       host=host, port=port, workers=workers,
+                       max_concurrency=max_concurrency, data_mode=data_mode,
+                       shared_store=shared_store, announce=announce)
+    fleet.start()
+    try:
+        code = fleet.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        announce("astore serve: interrupt; draining fleet")
+        fleet.request_stop()
+        code = fleet.wait()
+    announce(f"astore serve: fleet stopped (respawns={fleet.respawns}, "
+             f"exit={code})")
+    return code

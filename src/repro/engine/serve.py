@@ -239,24 +239,40 @@ class QueryServer:
     Protocol: one request per line — either raw SQL or a JSON object
     ``{"sql": ..., "id": ...}`` — answered by one JSON line:
     ``{"id", "rows", "columns", "ms", "cached"}`` on success or
-    ``{"id", "error"}`` on failure.  ``PING`` answers ``PONG`` and
-    ``SHUTDOWN`` stops the server after responding (the admin hook the
-    CI smoke uses for a clean teardown).
+    ``{"id", "error"}`` on failure.  Admin lines: ``PING`` answers
+    ``PONG``, ``STATS`` answers a JSON snapshot (pid, serve counters,
+    cache tiers, shared-store counters — what the fleet bench and smoke
+    aggregate per worker), ``SHUTDOWN`` stops the server after
+    responding (the hook CI uses for a clean teardown), and a JSON
+    object with an ``"update"`` key applies a mutation (fleet tests
+    race these against queries).  Stopping *drains*: requests already
+    read when SHUTDOWN arrives finish and answer before their
+    connections close; only idle connections are closed immediately.
     """
 
     engine: AsyncEngine
-    server: "asyncio.AbstractServer"
+    #: the listening asyncio server — ``None`` in fd-handoff fleet mode,
+    #: where connections arrive via :meth:`handle_socket` instead
+    server: Optional["asyncio.AbstractServer"] = None
     shutdown_event: "asyncio.Event" = field(default_factory=asyncio.Event)
     requests: int = 0
     failures: int = 0
+    #: how long stop() waits for in-flight requests before closing them
+    drain_seconds: float = 10.0
     #: open client connections — closed on stop, since (3.12.1+)
     #: ``Server.wait_closed`` blocks until every handler has exited and
     #: an idle client sitting in ``readline`` would pin it forever
     _writers: set = field(default_factory=set)
+    #: connections with a request mid-flight (read but not yet answered)
+    _busy: set = field(default_factory=set)
+    #: handler tasks for adopted (handed-off) connections
+    _tasks: set = field(default_factory=set)
 
     @property
     def address(self) -> tuple:
         """The bound ``(host, port)`` of the listening socket."""
+        if self.server is None or not self.server.sockets:
+            return ("", 0)
         return self.server.sockets[0].getsockname()[:2]
 
     async def wait_closed(self) -> None:
@@ -264,13 +280,44 @@ class QueryServer:
         await self.shutdown_event.wait()
         await self.stop()
 
-    async def stop(self) -> None:
+    async def stop(self, drain_seconds: Optional[float] = None) -> None:
+        """Graceful drain: stop accepting, let every in-flight request
+        answer (up to *drain_seconds*), then close and release."""
         self.shutdown_event.set()
-        self.server.close()
+        if self.server is not None:
+            self.server.close()
         for writer in list(self._writers):  # wake idle readline() handlers
+            if writer not in self._busy:
+                writer.close()
+        deadline = time.monotonic() + (self.drain_seconds
+                                       if drain_seconds is None
+                                       else drain_seconds)
+        while self._busy and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
             writer.close()
-        await self.server.wait_closed()
+        if self.server is not None:
+            await self.server.wait_closed()
+        if self._tasks:  # adopted-connection handlers (fd-handoff mode)
+            _, pending = await asyncio.wait(
+                list(self._tasks), timeout=max(1.0, self.drain_seconds))
+            for task in pending:
+                task.cancel()
         await self.engine.aclose()
+
+    async def handle_socket(self, sock) -> None:
+        """Adopt an already-accepted connection (fd-handoff fleet mode:
+        the supervisor accepts and ships the fd; we serve it with the
+        same handler, drain rules included)."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(loop=loop)
+        protocol = asyncio.StreamReaderProtocol(reader, loop=loop)
+        transport, _ = await loop.connect_accepted_socket(
+            lambda: protocol, sock)
+        writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+        task = asyncio.create_task(self._handle(reader, writer))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
 
     async def _handle(self, reader: "asyncio.StreamReader",
                       writer: "asyncio.StreamWriter") -> None:
@@ -280,27 +327,58 @@ class QueryServer:
                 line = await reader.readline()
                 if not line:
                     break
-                text = line.decode("utf-8", "replace").strip()
-                if not text:
-                    continue
-                if text.upper() == "PING":
-                    writer.write(b"PONG\n")
+                # busy from the moment a request line exists until its
+                # response is flushed — stop() drains exactly this set
+                self._busy.add(writer)
+                try:
+                    text = line.decode("utf-8", "replace").strip()
+                    if not text:
+                        continue
+                    if text.upper() == "PING":
+                        writer.write(b"PONG\n")
+                        await writer.drain()
+                        continue
+                    if text.upper() == "STATS":
+                        writer.write(_encode(self.stats_payload()))
+                        await writer.drain()
+                        continue
+                    if text.upper() == "SHUTDOWN":
+                        writer.write(b'{"ok": true, "shutdown": true}\n')
+                        await writer.drain()
+                        self.shutdown_event.set()
+                        break
+                    writer.write(await self._respond(text))
                     await writer.drain()
-                    continue
-                if text.upper() == "SHUTDOWN":
-                    writer.write(b'{"ok": true, "shutdown": true}\n')
-                    await writer.drain()
-                    self.shutdown_event.set()
-                    break
-                writer.write(await self._respond(text))
-                await writer.drain()
+                finally:
+                    self._busy.discard(writer)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-response; nothing to answer
         finally:
+            self._busy.discard(writer)
             self._writers.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    def stats_payload(self) -> dict:
+        """The ``STATS`` response: this worker's serve/cache counters."""
+        payload = {
+            "pid": os.getpid(),
+            "requests": self.requests,
+            "failures": self.failures,
+            "serve": self.engine.stats.snapshot(),
+        }
+        cache = self.engine.engine.cache
+        if cache is not None:
+            payload["cache"] = {
+                tier: {"hits": stats.hits, "misses": stats.misses,
+                       "shared_hits": stats.shared_hits,
+                       "shared_misses": stats.shared_misses}
+                for tier, stats in cache.stats().items()}
+            store = cache.shared_store()
+            if store is not None and not store.closed:
+                payload["shared_store"] = store.counters()
+        return payload
 
     async def _respond(self, text: str) -> bytes:
         request_id = None
@@ -308,8 +386,11 @@ class QueryServer:
         if text.startswith("{"):
             try:
                 payload = json.loads(text)
+                if isinstance(payload, dict):
+                    request_id = payload.get("id")
+                    if "update" in payload:
+                        return self._apply_update(payload, request_id)
                 sql = payload["sql"]
-                request_id = payload.get("id")
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 self.failures += 1
                 return _encode({"id": request_id,
@@ -337,21 +418,58 @@ class QueryServer:
             "cached": bool(result.stats.cache_events.get("result_hits")),
         })
 
+    def _apply_update(self, payload: dict, request_id) -> bytes:
+        """``{"update": {"table", "positions", "values"}}``: apply a
+        point mutation and broadcast the new stamps to the fleet.
+
+        Mutation counts bump before the stamp broadcast, so from this
+        response onward no worker can serve a pre-mutation shared entry
+        for the touched tables (per-process tiers invalidate on their
+        own stamps as usual).  Arena-attached workers are read-only and
+        answer with an error instead."""
+        import numpy as np
+
+        try:
+            spec = payload["update"]
+            table = self.engine.engine.db.table(spec["table"])
+            positions = np.asarray(spec["positions"], dtype=np.int64)
+            changes = {name: np.asarray(values)
+                       for name, values in spec["values"].items()}
+            table.update(positions, changes)
+        except Exception as exc:  # noqa: BLE001 - protocol: answer, not tear
+            self.failures += 1
+            return _encode({"id": request_id,
+                            "error": f"update failed: {exc!r}"})
+        self.requests += 1
+        cache = self.engine.engine.cache
+        if cache is not None:
+            store = cache.shared_store()
+            if store is not None and not store.closed:
+                with contextlib.suppress(Exception):
+                    store.publish_stamps(self.engine.engine.db)
+        return _encode({"id": request_id, "ok": True,
+                        "table": spec["table"],
+                        "mutation_count": table.mutation_count})
+
 
 def _encode(payload: dict) -> bytes:
     return json.dumps(payload, default=str).encode() + b"\n"
 
 
 async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
-                    port: int = 0) -> QueryServer:
+                    port: int = 0, sock=None) -> QueryServer:
     """Start the line-protocol server (``port=0`` picks a free port).
 
-    Returns the running :class:`QueryServer`; callers ``await
+    Pass a pre-bound *sock* instead of host/port to serve a socket the
+    caller prepared (the fleet's ``SO_REUSEPORT`` workers do).  Returns
+    the running :class:`QueryServer`; callers ``await
     server.wait_closed()`` to serve until a SHUTDOWN request arrives.
     """
-    holder = QueryServer(engine=engine, server=None)  # type: ignore[arg-type]
-    server = await asyncio.start_server(holder._handle, host, port)
-    holder.server = server
+    holder = QueryServer(engine=engine)
+    if sock is not None:
+        holder.server = await asyncio.start_server(holder._handle, sock=sock)
+    else:
+        holder.server = await asyncio.start_server(holder._handle, host, port)
     return holder
 
 

@@ -1,0 +1,295 @@
+"""The multi-process serving fleet: one socket, N workers, one shared
+query store.
+
+Contracts, each over *real* spawned server processes:
+
+* **differential** — every worker in a 2-worker arena fleet answers all
+  13 SSB queries byte-identically to a serial no-cache ground truth
+  (JSON round-tripped, i.e. exactly what a client sees), and at least
+  one answer crossed the shared store instead of being recomputed;
+* **drain** — a SHUTDOWN admin line fans out to every worker and the
+  supervisor exits 0 with no shared-memory segments left behind;
+* **invalidation** — racing mutations against a copy-mode fleet never
+  leave a worker serving a stale result once its copy has mutated (the
+  stamp broadcast kills cross-process cache reuse of old answers);
+* **supervision** — a SIGKILLed worker is respawned into the same
+  fleet, and the fleet still drains cleanly afterwards.
+
+Everything here is skipped on platforms without POSIX record locks.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.shmcache import list_segments, store_available
+from repro.engine.executor import AStoreEngine, EngineOptions
+from repro.engine.fleet import ServeFleet
+from repro.io import save_database
+from repro.workloads import SSB_QUERIES
+
+from .conftest import build_tiny_star
+
+pytestmark = pytest.mark.skipif(
+    not store_available(),
+    reason="the serving fleet needs POSIX shared memory + record locks")
+
+SQL_YEAR = ("SELECT d_year, sum(lo_revenue) AS revenue "
+            "FROM lineorder, date GROUP BY d_year")
+
+
+class FleetHarness:
+    """Start a fleet, run its supervisor on a thread, tear down safely."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("options", EngineOptions(
+            parallel_backend="serial", cache_results=True))
+        kwargs.setdefault("workers", 2)
+        self.fleet = ServeFleet(port=0, **kwargs)
+        self.exit_code = None
+
+    def __enter__(self):
+        self.host, self.port = self.fleet.start()
+        self._waiter = threading.Thread(target=self._wait, daemon=True)
+        self._waiter.start()
+        return self
+
+    def _wait(self):
+        self.exit_code = self.fleet.wait()
+
+    def __exit__(self, *exc):
+        if self._waiter.is_alive():
+            self.fleet.request_stop()
+        self._waiter.join(timeout=120)
+        self.fleet.close()
+
+    async def rpc(self, reader, writer, line):
+        writer.write((line + "\n").encode())
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.readline(), timeout=60)
+        assert raw, "fleet closed the connection mid-request"
+        return json.loads(raw)
+
+    async def connect(self):
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def connect_to_each_worker(self, expect, attempts=120):
+        """``{pid: (reader, writer)}`` covering *expect* distinct pids.
+
+        SO_REUSEPORT balances per *connection*, so we redial until every
+        worker has answered a STATS probe (or attempts run out).
+        """
+        conns = {}
+        try:
+            for _ in range(attempts):
+                reader, writer = await self.connect()
+                pid = (await self.rpc(reader, writer, "STATS"))["pid"]
+                if pid in conns:
+                    writer.close()
+                else:
+                    conns[pid] = (reader, writer)
+                if len(conns) >= expect:
+                    return conns
+        except BaseException:
+            for _, writer in conns.values():
+                writer.close()
+            raise
+        for _, writer in conns.values():
+            writer.close()
+        raise AssertionError(
+            f"only reached {sorted(conns)} of {expect} workers")
+
+    async def shutdown(self):
+        reader, writer = await self.connect()
+        response = await self.rpc(reader, writer, "SHUTDOWN")
+        writer.close()
+        return response
+
+
+def serial_rows(db, sql):
+    """Ground truth as a client would see it: serial, uncached, JSON."""
+    with AStoreEngine(db, EngineOptions(parallel_backend="serial",
+                                        use_cache=False)) as probe:
+        return json.loads(json.dumps(probe.query(sql).rows()))
+
+
+class TestArenaFleet:
+    def test_both_workers_match_serial_ground_truth(self, ssb_air):
+        reference = {qid: serial_rows(ssb_air, sql)
+                     for qid, sql in SSB_QUERIES.items()}
+
+        async def check():
+            conns = await harness.connect_to_each_worker(expect=2)
+            shared_hits = 0
+            for pid, (reader, writer) in conns.items():
+                for qid, sql in SSB_QUERIES.items():
+                    response = await harness.rpc(
+                        reader, writer, json.dumps({"sql": sql}))
+                    assert response["rows"] == reference[qid], (pid, qid)
+                stats = await harness.rpc(reader, writer, "STATS")
+                shared_hits += sum(
+                    tier.get("shared_hits", 0)
+                    for tier in stats["cache"].values())
+                writer.close()
+            return sorted(conns), shared_hits
+
+        with FleetHarness(db=ssb_air, workers=2) as harness:
+            pids, shared_hits = asyncio.run(check())
+            assert len(pids) == 2
+            # the second worker served from the store, not a recompute
+            assert shared_hits >= 1
+            asyncio.run(harness.shutdown())
+            harness._waiter.join(timeout=120)
+            assert harness.exit_code == 0
+        assert not list_segments()
+
+    def test_shutdown_reaps_everything(self):
+        db = build_tiny_star()
+        with FleetHarness(db=db, workers=2) as harness:
+            async def one_query_then_shutdown():
+                reader, writer = await harness.connect()
+                response = await harness.rpc(
+                    reader, writer, json.dumps({"sql": SQL_YEAR}))
+                assert response["rows"]
+                writer.close()
+                return await harness.shutdown()
+
+            assert asyncio.run(one_query_then_shutdown())["shutdown"]
+            harness._waiter.join(timeout=120)
+            assert harness.exit_code == 0
+            assert all(not worker.process.is_alive()
+                       for worker in harness.fleet._workers.values())
+        assert not list_segments()
+
+    def test_handoff_fallback_serves(self):
+        # force the parent accept-loop + fd-handoff path (the fallback
+        # for platforms without SO_REUSEPORT) and prove it still serves
+        db = build_tiny_star()
+        expected = serial_rows(db, SQL_YEAR)
+
+        async def check():
+            reader, writer = await harness.connect()
+            response = await harness.rpc(
+                reader, writer, json.dumps({"sql": SQL_YEAR}))
+            assert response["rows"] == expected
+            writer.close()
+            return await harness.shutdown()
+
+        with FleetHarness(db=db, workers=2, force_handoff=True) as harness:
+            assert asyncio.run(check())["shutdown"]
+            harness._waiter.join(timeout=120)
+            assert harness.exit_code == 0
+
+
+class TestCopyModeInvalidation:
+    def test_racing_mutations_never_serve_stale(self, tmp_path):
+        """Mutate both workers' private copies while queries race; once a
+        worker acknowledges its mutation, its answers must reflect it."""
+        db = build_tiny_star()
+        path = str(tmp_path / "tiny.npz")
+        save_database(db, path)
+        post_db = build_tiny_star()
+        post_db.table("lineorder").update([0], {"lo_revenue": [10_000]})
+        post_rows = serial_rows(post_db, SQL_YEAR)
+        pre_rows = serial_rows(db, SQL_YEAR)
+        update = json.dumps({"update": {
+            "table": "lineorder", "positions": [0],
+            "values": {"lo_revenue": [10_000]}}})
+
+        async def check():
+            conns = await harness.connect_to_each_worker(expect=2)
+            # warm both workers' caches (and the shared store) pre-mutation
+            for reader, writer in conns.values():
+                response = await harness.rpc(
+                    reader, writer, json.dumps({"sql": SQL_YEAR}))
+                assert response["rows"] == pre_rows
+
+            async def mutate(pid):
+                reader, writer = conns[pid]
+                response = await harness.rpc(reader, writer, update)
+                assert response["ok"], response
+                # from this worker's view the mutation is applied: it
+                # must never serve the stale cached answer again
+                response = await harness.rpc(
+                    reader, writer, json.dumps({"sql": SQL_YEAR}))
+                assert response["rows"] == post_rows, pid
+
+            async def query_loop(stop):
+                # a dedicated connection (the kernel picks the worker)
+                reader, writer = await harness.connect()
+                try:
+                    while not stop.is_set():
+                        response = await harness.rpc(
+                            reader, writer, json.dumps({"sql": SQL_YEAR}))
+                        # racing reads see exactly pre- or post-state,
+                        # never a torn or cross-process-stale mix
+                        assert response["rows"] in (pre_rows, post_rows)
+                finally:
+                    writer.close()
+
+            pids = list(conns)
+            stop = asyncio.Event()
+            racer = asyncio.create_task(query_loop(stop))
+            await mutate(pids[1])
+            await mutate(pids[0])
+            stop.set()
+            await racer
+            # both copies mutated: both workers must answer post-state
+            for pid, (reader, writer) in conns.items():
+                response = await harness.rpc(
+                    reader, writer, json.dumps({"sql": SQL_YEAR}))
+                assert response["rows"] == post_rows, pid
+                writer.close()
+
+        with FleetHarness(database_path=path, data_mode="copy",
+                          workers=2) as harness:
+            asyncio.run(check())
+            asyncio.run(harness.shutdown())
+            harness._waiter.join(timeout=120)
+            assert harness.exit_code == 0
+        assert not list_segments()
+
+
+class TestSupervision:
+    def test_killed_worker_is_respawned(self):
+        db = build_tiny_star()
+
+        async def victim_pid():
+            reader, writer = await harness.connect()
+            pid = (await harness.rpc(reader, writer, "STATS"))["pid"]
+            writer.close()
+            return pid
+
+        async def wait_for_new_pid(dead, deadline=60.0):
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < deadline:
+                try:
+                    reader, writer = await harness.connect()
+                    pid = (await harness.rpc(reader, writer, "STATS"))["pid"]
+                    writer.close()
+                    if pid not in dead:
+                        return pid
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(0.1)
+            raise AssertionError("no respawned worker answered in time")
+
+        with FleetHarness(db=db, workers=2) as harness:
+            starting = {worker.process.pid
+                        for worker in harness.fleet._workers.values()}
+            victim = asyncio.run(victim_pid())
+            assert victim in starting
+            os.kill(victim, signal.SIGKILL)
+            # the survivor also answers probes: wait for a pid outside
+            # the *whole* starting set, which only a respawn can produce
+            fresh = asyncio.run(wait_for_new_pid(starting))
+            assert fresh not in starting
+            assert harness.fleet.respawns >= 1
+            asyncio.run(harness.shutdown())
+            harness._waiter.join(timeout=120)
+            assert harness.exit_code == 0
+        assert not list_segments()

@@ -519,3 +519,110 @@ class TestQueryServer:
             idle_writer.close()
 
         asyncio.run(main())
+
+
+class TestGracefulDrainAndAdmin:
+    """PR contracts: stop() finishes in-flight requests before closing,
+    STATS exposes the per-worker serving picture, and the update admin
+    applies a mutation then answers with the new mutation count."""
+
+    def test_stop_waits_for_inflight_request(self, serving_db):
+        async def main():
+            engine = AsyncEngine(serving_db)
+            original = engine.query
+
+            async def slow_query(sql, **kwargs):
+                await asyncio.sleep(0.3)
+                return await original(sql, **kwargs)
+
+            engine.query = slow_query
+            server = await serve_tcp(engine, "127.0.0.1", 0)
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({"sql": SQL_YEAR, "id": 1}).encode()
+                         + b"\n")
+            await writer.drain()
+            await asyncio.sleep(0.05)  # the request is now in flight
+            stop_task = asyncio.create_task(server.stop())
+            # the drain must deliver the answer, not cut the socket
+            response = json.loads(await asyncio.wait_for(
+                reader.readline(), timeout=10))
+            assert response["id"] == 1 and response["rows"]
+            await asyncio.wait_for(stop_task, timeout=10)
+            writer.close()
+
+        asyncio.run(main())
+
+    def test_stop_with_idle_connection_does_not_hang(self, serving_db):
+        async def main():
+            engine = AsyncEngine(serving_db)
+            server = await serve_tcp(engine, "127.0.0.1", 0)
+            host, port = server.address
+            _reader, idle_writer = await asyncio.open_connection(host, port)
+            await asyncio.sleep(0.05)  # connected, nothing in flight
+            await asyncio.wait_for(server.stop(), timeout=10)
+            idle_writer.close()
+
+        asyncio.run(main())
+
+    def test_stats_admin_reports_the_serving_picture(self, serving_db):
+        import os
+
+        async def main():
+            engine = AsyncEngine(serving_db)
+            server = await serve_tcp(engine, "127.0.0.1", 0)
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({"sql": SQL_YEAR, "id": 0}).encode()
+                         + b"\n")
+            await writer.drain()
+            await reader.readline()
+            writer.write(b"STATS\n")
+            await writer.drain()
+            payload = json.loads(await reader.readline())
+            assert payload["pid"] == os.getpid()
+            assert payload["requests"] >= 1
+            assert "executed" in payload["serve"]
+            assert set(payload["cache"]) >= {"plan", "result"}
+            for tier in payload["cache"].values():
+                assert {"hits", "misses", "shared_hits",
+                        "shared_misses"} <= set(tier)
+            writer.close()
+            await server.stop()
+
+        asyncio.run(main())
+
+    def test_update_admin_applies_and_invalidates(self):
+        db = build_tiny_star()
+
+        async def main():
+            engine = AsyncEngine(db)
+            server = await serve_tcp(engine, "127.0.0.1", 0)
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def rpc(obj):
+                writer.write(json.dumps(obj).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            before = (await rpc({"sql": SQL_YEAR, "id": 1}))["rows"]
+            response = await rpc({"update": {
+                "table": "lineorder", "positions": [0],
+                "values": {"lo_revenue": [10_000]}}, "id": 2})
+            assert response["ok"] and response["table"] == "lineorder"
+            assert response["mutation_count"] \
+                == db.table("lineorder").mutation_count
+            after = (await rpc({"sql": SQL_YEAR, "id": 3}))["rows"]
+            assert after != before  # the cached answer did not survive
+            revenue = {year: value for year, value in after}
+            assert revenue[1997] \
+                == {y: v for y, v in before}[1997] + 10_000 - 10
+            # malformed updates answer with an error, not a teardown
+            bad = await rpc({"update": {"table": "nope", "positions": [0],
+                                        "values": {"x": [1]}}, "id": 4})
+            assert "error" in bad
+            writer.close()
+            await server.stop()
+
+        asyncio.run(main())

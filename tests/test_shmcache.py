@@ -1,0 +1,271 @@
+"""The cross-process shared query store: protocol, lifecycle, and the
+two-level :class:`~repro.engine.cache.QueryCache` integration.
+
+Covered contracts:
+
+* **roundtrip + freshness** — entries come back verbatim while their
+  mutation stamps match the reader's database, and are dropped (and
+  counted) the moment either the local count or a *published* broadcast
+  count disagrees;
+* **epoch flush** — the bump-allocated data heap restarts (generation
+  bump) instead of failing when full, and oversized payloads are
+  rejected outright;
+* **lifecycle** — stale segments left by dead processes are swept while
+  live ones survive, and the owner unlinks on close;
+* **cross-process** — a spawned child sees the parent's entries and the
+  parent sees the child's, through the same segment;
+* **two-level cache** — a second engine process-alike (own QueryCache,
+  same store) serves plan and result tiers from the store instead of
+  recomputing, and a mutation broadcast invalidates fleet-wide.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.shmcache import (
+    SEGMENT_PREFIX,
+    SharedQueryStore,
+    list_segments,
+    store_available,
+    sweep_stale_segments,
+)
+
+from .conftest import build_tiny_star
+
+pytestmark = pytest.mark.skipif(
+    not store_available(),
+    reason="SharedQueryStore needs POSIX record locks (fcntl)")
+
+SQL_YEAR = ("SELECT d_year, sum(lo_revenue) AS revenue "
+            "FROM lineorder, date GROUP BY d_year")
+
+
+def fresh_stamps(db, *names):
+    return tuple((name, db.table(name).mutation_count)
+                 for name in (names or db.tables))
+
+
+@pytest.fixture
+def store():
+    store = SharedQueryStore.create(data_bytes=1 << 20)
+    yield store
+    store.close()
+
+
+class TestStoreProtocol:
+    def test_roundtrip(self, store):
+        db = build_tiny_star()
+        stamps = fresh_stamps(db, "lineorder", "date")
+        assert store.put("q1", stamps, b"payload-bytes")
+        got = store.get("q1", db)
+        assert got is not None
+        got_stamps, payload = got
+        assert tuple(got_stamps) == stamps
+        assert payload == b"payload-bytes"
+        assert store.counters()["hits"] == 1
+        assert store.counters()["entries"] == 1
+
+    def test_miss_is_counted(self, store):
+        db = build_tiny_star()
+        assert store.get("absent", db) is None
+        assert store.counters()["misses"] == 1
+
+    def test_local_mutation_invalidates(self, store):
+        db = build_tiny_star()
+        store.put("q1", fresh_stamps(db, "lineorder"), b"x")
+        db.table("lineorder").update([0], {"lo_revenue": [999]})
+        assert store.get("q1", db) is None
+        assert store.counters()["invalidations"] == 1
+        # and the stale entry is gone, not just skipped
+        assert store.counters()["entries"] == 0
+
+    def test_published_stamp_rejects_stale_reader(self, store):
+        # Worker A applies a mutation and broadcasts; worker B, whose
+        # private copy still has the old count, must NOT accept an entry
+        # stamped with its own (stale) count.
+        db_a = build_tiny_star()
+        db_b = build_tiny_star()
+        store.put("q1", fresh_stamps(db_b, "lineorder"), b"stale-result")
+        db_a.table("lineorder").update([0], {"lo_revenue": [999]})
+        store.publish_stamps(db_a)
+        assert (store.published_count("lineorder")
+                == db_a.table("lineorder").mutation_count)
+        assert store.get("q1", db_b) is None  # B's local count matches...
+        assert store.counters()["invalidations"] == 1  # ...broadcast wins
+
+    def test_publish_only_raises_counts(self, store):
+        db = build_tiny_star()
+        db.table("lineorder").update([0], {"lo_revenue": [1]})
+        store.publish_stamps(db)
+        published = store.published_count("lineorder")
+        assert published == db.table("lineorder").mutation_count > 0
+        fresh = build_tiny_star()  # pre-mutation counts again
+        store.publish_stamps(fresh)  # replay of an older view
+        assert store.published_count("lineorder") == published  # max-merge
+
+    def test_epoch_flush_restarts_the_heap(self):
+        store = SharedQueryStore.create(data_bytes=1 << 16)  # 64 KiB heap
+        try:
+            db = build_tiny_star()
+            stamps = fresh_stamps(db, "lineorder")
+            blob = os.urandom(20 << 10)  # 20 KiB per entry
+            for i in range(8):  # > 3 entries overflows the heap
+                assert store.put(f"q{i}", stamps, blob)
+            counters = store.counters()
+            assert counters["generation"] >= 1
+            assert counters["evictions"] > 0
+            # the newest entry survived the flush
+            assert store.get("q7", db) is not None
+        finally:
+            store.close()
+
+    def test_oversize_payload_rejected(self):
+        store = SharedQueryStore.create(data_bytes=1 << 16,
+                                        max_entry_bytes=1 << 10)
+        try:
+            db = build_tiny_star()
+            assert not store.put("big", fresh_stamps(db), os.urandom(2 << 10))
+            assert store.counters()["rejected"] == 1
+            assert store.get("big", db) is None
+        finally:
+            store.close()
+
+    def test_closed_store_raises(self, store):
+        from repro.errors import StorageError
+
+        store.close()
+        with pytest.raises(StorageError):
+            store.put("q", (), b"x")
+
+
+class TestLifecycle:
+    def test_owner_close_unlinks_segment(self):
+        store = SharedQueryStore.create(data_bytes=1 << 16)
+        segment = store.segment
+        assert segment in list_segments()
+        store.close()
+        assert segment not in list_segments()
+
+    def test_attacher_close_leaves_segment(self):
+        store = SharedQueryStore.create(data_bytes=1 << 16)
+        try:
+            attached = SharedQueryStore.attach(store.segment)
+            attached.close()
+            assert store.segment in list_segments()
+        finally:
+            store.close()
+
+    def test_sweep_skips_live_removes_stale(self):
+        from multiprocessing import shared_memory as shm_mod
+        from multiprocessing import resource_tracker
+
+        live = SharedQueryStore.create(data_bytes=1 << 16)
+        # a segment with no lock-file holder: what a SIGKILLed worker
+        # fleet leaves behind (no process holds the liveness byte)
+        stale_name = f"{SEGMENT_PREFIX}stale-{os.getpid():x}"
+        stale = shm_mod.SharedMemory(create=True, name=stale_name,
+                                     size=1 << 12)
+        stale.close()
+        # keep our own resource_tracker from double-unlinking it later
+        resource_tracker.unregister(f"/{stale_name}", "shared_memory")
+        try:
+            removed = sweep_stale_segments()
+            assert stale_name in removed
+            assert live.segment in list_segments()
+            assert stale_name not in list_segments()
+        finally:
+            live.close()
+
+
+def _child_roundtrip(segment, conn):
+    """Spawned child: read the parent's entry, store one of its own."""
+    db = build_tiny_star()
+    store = SharedQueryStore.attach(segment)
+    got = store.get("from-parent", db)
+    store.put("from-child", fresh_stamps(db, "lineorder"), b"child-payload")
+    store.close()
+    conn.send(got[1] if got is not None else None)
+    conn.close()
+
+
+class TestCrossProcess:
+    def test_spawned_child_shares_entries(self):
+        db = build_tiny_star()
+        store = SharedQueryStore.create(data_bytes=1 << 20)
+        try:
+            store.put("from-parent", fresh_stamps(db, "lineorder"),
+                      b"parent-payload")
+            ctx = multiprocessing.get_context("spawn")
+            parent, child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_child_roundtrip,
+                               args=(store.segment, child))
+            proc.start()
+            child.close()
+            assert parent.recv() == b"parent-payload"
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            got = store.get("from-child", db)
+            assert got is not None and got[1] == b"child-payload"
+        finally:
+            store.close()
+
+
+class TestTwoLevelCache:
+    """Two engines with private caches over one store: the fleet shape."""
+
+    def _engine(self, db, store):
+        from repro.engine import AStoreEngine
+
+        engine = AStoreEngine.variant(db, "AIRScan_C_P_G",
+                                      cache_results=True)
+        engine.cache.attach_shared_store(
+            SharedQueryStore.attach(store.segment))
+        return engine
+
+    def test_second_engine_hits_the_store(self):
+        store = SharedQueryStore.create(data_bytes=1 << 20)
+        try:
+            db1, db2 = build_tiny_star(), build_tiny_star()
+            e1 = self._engine(db1, store)
+            ground = e1.query(SQL_YEAR).rows()
+
+            e2 = self._engine(db2, store)
+            served = e2.query(SQL_YEAR)
+            assert served.rows() == ground
+            counters = e2.cache.counters()
+            assert counters["plan.shared_hits"] >= 1
+            assert counters["result.shared_hits"] == 1
+            # a shared result hit reports as a result-tier hit
+            assert served.stats.cache_events.get("result_hits") == 1
+        finally:
+            store.close()
+
+    def test_mutation_broadcast_invalidates_fleet_wide(self):
+        store = SharedQueryStore.create(data_bytes=1 << 20)
+        try:
+            db1, db2 = build_tiny_star(), build_tiny_star()
+            e1, e2 = self._engine(db1, store), self._engine(db2, store)
+            e1.query(SQL_YEAR)
+            e2.query(SQL_YEAR)  # served from the store
+
+            # engine 1 applies + broadcasts; engine 2 must recompute
+            db1.table("lineorder").update([0], {"lo_revenue": [10_000]})
+            mutated = e1.query(SQL_YEAR).rows()
+            store.publish_stamps(db1)
+            db2.table("lineorder").update([0], {"lo_revenue": [10_000]})
+            assert e2.query(SQL_YEAR).rows() == mutated
+        finally:
+            store.close()
+
+    def test_shared_results_come_back_frozen(self):
+        store = SharedQueryStore.create(data_bytes=1 << 20)
+        try:
+            db1, db2 = build_tiny_star(), build_tiny_star()
+            self._engine(db1, store).query(SQL_YEAR)
+            served = self._engine(db2, store).query(SQL_YEAR)
+            with pytest.raises(ValueError):
+                served.column("revenue")[0] = -1
+        finally:
+            store.close()
