@@ -389,50 +389,68 @@ def pruning_sweep(sf: float = DEFAULT_SCALE,
     so parse, plan, and leaf processing are re-paid per execution; only
     the zone maps themselves persist, as they are data statistics shared
     per database — ``rounds`` times and records the median, together
-    with the skipped / fully-accepted / scanned block counts from
-    ``ExecutionStats``.  With ``check_rows`` the pruned rows must equal
-    the unpruned reference, so the sweep doubles as the pruning on/off
-    differential.  Returns ``{(backend, mode): {query_id: cell}}`` with
-    per-query ``median_ms``, ``morsels_skipped``, ``morsels_accepted``,
-    and ``morsels``; flight-level speedups come from
-    :func:`pruning_speedups`.
+    with the skipped / fully-accepted / scanned block counts and the
+    cost-gate counter from ``ExecutionStats``.  The pruned and unpruned
+    rounds of one query *interleave* (on/off/on/off…), so slow host
+    drift — frequency scaling, a noisy neighbour — lands evenly on both
+    modes instead of biasing whichever cell ran second; the per-query
+    speedups this feeds are what the CI regression floor judges.  With
+    ``check_rows`` the pruned rows must equal the unpruned reference,
+    so the sweep doubles as the pruning on/off differential.  Returns
+    ``{(backend, mode): {query_id: cell}}`` with per-query
+    ``median_ms``, ``morsels_skipped``, ``morsels_accepted``,
+    ``morsels_scanned``, ``morsels_gated`` and ``morsels``;
+    flight-level speedups come from :func:`pruning_speedups` and
+    per-SSB-family aggregates from :func:`pruning_families`.
     """
     database = db if db is not None else ssb_database(sf, airify=True)
     ids = list(query_ids) if query_ids is not None else list(SSB_QUERIES)
     rounds = max(1, rounds)
-    reference: Dict[str, list] = {}
+    modes = ("pruned", "unpruned")
     out: Dict[tuple, dict] = {}
     for backend in backends:
-        for mode in ("pruned", "unpruned"):
-            engine = AStoreEngine.variant(
+        engines = {
+            mode: AStoreEngine.variant(
                 database, "AIRScan_C_P_G", workers=workers,
                 parallel_backend=backend, use_cache=False,
                 use_pruning=(mode == "pruned"))
-            try:
-                cell: Dict[str, dict] = {}
-                for query_id in ids:
-                    sql = SSB_QUERIES[query_id]
-                    result = engine.query(sql)  # warm zone maps, not timed
+            for mode in modes}
+        try:
+            cells = {mode: {} for mode in modes}
+            for query_id in ids:
+                sql = SSB_QUERIES[query_id]
+                reference = None
+                last = {}
+                samples = {mode: [] for mode in modes}
+                for mode in modes:  # warm zone maps, not timed
+                    result = engines[mode].query(sql)
                     if check_rows:
                         rows = result.rows()
-                        expected = reference.setdefault(query_id, rows)
-                        if rows != expected:
+                        if reference is None:
+                            reference = rows
+                        elif rows != reference:
                             raise AssertionError(
-                                f"pruning mode {mode!r} changed the result "
-                                f"of {query_id}")
-                    samples = []
-                    for _ in range(rounds):
+                                f"pruning mode {mode!r} changed the "
+                                f"result of {query_id}")
+                for _ in range(rounds):
+                    for mode in modes:
                         t0 = time.perf_counter()
-                        result = engine.query(sql)
-                        samples.append(time.perf_counter() - t0)
-                    cell[query_id] = {
-                        "median_ms": median_ms(samples),
-                        "morsels_skipped": result.stats.morsels_skipped,
-                        "morsels_accepted": result.stats.morsels_accepted,
-                        "morsels": result.stats.morsels,
+                        last[mode] = engines[mode].query(sql)
+                        samples[mode].append(time.perf_counter() - t0)
+                for mode in modes:
+                    stats = last[mode].stats
+                    cells[mode][query_id] = {
+                        "median_ms": median_ms(samples[mode]),
+                        "morsels_skipped": stats.morsels_skipped,
+                        "morsels_accepted": stats.morsels_accepted,
+                        "morsels_scanned": stats.morsels_scanned,
+                        "morsels_gated": stats.prune_gated,
+                        "morsels": stats.morsels,
                     }
-                out[(backend, mode)] = cell
-            finally:
+            for mode in modes:
+                out[(backend, mode)] = cells[mode]
+        finally:
+            for engine in engines.values():
                 engine.close()
     return out
 
@@ -452,7 +470,8 @@ def pruning_speedups(times: Dict[tuple, dict]) -> Dict[str, float]:
 def pruning_rows(times: Dict[tuple, dict],
                  query_ids: Sequence[str]) -> List[List]:
     """``[backend, query, pruned ms, unpruned ms, speedup, skipped,
-    accepted, morsels]`` rows for :func:`repro.bench.format_table`."""
+    accepted, gated, morsels]`` rows for
+    :func:`repro.bench.format_table`."""
     rows: List[List] = []
     backends = sorted({backend for backend, _ in times})
     for backend in backends:
@@ -464,15 +483,74 @@ def pruning_rows(times: Dict[tuple, dict],
                 backend, query_id, p["median_ms"], u["median_ms"],
                 u["median_ms"] / p["median_ms"] if p["median_ms"] else
                 float("nan"),
-                p["morsels_skipped"], p["morsels_accepted"], p["morsels"],
+                p["morsels_skipped"], p["morsels_accepted"],
+                p.get("morsels_gated", 0), p["morsels"],
+            ])
+    return rows
+
+
+def ssb_family(query_id: str) -> str:
+    """The SSB query family of *query_id* (``"Q2.1"`` → ``"Q2"``)."""
+    return query_id.split(".", 1)[0]
+
+
+def pruning_families(times: Dict[tuple, dict],
+                     query_ids: Sequence[str]) -> Dict[str, Dict[str, dict]]:
+    """Per-SSB-family pruning aggregates, per backend.
+
+    Sums the pruned cells' block counters over each family
+    (``Q1.1``/``Q1.2``/``Q1.3`` → ``Q1``) and computes the family's
+    flight speedup (unpruned family total ms / pruned family total ms).
+    Returns ``{backend: {family: {"skipped", "accepted", "scanned",
+    "gated", "morsels", "pruned_ms", "unpruned_ms", "speedup"}}}``.
+    """
+    out: Dict[str, Dict[str, dict]] = {}
+    for backend in sorted({backend for backend, _ in times}):
+        pruned = times[(backend, "pruned")]
+        unpruned = times[(backend, "unpruned")]
+        families: Dict[str, dict] = {}
+        for query_id in query_ids:
+            agg = families.setdefault(ssb_family(query_id), {
+                "skipped": 0, "accepted": 0, "scanned": 0, "gated": 0,
+                "morsels": 0, "pruned_ms": 0.0, "unpruned_ms": 0.0,
+            })
+            p = pruned[query_id]
+            agg["skipped"] += p["morsels_skipped"]
+            agg["accepted"] += p["morsels_accepted"]
+            agg["scanned"] += p.get("morsels_scanned", 0)
+            agg["gated"] += p.get("morsels_gated", 0)
+            agg["morsels"] += p["morsels"]
+            agg["pruned_ms"] += p["median_ms"]
+            agg["unpruned_ms"] += unpruned[query_id]["median_ms"]
+        for agg in families.values():
+            agg["speedup"] = (agg["unpruned_ms"] / agg["pruned_ms"]
+                              if agg["pruned_ms"] else float("nan"))
+        out[backend] = families
+    return out
+
+
+def pruning_family_rows(times: Dict[tuple, dict],
+                        query_ids: Sequence[str]) -> List[List]:
+    """``[backend, family, skipped, accepted, scanned, gated, morsels,
+    speedup]`` rows for :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    for backend, families in pruning_families(times, query_ids).items():
+        for family in sorted(families):
+            agg = families[family]
+            rows.append([
+                backend, family, agg["skipped"], agg["accepted"],
+                agg["scanned"], agg["gated"], agg["morsels"],
+                agg["speedup"],
             ])
     return rows
 
 
 def pruning_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
                     rounds: Optional[int] = None) -> dict:
-    """The ``BENCH_*.json`` payload for a pruning sweep."""
+    """The ``BENCH_*.json`` payload for a pruning sweep (per-query cells
+    plus the per-SSB-family breakdown of :func:`pruning_families`)."""
     speedups = pruning_speedups(times)
+    families = pruning_families(times, query_ids)
     cells = []
     for (backend, mode), cell in times.items():
         cells.append({
@@ -482,6 +560,7 @@ def pruning_payload(times: Dict[tuple, dict], query_ids: Sequence[str],
                                     else None),
             "per_query": {query_id: cell[query_id]
                           for query_id in query_ids},
+            "families": (families[backend] if mode == "pruned" else None),
         })
     payload = {"queries": list(query_ids), "cells": cells}
     if rounds is not None:

@@ -13,6 +13,7 @@ Subcommands::
     astore bench ssb.npz --mode concurrency  # qps/latency at N in-flight clients
     astore cache ssb.npz                     # per-tier cache hit statistics
     astore serve ssb.npz --port 7433         # asyncio line-protocol server
+    astore compact ssb.npz                   # clustering-preserving re-sort
     astore validate ssb.npz                  # referential-integrity check
 
 ``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
@@ -29,8 +30,14 @@ a cross-process shared-store demonstration.  ``bench --mode concurrency
 --fleet-workers 1,2,4`` sweeps fleet sizes instead of client counts
 alone.  ``query
 --breakdown`` additionally prints the stage and per-operator timing
-breakdowns (with ``--repeat N`` the last, warm execution is reported:
-near-zero leaf time on a plan-cache hit).  ``bench`` records the
+breakdowns plus the prune verdict counts (blocks skipped / fully
+accepted / scanned, and whether the cost gate bypassed the verdict
+pass; with ``--repeat N`` the last, warm execution is reported:
+near-zero leaf time on a plan-cache hit).  ``compact`` runs the
+maintenance re-sort that restores a table's declared clustering after
+streaming appends and MVCC churn (the serve layer accepts the same
+operation as a ``{"compact": table}`` admin request).  ``bench``
+records the
 detected core count in its output header so recorded sweeps stay
 interpretable, and ``--json`` writes a machine-readable ``BENCH_*.json``
 record.  Also runnable as ``python -m repro ...``.
@@ -228,6 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-serve-cache", action="store_true",
                        help="disable the result (serving) tier")
 
+    compact = sub.add_parser(
+        "compact",
+        help="clustering-preserving compaction: drop deleted slots, "
+             "re-sort into the declared clustering order, rebuild block "
+             "summaries, and rewrite the archive")
+    compact.add_argument("database", help="a .npz archive from 'generate'")
+    compact.add_argument("--table", default=None,
+                         help="table to compact (default: every root/"
+                              "fact table)")
+    compact.add_argument("--out", metavar="PATH",
+                         help="output archive (default: rewrite the "
+                              "input in place)")
+
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
     return parser
@@ -285,9 +305,13 @@ def _dispatch(args) -> int:
             print(format_table(
                 f"operator breakdown ({stats.morsels} morsels)",
                 ["operator", "ms"], rows))
-            if stats.morsels_skipped or stats.morsels_accepted:
+            if (stats.morsels_skipped or stats.morsels_accepted
+                    or stats.morsels_scanned or stats.prune_gated):
                 print(f"data skipping: {stats.morsels_skipped} blocks "
-                      f"skipped, {stats.morsels_accepted} fully accepted")
+                      f"skipped, {stats.morsels_accepted} fully accepted, "
+                      f"{stats.morsels_scanned} scanned"
+                      + (f", {stats.prune_gated} verdict pass(es) "
+                         f"cost-gated" if stats.prune_gated else ""))
             if stats.filters_reordered:
                 print(f"adaptive: filter order changed "
                       f"{stats.filters_reordered}x")
@@ -326,6 +350,24 @@ def _dispatch(args) -> int:
             ["query", "groups", "best ms"], rows))
         return 0
 
+    if args.command == "compact":
+        from .engine.cache import query_cache_for
+
+        db = load_database(args.database)
+        tables = ([args.table] if args.table
+                  else (db.roots() or list(db.tables)))
+        store = query_cache_for(db)
+        for name in tables:
+            info = db.compact(name, store=store)
+            print(f"compacted {name}: rows={info['rows']:,} "
+                  f"dropped={info['dropped']:,} "
+                  f"clustered={'yes' if info['clustered'] else 'no'} "
+                  f"summaries={info['summaries']}")
+        out = args.out or args.database
+        save_database(db, out)
+        print(f"wrote {out}")
+        return 0
+
     if args.command == "bench":
         return _dispatch_bench(args)
 
@@ -358,6 +400,7 @@ def _dispatch_bench(args) -> int:
     from .bench import (
         backend_scaling_sweep,
         host_note,
+        pruning_family_rows,
         pruning_payload,
         pruning_rows,
         pruning_speedups,
@@ -434,8 +477,13 @@ def _dispatch_bench(args) -> int:
             f"pruning sweep over {db.name} (cold medians of {args.rounds} "
             f"rounds; flight speedup {speedups})",
             ["backend", "query", "pruned ms", "unpruned ms", "speedup",
-             "skipped", "accepted", "morsels"],
+             "skipped", "accepted", "gated", "morsels"],
             pruning_rows(times, query_ids))
+        text += "\n" + format_table(
+            "per-family pruning breakdown (pruned cells)",
+            ["backend", "family", "skipped", "accepted", "scanned",
+             "gated", "morsels", "speedup"],
+            pruning_family_rows(times, query_ids))
         payload = pruning_payload(times, query_ids, rounds=args.rounds)
         benchmark = "pruning"
     elif args.mode == "qps":

@@ -53,9 +53,10 @@ class ArenaManifest:
     the non-shareable (pickled) payloads and catalog metadata.
 
     ``zone_maps`` lists the zone-map summaries that were fresh at export
-    time as ``(store_key, kind, block_rows, buffer_keys)`` records —
-    attaching rebuilds them as zero-copy views so workers prune without
-    re-scanning columns.
+    time as ``(store_key, kind, block_rows, buffer_keys)`` records
+    (``kind="codes"`` records append a metadata dict: the code domain
+    and exactness) — attaching rebuilds them as zero-copy views so
+    workers prune without re-scanning columns.
     """
 
     segment: str
@@ -97,7 +98,11 @@ class ColumnArena:
         arrays ride in the same segment so attached databases prune
         from the exact zone maps the parent built, zero-copy.
         """
-        from .statistics import ColumnZoneMap, DeletionZoneMap
+        from .statistics import (
+            ColumnCodeSetMap,
+            ColumnZoneMap,
+            DeletionZoneMap,
+        )
 
         plan: List[Tuple[str, np.ndarray]] = []
         manifest = ArenaManifest(segment="", db_name=db.name)
@@ -159,6 +164,13 @@ class ColumnArena:
                 plan.append((keys[0], value.deleted_any))
                 manifest.zone_maps.append(
                     (store_key, "deletion", value.block_rows, keys))
+            elif isinstance(value, ColumnCodeSetMap):
+                keys = (f"$zm{i}//bits", f"$zm{i}//dirty")
+                plan.append((keys[0], value.bits))
+                plan.append((keys[1], value.dirty))
+                manifest.zone_maps.append(
+                    (store_key, "codes", value.block_rows, keys,
+                     {"domain": value.domain, "exact": value.exact}))
 
         offset = 0
         for key, array in plan:
@@ -289,13 +301,19 @@ def attach_database(manifest: ArenaManifest) -> AttachedDatabase:
             manifest.references:
         db.add_reference(child_table, child_column, parent_table, parent_key)
 
-    from .statistics import ColumnZoneMap, DeletionZoneMap
+    from .statistics import ColumnCodeSetMap, ColumnZoneMap, DeletionZoneMap
 
     zone_maps: List[tuple] = []
-    for store_key, kind, block_rows, keys in manifest.zone_maps:
+    for record in manifest.zone_maps:
+        store_key, kind, block_rows, keys = record[:4]
         if kind == "column":
             value: object = ColumnZoneMap(block_rows, view(keys[0]),
                                           view(keys[1]))
+        elif kind == "codes":
+            extra = record[4]
+            value = ColumnCodeSetMap(block_rows, extra["domain"],
+                                     view(keys[0]), view(keys[1]),
+                                     extra["exact"])
         else:
             value = DeletionZoneMap(block_rows, view(keys[0]))
         zone_maps.append((store_key, value))

@@ -75,6 +75,11 @@ class Database:
         self.name = name
         self.tables: Dict[str, Table] = {}
         self.references: List[Reference] = []
+        # Declared physical layout per table: a tuple of "table.column"
+        # sort keys (outermost first; parent-table attributes resolve
+        # through one AIR hop).  Purely descriptive until
+        # :meth:`compact` re-establishes it after update churn.
+        self.clustering: Dict[str, tuple] = {}
 
     # -- definition -----------------------------------------------------------
 
@@ -203,14 +208,17 @@ class Database:
                 AIRColumn(ref.child_column, ref.parent_table, data=positions),
             )
 
-    def consolidate(self, table_name: str) -> np.ndarray:
+    def consolidate(self, table_name: str,
+                    order: Optional[np.ndarray] = None) -> np.ndarray:
         """Consolidate *table_name* and rewrite all incoming AIR columns.
 
-        Dangling references (children pointing at deleted parent slots) are
+        *order* optionally lays the surviving rows out in an explicit
+        physical order (see :meth:`Table.consolidate`).  Dangling
+        references (children pointing at deleted parent slots) are
         rejected — deletion of referenced dimension tuples violates the FK
         constraint, exactly as in a conventional warehouse.
         """
-        mapping = self.table(table_name).consolidate()
+        mapping = self.table(table_name).consolidate(order=order)
         for ref in self.incoming(table_name):
             child = self.table(ref.child_table)
             column = child[ref.child_column]
@@ -231,6 +239,20 @@ class Database:
                 AIRColumn(ref.child_column, ref.parent_table, data=new),
             )
         return mapping
+
+    def compact(self, table_name: str, store=None) -> dict:
+        """Clustering-preserving compaction of *table_name*.
+
+        Re-sorts the live rows into the table's declared
+        :attr:`clustering` order (plain consolidation when none is
+        declared), rewrites incoming AIR references, and rebuilds the
+        block summaries in *store* (when given).  Every mutation stamp
+        the operation touches is bumped by the underlying consolidation,
+        so cache tiers and fleet workers revalidate.  Returns a summary
+        dict; see :func:`repro.core.compaction.compact_database`.
+        """
+        from .compaction import compact_database
+        return compact_database(self, table_name, store=store)
 
     # -- introspection -----------------------------------------------------------
 

@@ -265,6 +265,105 @@ def build_deletion_zone_map(table: Table, block_rows: int) -> DeletionZoneMap:
         block_rows, np.logical_or.reduceat(deleted, starts))
 
 
+#: Cap on the folded width of a code-set bitmap: domains larger than
+#: this hash down (``code % fold``), trading exactness of ACCEPT
+#: verdicts (never of SKIP soundness) for bounded summary size.
+CODE_SET_FOLD_CAP = 1 << 18
+
+
+@dataclass(frozen=True)
+class ColumnCodeSetMap:
+    """Per-block membership bitmaps over a small integer code domain.
+
+    The second-generation summary for columns min/max maps cannot help
+    with: dictionary codes (ordered by insertion, not value) and AIR
+    reference positions (parent-row ids).  Bit ``(b, c % fold)`` is set
+    iff block *b* contains a row whose code folds to that slot, where
+    ``fold = min(domain, CODE_SET_FOLD_CAP)``.  A block whose bitmap
+    misses every queried code can be SKIPped; when ``exact`` (no
+    folding) a block whose bitmap is a subset of the queried codes is
+    fully ACCEPTed.  Blocks containing out-of-domain codes (stale
+    references parked in deleted slots) are flagged ``dirty`` and always
+    scanned.
+    """
+
+    block_rows: int
+    domain: int
+    bits: np.ndarray      # (nblocks, ceil(fold / 8)) uint8, packed
+    dirty: np.ndarray     # (nblocks,) bool
+    exact: bool
+
+    @property
+    def fold(self) -> int:
+        return min(self.domain, CODE_SET_FOLD_CAP)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.bits)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.bits.nbytes + self.dirty.nbytes)
+
+    def fold_mask(self, member: np.ndarray) -> np.ndarray:
+        """Pack a boolean *member* mask over the domain into the folded
+        bit layout of this map (the probe side of a verdict)."""
+        fold = self.fold
+        if len(member) != self.domain:
+            raise ValueError(
+                f"member mask over {len(member)} values, domain "
+                f"{self.domain}")
+        if fold == self.domain:
+            folded = member
+        else:
+            folded = np.zeros(fold, dtype=bool)
+            np.logical_or.at(folded, np.flatnonzero(member) % fold, True)
+        return np.packbits(folded)
+
+
+def build_column_code_set_map(column, block_rows: int,
+                              domain: Optional[int] = None
+                              ) -> Optional[ColumnCodeSetMap]:
+    """A :class:`ColumnCodeSetMap` for *column*, or ``None`` when the
+    column has no code domain (neither dictionary- nor AIR-coded).
+
+    For AIR columns the caller supplies *domain* (the parent table's
+    physical row count); dictionary columns use their own cardinality.
+    """
+    if isinstance(column, DictColumn):
+        codes = column.codes()
+        domain = column.cardinality
+    elif isinstance(column, AIRColumn):
+        if domain is None:
+            return None
+        codes = column.values()
+    else:
+        return None
+    domain = int(domain)
+    if domain <= 0:
+        return None
+    fold = min(domain, CODE_SET_FOLD_CAP)
+    n = len(codes)
+    if n == 0:
+        return ColumnCodeSetMap(
+            block_rows, domain,
+            np.empty((0, (fold + 7) // 8), dtype=np.uint8),
+            np.empty(0, dtype=bool), fold == domain)
+    starts = np.arange(0, n, block_rows, dtype=np.int64)
+    nblocks = len(starts)
+    codes64 = codes.astype(np.int64, copy=False)
+    valid = (codes64 >= 0) & (codes64 < domain)
+    blocks = np.arange(n, dtype=np.int64) // block_rows
+    member = np.zeros((nblocks, fold), dtype=bool)
+    member[blocks[valid], codes64[valid] % fold] = True
+    bits = np.packbits(member, axis=1)
+    if valid.all():
+        dirty = np.zeros(nblocks, dtype=bool)
+    else:
+        dirty = np.logical_or.reduceat(~valid, starts)
+    return ColumnCodeSetMap(block_rows, domain, bits, dirty, fold == domain)
+
+
 #: Store marker for columns whose layout cannot be zone-mapped, so the
 #: build is not retried on every query.
 _UNPRUNABLE = "__unprunable__"
@@ -276,6 +375,11 @@ def zone_map_key(table: str, column: Optional[str],
     if column is None:
         return ("zonedel", table, block_rows)
     return ("zonemap", table, column, block_rows)
+
+
+def code_set_key(table: str, column: str, block_rows: int) -> tuple:
+    """The store key of one code-set summary entry."""
+    return ("zonecodes", table, column, block_rows)
 
 
 class ZoneMaps:
@@ -315,6 +419,35 @@ class ZoneMaps:
         self._store.put("zone", key, zm if zm is not None else _UNPRUNABLE,
                         stamps, zm.nbytes if zm is not None else 0)
         return zm
+
+    def code_set(self, table: str, name: str) -> Optional[ColumnCodeSetMap]:
+        """The code-set summary of ``table.name`` (built on first use),
+        or ``None`` when the column has no code domain.
+
+        AIR columns stamp the *parent* table too: the domain is the
+        parent's physical row space, so a parent mutation (growth,
+        compaction) invalidates the summary along with the child's own
+        mutations.
+        """
+        block_rows = self.block_rows_for(table)
+        key = code_set_key(table, name, block_rows)
+        hit = self._store.get("zone", key, self._db)
+        if hit is not None:
+            return None if isinstance(hit, str) else hit
+        tab = self._db.table(table)
+        if name not in tab:
+            return None
+        column = tab[name]
+        stamps = [(table, tab.mutation_count)]  # read before the build
+        domain = None
+        if isinstance(column, AIRColumn):
+            parent = self._db.table(column.referenced_table)
+            domain = parent.num_rows
+            stamps.append((column.referenced_table, parent.mutation_count))
+        csm = build_column_code_set_map(column, block_rows, domain=domain)
+        self._store.put("zone", key, csm if csm is not None else _UNPRUNABLE,
+                        tuple(stamps), csm.nbytes if csm is not None else 0)
+        return csm
 
     def deletions(self, table: str) -> DeletionZoneMap:
         """The deletion summary of *table* (built on first use)."""
@@ -397,6 +530,27 @@ def fresh_zone_entries(db: Database, store) -> List[Tuple[tuple, object]]:
     else:
         items = [(key, store.get("zone", key, db)) for key, _ in store.items()]
     for key, value in items:
-        if isinstance(value, (ColumnZoneMap, DeletionZoneMap)):
+        if isinstance(value, (ColumnZoneMap, DeletionZoneMap,
+                              ColumnCodeSetMap)):
             out.append((key, value))
     return out
+
+
+def rebuild_zone_maps(db: Database, table: str, store=None) -> int:
+    """Proactively (re)build every summary of *table* after maintenance.
+
+    Compaction bumps mutation stamps, which already invalidates every
+    cached summary; this warms the replacements eagerly so the first
+    post-compaction query does not pay the rebuild.  Returns the number
+    of summaries built.
+    """
+    zones = zone_maps_for(db, store=store)
+    built = 0
+    tab = db.table(table)
+    for name in tab.columns:
+        if zones.column(table, name) is not None:
+            built += 1
+        if zones.code_set(table, name) is not None:
+            built += 1
+    zones.deletions(table)
+    return built + 1

@@ -254,19 +254,33 @@ class Table:
         if len(positions) and changes:
             self._mutation_count += 1
 
-    def consolidate(self) -> np.ndarray:
+    def consolidate(self, order: Optional[np.ndarray] = None) -> np.ndarray:
         """Compact the table, dropping deleted slots.
 
-        Returns the old→new position mapping (length = old ``num_rows``;
-        -1 for slots that were deleted).  The caller must rewrite every AIR
-        column referencing this table using the mapping — that rewrite is
-        what makes consolidation expensive (see the paper's Table 1), and
+        With *order* — an array of live positions covering every live row
+        exactly once — the surviving rows are additionally laid out in
+        that physical order (the clustering-preserving re-sort behind
+        ``astore compact``); without it, live rows keep their relative
+        order.  Returns the old→new position mapping (length = old
+        ``num_rows``; -1 for slots that were deleted).  The caller must
+        rewrite every AIR column referencing this table using the mapping
+        — that rewrite is what makes consolidation expensive (see the
+        paper's Table 1), and
         :meth:`repro.core.schema.Database.consolidate` performs it.
         """
-        keep = ~self._deleted
-        new_positions = np.cumsum(keep) - 1
-        mapping = np.where(keep, new_positions, -1).astype(np.int64)
-        order = np.flatnonzero(keep).astype(np.int64)
+        if order is None:
+            order = np.flatnonzero(~self._deleted).astype(np.int64)
+        else:
+            order = np.asarray(order, dtype=np.int64)
+            if len(order) != self.num_live or (
+                    len(order) and bool(self._deleted[order].any())):
+                raise StorageError(
+                    "consolidate order must list exactly the live rows")
+        mapping = np.full(self._nrows, -1, dtype=np.int64)
+        mapping[order] = np.arange(len(order), dtype=np.int64)
+        if bool((mapping[~self._deleted] < 0).any()):
+            raise StorageError(
+                "consolidate order must list exactly the live rows")
         for column in self.columns.values():
             column.reorder(order)
         self._nrows = len(order)

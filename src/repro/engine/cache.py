@@ -366,11 +366,45 @@ class QueryCache:
                 out[f"{tier}.shared_misses"] = stats.shared_misses
         return out
 
+    #: display labels for the zone tier's entry kinds, by key prefix
+    _ZONE_KIND_LABELS = (
+        ("zonemap", "min/max"),
+        ("zonecodes", "code-set"),
+        ("zonedel", "deletions"),
+        ("zonestate", "verdicts"),
+    )
+
+    def zone_kind_rows(self) -> List[list]:
+        """Per-kind sub-rows of the zone tier: entries and KiB for each
+        summary kind (min/max zone maps, code-set bitmaps, deletion
+        summaries, memoized verdict runs) — ``astore cache`` appends
+        them under the zone tier so code sets show up distinctly."""
+        with self._lock:
+            kinds: Dict[str, List[int]] = {}
+            for key, entry in self._tiers["zone"].items():
+                prefix = key[0] if isinstance(key, tuple) and key else "?"
+                bucket = kinds.setdefault(prefix, [0, 0])
+                bucket[0] += 1
+                bucket[1] += entry.nbytes
+        rows = []
+        for prefix, label in self._ZONE_KIND_LABELS:
+            if prefix in kinds:
+                entries, nbytes = kinds.pop(prefix)
+                rows.append([f"  zone/{label}", entries, "", "", "", "",
+                             "", "", "", nbytes / 1024.0])
+        for prefix in sorted(kinds):
+            entries, nbytes = kinds[prefix]
+            rows.append([f"  zone/{prefix}", entries, "", "", "", "",
+                         "", "", "", nbytes / 1024.0])
+        return rows
+
     def stats_rows(self) -> List[list]:
         """``[tier, entries, hits, misses, shared hits, shared misses,
         hit %, invalidated, expired, KiB]`` rows for
         :func:`repro.bench.format_table` (shared columns are zero
-        without an attached store)."""
+        without an attached store).  The zone tier is followed by
+        :meth:`zone_kind_rows` breaking its entries down by summary
+        kind."""
         rows = []
         for tier, stats in self.stats().items():
             rows.append([
@@ -379,6 +413,8 @@ class QueryCache:
                 100.0 * stats.hit_rate, stats.invalidations,
                 stats.expirations, stats.bytes / 1024.0,
             ])
+            if tier == "zone":
+                rows.extend(self.zone_kind_rows())
         return rows
 
     @staticmethod

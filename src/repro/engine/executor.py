@@ -691,6 +691,8 @@ class AStoreEngine:
     def _fold_prune(stats: ExecutionStats, counters: PruneCounters) -> None:
         stats.morsels_skipped += counters.blocks_skipped
         stats.morsels_accepted += counters.blocks_accepted
+        stats.morsels_scanned += counters.blocks_scanned
+        stats.prune_gated += counters.gated
 
     @staticmethod
     def _reorders(bound: BoundQuery) -> int:
@@ -825,6 +827,8 @@ def _served_result(cached: QueryResult, seconds: float) -> QueryResult:
     stats.morsels = src.morsels
     stats.morsels_skipped = src.morsels_skipped
     stats.morsels_accepted = src.morsels_accepted
+    stats.morsels_scanned = src.morsels_scanned
+    stats.prune_gated = src.prune_gated
     stats.used_array_aggregation = src.used_array_aggregation
     stats.filter_modes = dict(src.filter_modes)
     stats.total_seconds = seconds

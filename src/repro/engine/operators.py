@@ -96,6 +96,12 @@ class PredicateFilter:
         self._prefix = None
 
     @property
+    def mask(self) -> np.ndarray:
+        """The unpacked pass mask over dimension rows (what the
+        code-set summaries intersect with for block verdicts)."""
+        return self._mask
+
+    @property
     def density(self) -> float:
         """Fraction of dimension rows passing (probe selectivity)."""
         return float(self._mask.mean()) if len(self._mask) else 0.0

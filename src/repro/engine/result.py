@@ -39,6 +39,8 @@ class ExecutionStats:
     morsels: int = 0
     morsels_skipped: int = 0     # zone blocks proven empty, never run
     morsels_accepted: int = 0    # zone blocks proven all-pass (no probes)
+    morsels_scanned: int = 0     # zone blocks consulted but run normally
+    prune_gated: int = 0         # verdict passes bypassed by the cost gate
     filters_reordered: int = 0   # micro-adaptive order changes observed
     used_array_aggregation: bool = False
     filter_modes: Dict[str, str] = field(default_factory=dict)

@@ -390,6 +390,8 @@ class QueryServer:
                     request_id = payload.get("id")
                     if "update" in payload:
                         return self._apply_update(payload, request_id)
+                    if "compact" in payload:
+                        return self._apply_compact(payload, request_id)
                 sql = payload["sql"]
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 self.failures += 1
@@ -449,6 +451,39 @@ class QueryServer:
                     store.publish_stamps(self.engine.engine.db)
         return _encode({"id": request_id, "ok": True,
                         "table": spec["table"],
+                        "mutation_count": table.mutation_count})
+
+    def _apply_compact(self, payload: dict, request_id) -> bytes:
+        """``{"compact": "<table>"}``: the update admin's maintenance
+        re-sort — drop deleted slots, restore the table's declared
+        clustering, rebuild its block summaries into this worker's zone
+        tier, and broadcast the new stamps to the fleet.
+
+        Like updates, the consolidation bumps every touched table's
+        mutation count *before* the stamp broadcast and before this
+        response, so no worker — local or sibling — can serve a
+        pre-compaction cached answer afterwards.  Arena-attached workers
+        are read-only and answer with an error instead."""
+        try:
+            name = payload["compact"]
+            db = self.engine.engine.db
+            info = db.compact(name, store=self.engine.engine.cache)
+            table = db.table(name)
+        except Exception as exc:  # noqa: BLE001 - protocol: answer, not tear
+            self.failures += 1
+            return _encode({"id": request_id,
+                            "error": f"compact failed: {exc!r}"})
+        self.requests += 1
+        cache = self.engine.engine.cache
+        if cache is not None:
+            store = cache.shared_store()
+            if store is not None and not store.closed:
+                with contextlib.suppress(Exception):
+                    store.publish_stamps(db)
+        return _encode({"id": request_id, "ok": True, "table": name,
+                        "rows": info["rows"], "dropped": info["dropped"],
+                        "clustered": info["clustered"],
+                        "summaries": info["summaries"],
                         "mutation_count": table.mutation_count})
 
 

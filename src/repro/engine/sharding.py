@@ -188,6 +188,30 @@ def _state_runs(states: np.ndarray) -> List[Tuple[int, int]]:
     return list(zip(edges[:-1], edges[1:]))
 
 
+def _code_set_verdicts(csm, member: np.ndarray):
+    """``(empty, full)`` per-block verdicts of a membership predicate
+    against a :class:`~repro.core.statistics.ColumnCodeSetMap`.
+
+    A block is *empty* when its bitmap shares no bit with the passing
+    codes (sound even folded: folding only merges codes, so a shared
+    bit is a necessary condition for a shared code) and *full* when the
+    summary is exact and the block's bitmap is a subset of the passing
+    codes.  Dirty blocks (out-of-domain codes present) get no verdict.
+    """
+    pass_bits = csm.fold_mask(member)
+    empty = ~np.bitwise_and(csm.bits, pass_bits[None, :]).any(axis=1)
+    if csm.exact:
+        # packbits pads with zero bits, so the pad region of csm.bits
+        # never intersects ~pass_bits' (set) pad bits
+        full = ~np.bitwise_and(csm.bits, ~pass_bits[None, :]).any(axis=1)
+    else:
+        full = np.zeros(csm.nblocks, dtype=bool)
+    if csm.dirty.any():
+        empty &= ~csm.dirty
+        full &= ~csm.dirty
+    return empty, full
+
+
 @dataclass
 class PruneCounters:
     """What the data-skipping layer did for one execution (block units)."""
@@ -195,7 +219,33 @@ class PruneCounters:
     blocks_skipped: int = 0
     blocks_accepted: int = 0
     blocks_scanned: int = 0
+    gated: int = 0               # verdict passes bypassed by the cost gate
     pruned: bool = False
+
+
+#: The cost gate: run the pruned path only when the verdicts promise at
+#: least this fraction of blocks skipped (accepted blocks count half — a
+#: proven-accepted block still scans, it only skips its filter chain).
+#: Below the threshold, verdict bookkeeping and the position-path morsel
+#: shapes cost more than the skipped blocks recoup (the Q3-family
+#: regression), so the scan runs exactly as if pruning were off.
+GATE_MIN_FRACTION = 0.25
+
+#: Each maximal run of surviving blocks charges this many blocks against
+#: the gate's payoff.  Fragmented survivors (a mid-skip-fraction
+#: predicate orthogonal to the leading cluster keys — Q4.1) turn into
+#: scattered position gathers whose cost grows with the fragment count;
+#: a contiguous survivor band (Q1) or a near-total skip (Q3.2) is barely
+#: charged at all.
+GATE_RUN_PENALTY = 2.5
+
+#: Survivor bands shorter than this many rows are batched into shared
+#: morsels.  A highly selective predicate with no clustering-prefix
+#: component (Q2: part hierarchy, no year) leaves one short band per
+#: outer cluster, and a morsel per band pays the fixed pipeline cost —
+#: operator construction, per-task aggregation state, a dispatch — per
+#: band, which at small scale outweighs the scan the skip saved.
+COALESCE_ROWS = 32768
 
 
 @dataclass(eq=False)
@@ -390,16 +440,16 @@ class BoundQuery:
     # -- data skipping -------------------------------------------------------
 
     def prune_steps(self):
-        """The zone-map-checkable steps of this plan.
+        """The summary-checkable steps of this plan.
 
         Returns ``(steps, complete, signature, involved)``: the steps as
-        ``("interval", ColumnInterval)`` / ``("fk", fk_column,
-        PredicateFilter)`` tuples, whether *every* filter-like node is
-        checkable (the precondition for fully-accepting a block), a
-        hashable signature of the checks (so block verdicts are
-        shareable between plans with the same predicate set), and the
-        tables the verdicts were derived from (their stamps invalidate
-        shared verdicts).
+        ``("interval", ColumnInterval)`` / ``("codes-eq",
+        CodeSetPredicate)`` / ``("codes", fk_column, PredicateFilter)``
+        tuples, whether *every* filter-like node is checkable (the
+        precondition for fully-accepting a block), a hashable signature
+        of the checks (so block verdicts are shareable between plans
+        with the same predicate set), and the tables the verdicts were
+        derived from (their stamps invalidate shared verdicts).
         """
         steps: List[tuple] = []
         signature: List[tuple] = []
@@ -407,11 +457,15 @@ class BoundQuery:
         complete = True
         for spec in self.specs:
             if spec.op == "filter":
-                if spec.prune is not None:
+                if spec.prune is not None and spec.prune[0] == "interval":
                     iv = spec.prune[1]
                     steps.append(spec.prune)
                     signature.append(("interval", iv.column, iv.lo, iv.hi,
                                       iv.exact))
+                elif spec.prune is not None and spec.prune[0] == "codes-eq":
+                    cs = spec.prune[1]
+                    steps.append(spec.prune)
+                    signature.append(("codes-eq", cs.column, cs.values))
                 else:
                     complete = False
             elif spec.op == "air-probe":
@@ -420,8 +474,8 @@ class BoundQuery:
                 if spec.prune is not None and pf is not None:
                     fk = self._fk_column(dd.first_dim)
                     if fk is not None:
-                        steps.append(("fk", fk, pf))
-                        signature.append(("fk", fk, dd.first_dim,
+                        steps.append(("codes", fk, pf))
+                        signature.append(("codes", fk, dd.first_dim,
                                           dd.predicate, self.snapshot))
                         involved.add(dd.first_dim)
                         involved.update(
@@ -440,39 +494,71 @@ class BoundQuery:
 
     def _block_states(self, db: Database):
         """Per-zone-block prune verdicts, or ``None`` when nothing is
-        checkable.  Returns ``(states, block_rows)``.
+        checkable.  Returns ``(states, block_rows, gated, aux)`` — *aux*
+        is the cached entry's one-slot list for derived survivor ranges
+        (see :meth:`prune_base`), ``None`` when nothing was cached.
 
         Memoized twice: per plan against the root table's mutation
         stamp (warm plans skip even the store lookup), and in the
         database's shared stamped store keyed by the *predicate
         signature* — so repeated cold compiles of the same (or a
         same-shaped) query share one verdict evaluation, invalidated by
-        the stamps of every table it derived from."""
+        the stamps of every table it derived from.
+
+        ``gated`` is the cost gate's decision, made from the verdicts
+        themselves: when the expected payoff — skipped blocks plus half
+        weight for proven-accepted ones — falls below
+        :data:`GATE_MIN_FRACTION` of the table, pruning cannot recoup
+        its own bookkeeping and the caller runs the plain scan."""
         root = self.logical.root
         stamp = db.table(root).mutation_count
         memo = self.__dict__.get("_prune_states")
         if (memo is not None and memo[0]() is db and memo[1] == stamp):
-            return memo[2], memo[3]
+            return memo[2], memo[3], memo[4], memo[5]
         steps, complete, signature, involved = self.prune_steps()
         states: Optional[np.ndarray] = None
         block_rows = 0
-        store = key = None
+        gated = False
+        aux: Optional[list] = None
         if steps:
             store = query_cache_for(db)
             key = ("zonestate", root, self.zone_block_rows, signature)
             hit = store.get("zone", key, db)
             if hit is not None:
-                states, block_rows = hit
+                states, block_rows, gated, aux = hit
             else:
                 stamps = table_stamps(db, involved)  # read before compute
                 states, block_rows = self._compute_block_states(
                     db, steps, complete)
+                if states is not None and len(states):
+                    # the cost gate prices the verdicts before anyone
+                    # acts on them: expected payoff — skipped blocks
+                    # plus half weight for proven-accepted ones — must
+                    # beat a floor fraction of the table plus a penalty
+                    # per maximal survivor run (fragmented survivors
+                    # trade the zero-copy identity scan for scattered
+                    # morsels, so fragmentation is priced explicitly)
+                    payoff = (np.count_nonzero(states == PRUNE_SKIP)
+                              + 0.5 * np.count_nonzero(states == PRUNE_ACCEPT))
+                    survivors = (states != PRUNE_SKIP).astype(np.int8)
+                    runs = (int(np.count_nonzero(np.diff(survivors) == 1))
+                            + int(survivors[0]))
+                    gated = bool(payoff < (GATE_MIN_FRACTION * len(states)
+                                           + GATE_RUN_PENALTY * runs))
                 if states is not None:
-                    store.put("zone", key, (states, block_rows), stamps,
-                              states.nbytes)
+                    # the one-slot aux list rides in the cached value:
+                    # prune_base fills it with the derived survivor
+                    # ranges + block tallies on first ranged use, so
+                    # every later cold compile of this signature skips
+                    # the run scan too (same key, same stamp set); the
+                    # gate verdict rides along for the same reason
+                    aux = [None]
+                    store.put("zone", key,
+                              (states, block_rows, gated, aux),
+                              stamps, states.nbytes)
         self.__dict__["_prune_states"] = (weakref.ref(db), stamp,
-                                          states, block_rows)
-        return states, block_rows
+                                          states, block_rows, gated, aux)
+        return states, block_rows, gated, aux
 
     def _compute_block_states(self, db: Database, steps: List[tuple],
                               complete: bool):
@@ -501,29 +587,69 @@ class BoundQuery:
                 empty = (zm.maxs < lo) | (zm.mins > hi)
                 full = (iv.exact & (zm.mins >= lo) & (zm.maxs <= hi)
                         if iv.exact else np.zeros(nblocks, dtype=bool))
-            else:
-                _, fk, pf = step
-                zm = zones.column(root, fk)
-                if zm is None or zm.nblocks != nblocks:
+            elif step[0] == "codes-eq":
+                cs = step[1]
+                verdicts = self._code_set_eq_verdicts(db, zones, cs, nblocks)
+                if verdicts is None:
                     np.minimum(states, PRUNE_SCAN, out=states)
                     continue
-                counts = pf.pass_counts()
-                lo_pos = zm.mins.astype(np.int64)
-                hi_pos = zm.maxs.astype(np.int64)
-                # blocks whose FK range strays outside the dimension
-                # (stale values in deleted slots) are scanned, not judged
-                valid = (lo_pos >= 0) & (hi_pos < len(counts) - 1)
-                lo_c = np.clip(lo_pos, 0, len(counts) - 1)
-                hi_c = np.clip(hi_pos + 1, 0, len(counts) - 1)
-                passes = counts[hi_c] - counts[lo_c]
-                empty = valid & (passes == 0)
-                full = valid & (passes == (hi_pos - lo_pos + 1))
+                empty, full = verdicts
+            else:
+                _, fk, pf = step
+                csm = zones.code_set(root, fk)
+                if (csm is not None and csm.nblocks == nblocks
+                        and csm.domain == len(pf.mask)):
+                    # membership summary: sound on arbitrary (scattered)
+                    # pass sets — the second-generation path
+                    empty, full = _code_set_verdicts(csm, pf.mask)
+                else:
+                    # first-generation fallback: the FK-range pass count,
+                    # useful only when the block's references are dense
+                    zm = zones.column(root, fk)
+                    if zm is None or zm.nblocks != nblocks:
+                        np.minimum(states, PRUNE_SCAN, out=states)
+                        continue
+                    counts = pf.pass_counts()
+                    lo_pos = zm.mins.astype(np.int64)
+                    hi_pos = zm.maxs.astype(np.int64)
+                    # blocks whose FK range strays outside the dimension
+                    # (stale values in deleted slots) are scanned, not
+                    # judged
+                    valid = (lo_pos >= 0) & (hi_pos < len(counts) - 1)
+                    lo_c = np.clip(lo_pos, 0, len(counts) - 1)
+                    hi_c = np.clip(hi_pos + 1, 0, len(counts) - 1)
+                    passes = counts[hi_c] - counts[lo_c]
+                    empty = valid & (passes == 0)
+                    full = valid & (passes == (hi_pos - lo_pos + 1))
             checked += 1
             states[~full] = np.minimum(states[~full], PRUNE_SCAN)
             states[empty] = PRUNE_SKIP
         if not checked:
             return None, 0
         return states, block_rows
+
+    def _code_set_eq_verdicts(self, db: Database, zones, cs, nblocks: int):
+        """SKIP/ACCEPT verdicts of one fact-table equality/IN predicate
+        against the column's code-set summary, or ``None`` when the
+        column is not dictionary-coded (or the summary is stale-shaped).
+        """
+        from ..core.column import DictColumn
+
+        root = self.logical.root
+        csm = zones.code_set(root, cs.column.name)
+        if csm is None or csm.nblocks != nblocks:
+            return None
+        column = db.table(root)[cs.column.name]
+        if (not isinstance(column, DictColumn)
+                or csm.domain != column.cardinality):
+            return None
+        try:
+            codes = column.dictionary.lookup_many(list(cs.values))
+        except (TypeError, ValueError):
+            return None
+        member = np.zeros(csm.domain, dtype=bool)
+        member[codes[codes >= 0]] = True
+        return _code_set_verdicts(csm, member)
 
     def warm_zone_maps(self, db: Database) -> None:
         """Build (or revalidate) the zone maps this plan prunes with.
@@ -550,10 +676,19 @@ class BoundQuery:
         """
         if not self.prune_enabled or len(base) == 0:
             return base, None, None
-        states, block_rows = self._block_states(db)
+        states, block_rows, gated, aux = self._block_states(db)
         if states is None:
             return base, None, None
         nrows = db.table(self.logical.root).num_rows
+        if gated:
+            # the cost gate: too few skippable blocks to recoup the
+            # pruned path's own bookkeeping — run the plain scan (this
+            # also covers the all-SCAN case, payoff zero)
+            if counters is not None:
+                counters.blocks_scanned += len(states)
+                counters.gated += 1
+                counters.pruned = True
+            return base, None, None
         if bool((states == PRUNE_SCAN).all()):
             # nothing to skip or accept: stay off the hot path entirely
             if counters is not None:
@@ -578,23 +713,37 @@ class BoundQuery:
                                         & (states != PRUNE_SKIP)))):
                 ranged = True
         if ranged:
-            # survivors are exactly the kept blocks' row ranges
-            ranges: List[tuple] = []
-            for s, e in _state_runs(states):
-                state = states[s]
-                if counters is not None:
+            # survivors are exactly the kept blocks' row ranges — derived
+            # purely from the verdicts, so they live in the zonestate
+            # entry's aux slot (same key, same stamp set): repeated cold
+            # compiles of this signature skip the run scan and the
+            # counter tallies entirely
+            derived = aux[0] if aux is not None else None
+            if derived is None:
+                skipped = accepted = scanned = 0
+                ranges: List[tuple] = []
+                for s, e in _state_runs(states):
+                    state = states[s]
                     n = e - s
                     if state == PRUNE_SKIP:
-                        counters.blocks_skipped += n
-                    elif state == PRUNE_ACCEPT:
-                        counters.blocks_accepted += n
+                        skipped += n
+                        continue
+                    if state == PRUNE_ACCEPT:
+                        accepted += n
                     else:
-                        counters.blocks_scanned += n
-                if state != PRUNE_SKIP:
+                        scanned += n
                     ranges.append((s * block_rows,
                                    min(e * block_rows, nrows),
                                    state == PRUNE_ACCEPT))
-            return base, None, ranges
+                derived = (tuple(ranges), skipped, accepted, scanned)
+                if aux is not None:
+                    aux[0] = derived
+            ranges, skipped, accepted, scanned = derived
+            if counters is not None:
+                counters.blocks_skipped += skipped
+                counters.blocks_accepted += accepted
+                counters.blocks_scanned += scanned
+            return base, None, list(ranges)
         blocks = base // block_rows
         pos_state = states[blocks]
         if counters is not None:
@@ -632,10 +781,13 @@ class BoundQuery:
         worker derives identical boundaries)."""
         total = sum(stop - start for start, stop, _ in ranges)
         parts = max(1, min(parts, total)) if total else 1
+        pending = [(s, e, a) for s, e, a in ranges if e > s]
+        if parts == 1:
+            # the serial / per-shard case: no quotas to balance
+            return [pending] if pending else [[]]
         quotas = [total // parts + (1 if i < total % parts else 0)
                   for i in range(parts)]
         out: List[List[tuple]] = []
-        pending = [(s, e, a) for s, e, a in ranges if e > s]
         cur = 0
         for quota in quotas:
             part: List[tuple] = []
@@ -666,35 +818,82 @@ class BoundQuery:
                 out.append((cs, min(cs + morsel_rows, e), a))
         return out
 
+    @staticmethod
+    def coalesce_ranges(pieces: Sequence[tuple],
+                        cap: int = COALESCE_ROWS) -> List[List[tuple]]:
+        """Group consecutive short survivor pieces into shared morsels.
+
+        Pieces shorter than *cap* rows are batched, in order, until a
+        group reaches *cap*; a piece of *cap* rows or more keeps its own
+        group (and with it the zero-copy range provider).  Merging is
+        always sound: a group's morsel is ``prefiltered`` only when
+        every member was proven-accepted, otherwise the filter chain
+        re-runs — a no-op on accepted rows, merely un-saved work."""
+        groups: List[List[tuple]] = []
+        cur: List[tuple] = []
+        cur_rows = 0
+        for start, stop, accepted in pieces:
+            n = stop - start
+            if n >= cap:
+                if cur:
+                    groups.append(cur)
+                    cur, cur_rows = [], 0
+                groups.append([(start, stop, accepted)])
+                continue
+            if cur and cur_rows + n > cap:
+                groups.append(cur)
+                cur, cur_rows = [], 0
+            cur.append((start, stop, accepted))
+            cur_rows += n
+        if cur:
+            groups.append(cur)
+        return groups
+
     def _morsels_from_ranges(self, db: Database, ranges: Sequence[tuple],
                              parts: int, morsel_rows: int,
                              allow_identity: bool) -> List[Morsel]:
         """Morsels over contiguous survivor bands.
 
-        Each piece carries a :class:`~repro.engine.slice.RowRange`, so
+        A lone piece carries a :class:`~repro.engine.slice.RowRange`, so
         root-table column access stays zero-copy views — the pruned scan
-        pays per *surviving* row, not per visited position.  Pipelines
-        that must not alias storage (projections) get owned position
-        arrays instead.
+        pays per *surviving* row, not per visited position.  Consecutive
+        short pieces coalesce into one position-array morsel per
+        :data:`COALESCE_ROWS` rows (within a partition, so the degree of
+        parallelism never drops below *parts*): gathering a few thousand
+        positions is far cheaper than a pipeline instance per band.
+        Pipelines that must not alias storage (projections) get owned
+        position arrays throughout.
         """
-        pieces = [piece
+        cap = (min(COALESCE_ROWS, morsel_rows) if morsel_rows > 0
+               else COALESCE_ROWS)
+        groups = [group
                   for part in self.partition_ranges(ranges, parts)
-                  for piece in self.chunk_ranges(part, morsel_rows)]
-        if not pieces:
+                  for group in self.coalesce_ranges(
+                      self.chunk_ranges(part, morsel_rows), cap)]
+        groups = [group for group in groups if group]
+        if not groups:
             return [self.morsel(db, np.empty(0, dtype=np.int64))]
         nrows = db.table(self.logical.root).num_rows
         morsels: List[Morsel] = []
-        for start, stop, accepted in pieces:
-            if len(pieces) == 1 and stop - start == nrows and allow_identity:
-                morsel = self.morsel(db, None, full=True)
-            elif allow_identity:
-                rng = RowRange(start, stop)
-                morsel = Morsel(rng, universal_provider(
-                    db, self.logical.root, self.logical.paths, rng))
+        for group in groups:
+            accepted = all(a for _, _, a in group)
+            if len(group) == 1:
+                start, stop, _ = group[0]
+                if (len(groups) == 1 and stop - start == nrows
+                        and allow_identity):
+                    morsel = self.morsel(db, None, full=True)
+                elif allow_identity:
+                    rng = RowRange(start, stop)
+                    morsel = Morsel(rng, universal_provider(
+                        db, self.logical.root, self.logical.paths, rng))
+                else:
+                    positions = np.arange(start, stop, dtype=np.int64)
+                    morsel = self.morsel(db, positions)
             else:
-                positions = np.arange(start, stop, dtype=np.int64)
+                positions = np.concatenate(
+                    [np.arange(s, e, dtype=np.int64) for s, e, _ in group])
                 morsel = self.morsel(db, positions)
-            morsel.prefiltered = bool(accepted)
+            morsel.prefiltered = accepted
             morsels.append(morsel)
         return morsels
 
@@ -823,6 +1022,8 @@ class BoundQuery:
         if shard == 0 and counters.pruned:
             outcome.morsels_skipped = counters.blocks_skipped
             outcome.morsels_accepted = counters.blocks_accepted
+            outcome.morsels_scanned = counters.blocks_scanned
+            outcome.prune_gated = counters.gated
         if state is not None:
             outcome.reorders = state.reorders - reorders_before
         return outcome
@@ -897,6 +1098,8 @@ class ShardOutcome:
     seconds: float = 0.0
     morsels_skipped: int = 0
     morsels_accepted: int = 0
+    morsels_scanned: int = 0
+    prune_gated: int = 0
     reorders: int = 0
 
     @classmethod
@@ -932,6 +1135,8 @@ def fold_outcomes(outcomes: Sequence[ShardOutcome], stats,
     stats.rows_selected += sum(o.selected for o in outcomes)
     stats.morsels_skipped += sum(o.morsels_skipped for o in outcomes)
     stats.morsels_accepted += sum(o.morsels_accepted for o in outcomes)
+    stats.morsels_scanned += sum(o.morsels_scanned for o in outcomes)
+    stats.prune_gated += sum(o.prune_gated for o in outcomes)
     stats.filters_reordered += sum(o.reorders for o in outcomes)
     for outcome in outcomes:
         for label, seconds in outcome.timings.items():

@@ -80,6 +80,8 @@ def save_database(db: Database, path: Union[str, Path]) -> None:
         manifest["references"].append({
             "child_table": ref.child_table, "child_column": ref.child_column,
             "parent_table": ref.parent_table, "parent_key": ref.parent_key})
+    manifest["clustering"] = {
+        name: list(spec) for name, spec in db.clustering.items()}
 
     arrays["$manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
@@ -112,6 +114,8 @@ def load_database(path: Union[str, Path]) -> Database:
         for ref in manifest["references"]:
             db.add_reference(ref["child_table"], ref["child_column"],
                              ref["parent_table"], ref["parent_key"])
+        for name, spec in manifest.get("clustering", {}).items():
+            db.clustering[name] = tuple(spec)
     return db
 
 

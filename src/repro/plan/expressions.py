@@ -184,3 +184,46 @@ def predicate_interval(expr: BoundExpression) -> Optional[ColumnInterval]:
             return ColumnInterval(expr.expr, min(expr.values),
                                   max(expr.values), exact=False)
     return None
+
+
+@dataclass(frozen=True)
+class CodeSetPredicate:
+    """A membership set implied by a predicate over one column.
+
+    Rows passing the predicate have ``column`` equal to one of
+    ``values`` — both necessary and sufficient, so against a per-block
+    code-set summary a disjoint block SKIPs and (with an exact summary)
+    a subset block fully ACCEPTs.  Unlike :class:`ColumnInterval` this
+    admits string literals: dictionary-coded columns resolve values to
+    codes at verdict time, which is exactly where min/max maps go blind.
+    """
+
+    column: BoundColumn
+    values: Tuple[Union[int, float, str], ...]
+
+
+def _code_set_literal(value) -> bool:
+    return isinstance(value, (int, str)) and not isinstance(value, bool)
+
+
+def predicate_code_set(expr: BoundExpression) -> Optional[CodeSetPredicate]:
+    """The :class:`CodeSetPredicate` implied by *expr*, or ``None``.
+
+    Recognizes single-column equality against an integer or string
+    literal (either operand order) and non-negated IN over such
+    literals.  Ranges, LIKE, disjunctions, and negations carry no
+    finite membership set and return ``None``.
+    """
+    if isinstance(expr, BoundCompare) and expr.op == "=":
+        left, right = expr.left, expr.right
+        if isinstance(right, BoundColumn) and isinstance(left, BoundLiteral):
+            left, right = right, left
+        if (isinstance(left, BoundColumn) and isinstance(right, BoundLiteral)
+                and _code_set_literal(right.value)):
+            return CodeSetPredicate(left, (right.value,))
+        return None
+    if isinstance(expr, BoundIn) and not expr.negated:
+        if (isinstance(expr.expr, BoundColumn) and expr.values
+                and all(_code_set_literal(v) for v in expr.values)):
+            return CodeSetPredicate(expr.expr, tuple(expr.values))
+    return None

@@ -27,7 +27,12 @@ from ..core import Database
 from ..core.column import DictColumn
 from ..errors import PlanError
 from .binder import GroupKey, LogicalPlan
-from .expressions import BoundAnd, BoundExpression, predicate_interval
+from .expressions import (
+    BoundAnd,
+    BoundExpression,
+    predicate_code_set,
+    predicate_interval,
+)
 
 
 @dataclass(frozen=True)
@@ -72,10 +77,14 @@ class OpSpec:
     estimate used for ordering filter-like nodes.
 
     ``prune`` annotates nodes the data-skipping layer can evaluate
-    against zone maps alone: ``("interval", ColumnInterval)`` for fact
-    predicates with a literal interval, ``("fk", first_dim)`` for
-    dimension probes whose predicate vector exists at bind time (the
-    engine turns it into an FK-range pass count).
+    against block summaries alone: ``("interval", ColumnInterval)`` for
+    fact predicates with a literal interval, ``("codes-eq",
+    CodeSetPredicate)`` for fact equality/IN predicates over coded
+    columns (the code-set summaries of dictionary columns), and
+    ``("codes", first_dim)`` for dimension probes whose predicate
+    vector exists at bind time — the engine intersects the FK column's
+    code-set summary with the vector, falling back to an FK-range pass
+    count where no summary applies.
     """
 
     op: str
@@ -94,8 +103,14 @@ class OpSpec:
                 lo = "-inf" if iv.lo is None else iv.lo
                 hi = "+inf" if iv.hi is None else iv.hi
                 text += f" [prune {iv.column.name} in {lo}..{hi}]"
+            elif self.prune[0] == "codes-eq":
+                cs = self.prune[1]
+                shown = ", ".join(str(v) for v in cs.values[:4])
+                if len(cs.values) > 4:
+                    shown += ", ..."
+                text += f" [prune codes {cs.column.name} in ({shown})]"
             else:
-                text += f" [prune fk-range via {self.prune[1]}]"
+                text += f" [prune code-set/fk-range via {self.prune[1]}]"
         return text
 
 
@@ -155,6 +170,11 @@ def build_pipeline(logical: LogicalPlan,
         prune = None
         if interval is not None and interval.column.table == logical.root:
             prune = ("interval", interval)
+        else:
+            code_set = predicate_code_set(expr)
+            if (code_set is not None
+                    and code_set.column.table == logical.root):
+                prune = ("codes-eq", code_set)
         steps.append(OpSpec("filter", str(expr), payload=expr,
                             selectivity=sel, prune=prune))
     for dd in dim_decisions:
@@ -162,7 +182,7 @@ def build_pipeline(logical: LogicalPlan,
         steps.append(OpSpec("air-probe", f"{dd.first_dim}:{mode}",
                             payload=dd,
                             selectivity=dd.estimated_selectivity,
-                            prune=("fk", dd.first_dim) if dd.use_filter
+                            prune=("codes", dd.first_dim) if dd.use_filter
                             else None))
     steps.sort(key=lambda s: s.selectivity)
     specs.extend(steps)
