@@ -970,3 +970,123 @@ def breakdown_rows(breakdown: Dict[str, Dict[str, float]]) -> List[List]:
         for label, total_ms in ranked:
             rows.append([engine_name, label, total_ms])
     return rows
+
+
+# -- distributed scatter-gather sweep -----------------------------------------
+
+
+def distributed_sweep(database_path: str = "", node_count: int = 2,
+                      query_ids: Optional[Sequence[str]] = None,
+                      sf: float = DEFAULT_SCALE,
+                      db: Optional[Database] = None,
+                      node_timeout: float = 15.0,
+                      kill_index: int = 0) -> dict:
+    """The remote backend's recovery benchmark: two SSB flights over
+    *node_count* local shard nodes, differentially checked against the
+    serial engine.
+
+    * ``healthy`` — every node up for the whole flight; per-query
+      latency plus a rows-identical check per query;
+    * ``degraded`` — a fresh node set, with node *kill_index* SIGKILLed
+      halfway through the flight: the coordinator must retry, declare
+      the node lost, re-shard its work onto survivors, and still return
+      the serial answer for every query.  The phase records the
+      engine-side recovery counters (retries / re-shards / nodes lost /
+      locally-degraded shards) and whether the survivors shut down
+      cleanly — exactly what the CI smoke asserts on.
+
+    With no *database_path*, the cached SSB database for *sf* is saved
+    to a temporary archive (nodes load their own copies from it).
+    """
+    import json
+    import os
+    import tempfile
+
+    from ..engine.distributed import LocalNodes
+    from ..engine.executor import EngineOptions
+    from ..io import load_database, save_database
+
+    query_ids = list(query_ids or SSB_QUERIES)
+    scratch = ""
+    if not database_path:
+        if db is None:
+            db = ssb_database(sf)
+        fd, scratch = tempfile.mkstemp(prefix="astore-dist-", suffix=".npz")
+        os.close(fd)
+        save_database(db, scratch)
+        database_path = scratch
+    coordinator_db = load_database(database_path)
+
+    def canonical(result) -> list:
+        # JSON round-trip: the same normalization the serve layer applies
+        return json.loads(json.dumps(
+            [[str(value) for value in row] for row in result.rows()]))
+
+    with AStoreEngine(coordinator_db, EngineOptions(
+            parallel_backend="serial", use_cache=False)) as serial:
+        truth = {qid: canonical(serial.query(SSB_QUERIES[qid]))
+                 for qid in query_ids}
+
+    def flight(nodes: "LocalNodes", kill_at: Optional[int] = None) -> dict:
+        cell = {"per_query_ms": {}, "mismatches": [], "retries": 0,
+                "reshards": 0, "nodes_lost": 0, "local_shards": 0,
+                "shard_fallbacks": 0}
+        with AStoreEngine(coordinator_db, EngineOptions(
+                parallel_backend="remote", remote_nodes=nodes.addresses,
+                node_timeout=node_timeout, use_cache=False)) as engine:
+            for position, qid in enumerate(query_ids):
+                if kill_at is not None and position == kill_at:
+                    nodes.kill(kill_index)
+                t0 = time.perf_counter()
+                result = engine.query(SSB_QUERIES[qid])
+                cell["per_query_ms"][qid] = round(
+                    ms(time.perf_counter() - t0), 3)
+                if canonical(result) != truth[qid]:
+                    cell["mismatches"].append(qid)
+                stats = result.stats
+                cell["retries"] += stats.remote_retries
+                cell["reshards"] += stats.remote_reshards
+                cell["nodes_lost"] += stats.remote_nodes_lost
+                cell["local_shards"] += stats.remote_local_shards
+                cell["shard_fallbacks"] += stats.shard_fallbacks
+        cell["flight_ms"] = round(sum(cell["per_query_ms"].values()), 3)
+        return cell
+
+    try:
+        with LocalNodes(database_path, count=node_count) as nodes:
+            healthy = flight(nodes)
+            healthy["clean_shutdown"] = nodes.shutdown()
+        with LocalNodes(database_path, count=node_count) as nodes:
+            degraded = flight(nodes, kill_at=max(1, len(query_ids) // 2))
+            degraded["killed_index"] = kill_index
+            degraded["clean_shutdown"] = nodes.shutdown()
+    finally:
+        if scratch:
+            with __import__("contextlib").suppress(OSError):
+                os.unlink(scratch)
+    recovered = (not degraded["mismatches"]
+                 and degraded["reshards"] > 0
+                 and degraded["nodes_lost"] >= 1)
+    return {"node_count": node_count, "queries": query_ids,
+            "healthy": healthy, "degraded": degraded,
+            "recovered": recovered}
+
+
+def distributed_rows(times: dict) -> List[List]:
+    """``[phase, queries, ok, flight ms, retries, reshards, lost,
+    local, shutdown]`` rows for :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    for phase in ("healthy", "degraded"):
+        cell = times[phase]
+        ok = "ok" if not cell["mismatches"] else (
+            "MISMATCH:" + ",".join(cell["mismatches"]))
+        rows.append([phase, len(cell["per_query_ms"]), ok,
+                     cell["flight_ms"], cell["retries"], cell["reshards"],
+                     cell["nodes_lost"], cell["local_shards"],
+                     "clean" if cell["clean_shutdown"] else "DIRTY"])
+    return rows
+
+
+def distributed_payload(times: dict) -> dict:
+    """The ``BENCH_*.json`` payload for a distributed sweep."""
+    return dict(times)

@@ -13,12 +13,17 @@ Subcommands::
     astore bench ssb.npz --mode concurrency  # qps/latency at N in-flight clients
     astore cache ssb.npz                     # per-tier cache hit statistics
     astore serve ssb.npz --port 7433         # asyncio line-protocol server
+    astore node ssb.npz --port 7533          # one remote shard node
+    astore bench ssb.npz --mode distributed  # scatter-gather + chaos recovery
     astore compact ssb.npz                   # clustering-preserving re-sort
     astore validate ssb.npz                  # referential-integrity check
 
-``query``/``ssb``/``bench`` accept ``--backend {serial,thread,process}``
-and ``--workers N`` — the ``process`` backend shards the fact table over
-worker processes attached to a shared-memory column arena — plus
+``query``/``ssb``/``bench`` accept ``--backend
+{serial,thread,process,remote}`` and ``--workers N`` — the ``process``
+backend shards the fact table over worker processes attached to a
+shared-memory column arena, and the ``remote`` backend scatters shards
+to ``astore node`` processes named by ``--nodes host:port,...`` (with
+per-node deadlines, retry, and re-shard on node loss) — plus
 ``--no-cache`` to disable the mutation-stamped query cache and
 ``--no-pruning`` to disable zone-map data skipping.  ``serve --workers N``
 (N > 1) starts a *fleet* of N server processes sharing one listening
@@ -88,7 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", choices=sorted(BACKENDS),
                        default="serial",
                        help="execution backend (process = shared-memory "
-                            "shard workers)")
+                            "shard workers; remote = distributed shard "
+                            "nodes, see --nodes)")
+    query.add_argument("--nodes", default=None, metavar="HOST:PORT,...",
+                       help="remote backend: shard node addresses")
+    query.add_argument("--node-timeout", type=float, default=30.0,
+                       help="remote backend: per-node request deadline "
+                            "in seconds")
     query.add_argument("--explain", action="store_true",
                        help="print the plan instead of executing")
     query.add_argument("--breakdown", action="store_true",
@@ -122,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     ssb.add_argument("--workers", type=int, default=1)
     ssb.add_argument("--backend", choices=sorted(BACKENDS),
                      default="serial")
+    ssb.add_argument("--nodes", default=None, metavar="HOST:PORT,...",
+                     help="remote backend: shard node addresses")
+    ssb.add_argument("--node-timeout", type=float, default=30.0,
+                     help="remote backend: per-node request deadline "
+                          "in seconds")
     ssb.add_argument("--no-cache", action="store_true",
                      help="disable the mutation-stamped query cache")
     ssb.add_argument("--no-pruning", action="store_true",
@@ -133,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
              "SSB queries")
     bench.add_argument("database", help="a .npz archive of an SSB database")
     bench.add_argument("--mode",
-                       choices=("scaling", "qps", "pruning", "concurrency"),
+                       choices=("scaling", "qps", "pruning", "concurrency",
+                                "distributed"),
                        default="scaling",
                        help="scaling: backend x workers best-of sweep; "
                             "qps: repeated-flight throughput, cold vs "
@@ -141,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "skipping on vs off, with skipped/scanned "
                             "morsel counts; concurrency: serve-mode qps + "
                             "latency percentiles at N in-flight async "
-                            "clients")
+                            "clients; distributed: scatter-gather over "
+                            "local shard nodes, healthy + one node "
+                            "SIGKILLed mid-flight (recovery check)")
     bench.add_argument("--backends", default=None,
                        help="comma-separated BACKENDS names (default: "
                             "serial,thread,process for scaling; serial "
@@ -158,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--clients", default="1,8,64",
                        help="comma-separated in-flight client counts "
                             "(concurrency mode)")
+    bench.add_argument("--node-count", type=int, default=2,
+                       help="distributed mode: how many local shard "
+                            "nodes to spawn")
     bench.add_argument("--fleet-workers", default=None, metavar="N,N,...",
                        help="concurrency mode: sweep multi-process serving "
                             "fleets of these sizes (e.g. 1,2,4) instead of "
@@ -232,8 +254,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-concurrency", type=int, default=0,
                        help="bound on concurrently executing queries "
                             "(0 = derive from the core count)")
+    serve.add_argument("--request-timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="per-request deadline; a query past it "
+                            "answers a structured timeout error instead "
+                            "of pinning the connection (0 = none; "
+                            "requests may override with a timeout_ms "
+                            "field)")
     serve.add_argument("--no-serve-cache", action="store_true",
                        help="disable the result (serving) tier")
+
+    node = sub.add_parser(
+        "node",
+        help="serve fact-table shards of a database copy to a remote-"
+             "backend coordinator (the worker half of --backend remote)")
+    node.add_argument("database", help="a .npz archive from 'generate'")
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--port", type=int, default=0,
+                      help="TCP port (0 = pick a free one)")
+    node.add_argument("--chaos", default="",
+                      help="arm deterministic fault-injection rules in "
+                           "this node (action@site[:first][xcount]"
+                           "[=value]; see repro.engine.chaos)")
 
     compact = sub.add_parser(
         "compact",
@@ -266,6 +308,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
 
+def _remote_overrides(args) -> dict:
+    """EngineOptions overrides for ``--backend remote`` (``--nodes``
+    required; workers defaults to the node count unless raised)."""
+    if getattr(args, "backend", "") != "remote":
+        return {}
+    if not getattr(args, "nodes", None):
+        raise AStoreError("--backend remote needs --nodes host:port,...")
+    nodes = tuple(n.strip() for n in args.nodes.split(",") if n.strip())
+    overrides = {"remote_nodes": nodes, "node_timeout": args.node_timeout}
+    if args.workers <= 1:
+        overrides["workers"] = len(nodes)
+    return overrides
+
+
 def _dispatch(args) -> int:
     if args.command == "generate":
         db = _GENERATORS[args.benchmark](sf=args.sf, seed=args.seed)
@@ -277,10 +333,13 @@ def _dispatch(args) -> int:
 
     if args.command == "query":
         db = load_database(args.database)
-        with AStoreEngine.variant(db, args.variant, workers=args.workers,
+        overrides = _remote_overrides(args)
+        workers = overrides.pop("workers", args.workers)
+        with AStoreEngine.variant(db, args.variant, workers=workers,
                                   parallel_backend=args.backend,
                                   use_cache=not args.no_cache,
-                                  use_pruning=not args.no_pruning) as engine:
+                                  use_pruning=not args.no_pruning,
+                                  **overrides) as engine:
             if args.explain:
                 print(engine.explain(args.sql))
                 return 0
@@ -333,10 +392,13 @@ def _dispatch(args) -> int:
         from .workloads import SSB_QUERIES
 
         db = load_database(args.database)
-        with AStoreEngine.variant(db, args.variant, workers=args.workers,
+        overrides = _remote_overrides(args)
+        workers = overrides.pop("workers", args.workers)
+        with AStoreEngine.variant(db, args.variant, workers=workers,
                                   parallel_backend=args.backend,
                                   use_cache=not args.no_cache,
-                                  use_pruning=not args.no_pruning) as engine:
+                                  use_pruning=not args.no_pruning,
+                                  **overrides) as engine:
             rows = []
             for query_id, sql in SSB_QUERIES.items():
                 seconds, result = best_of(lambda: engine.query(sql),
@@ -376,6 +438,18 @@ def _dispatch(args) -> int:
 
     if args.command == "serve":
         return _dispatch_serve(args)
+
+    if args.command == "node":
+        from .engine.chaos import install_chaos
+        from .engine.distributed import run_node
+
+        if args.chaos:
+            install_chaos(args.chaos)
+        try:
+            run_node(args.database, host=args.host, port=args.port)
+        except KeyboardInterrupt:
+            print("astore node: interrupted, shutting down")
+        return 0
 
     if args.command == "validate":
         db = load_database(args.database)
@@ -422,7 +496,29 @@ def _dispatch_bench(args) -> int:
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
 
-    if args.mode == "concurrency" and args.fleet_workers:
+    if args.mode == "distributed":
+        from .bench import (
+            distributed_payload,
+            distributed_rows,
+            distributed_sweep,
+        )
+
+        times = distributed_sweep(database_path=args.database,
+                                  node_count=args.node_count,
+                                  query_ids=query_ids)
+        text = host_note() + "\n" + format_table(
+            f"distributed sweep over {db.name} ({args.node_count} shard "
+            f"nodes; degraded phase SIGKILLs node "
+            f"{times['degraded']['killed_index']} mid-flight)",
+            ["phase", "queries", "differential", "flight ms", "retries",
+             "reshards", "lost", "local", "shutdown"],
+            distributed_rows(times))
+        text += ("\nrecovery: "
+                 + ("ok — node loss re-sharded, results exact"
+                    if times["recovered"] else "FAILED"))
+        payload = distributed_payload(times)
+        benchmark = "distributed"
+    elif args.mode == "concurrency" and args.fleet_workers:
         from .bench import fleet_payload, fleet_rows, fleet_sweep
 
         clients = [int(c) for c in args.clients.split(",")
@@ -559,13 +655,15 @@ def _dispatch_serve(args) -> int:
             host=args.host, port=args.port, workers=args.workers,
             max_concurrency=args.max_concurrency or None,
             data_mode=args.fleet_data,
-            shared_store=not args.no_shared_store)
+            shared_store=not args.no_shared_store,
+            request_timeout=args.request_timeout or None)
 
     db = load_database(args.database)
     try:
         asyncio.run(run_server(
             db, options=options, host=args.host, port=args.port,
-            max_concurrency=args.max_concurrency or None))
+            max_concurrency=args.max_concurrency or None,
+            request_timeout=args.request_timeout or None))
     except KeyboardInterrupt:
         print("astore serve: interrupted, shutting down")
     return 0

@@ -133,6 +133,54 @@ def _token_digest(token: str) -> bytes:
     return hashlib.blake2b(token.encode(), digest_size=16).digest()
 
 
+class StampLane:
+    """The published-stamp protocol over a plain dict (thread-safe).
+
+    :class:`SharedQueryStore` broadcasts per-table mutation counts
+    through a fixed shm table (:meth:`SharedQueryStore.publish_stamps`),
+    with two invariants: published counts only ever *max-merge* (so
+    replays and racing publishes are harmless), and nothing stamped
+    older than either the local data or a published count may be
+    served.  Remote shard nodes speak the same lane over their request
+    socket instead of shared memory — a coordinator that applies (or
+    observes) a mutation publishes its stamps to every node, and a node
+    refuses any plan whose stamps trail the lane, so no node ever
+    serves a pre-mutation result.
+    """
+
+    def __init__(self):
+        self._published: dict = {}
+        self._lock = threading.Lock()
+
+    def publish(self, stamps: Stamps) -> None:
+        """Max-merge *stamps* (``((table, count), ...)``) into the lane."""
+        with self._lock:
+            for name, count in stamps:
+                if int(count) > self._published.get(name, 0):
+                    self._published[name] = int(count)
+
+    def published_count(self, name: str) -> int:
+        """The broadcast mutation count of table *name* (0 = never)."""
+        with self._lock:
+            return self._published.get(name, 0)
+
+    def admits(self, stamps: Stamps, db) -> bool:
+        """Mirror of :meth:`SharedQueryStore._fresh` over this lane:
+        *stamps* must match the local data exactly and must not trail
+        any published count."""
+        with self._lock:
+            for name, count in stamps:
+                try:
+                    local = db.table(name).mutation_count
+                except Exception:
+                    return False
+                if count != local:
+                    return False
+                if self._published.get(name, 0) > count:
+                    return False
+        return True
+
+
 class _LockFile:
     """The store's sidecar lock file: byte 0 = liveness, byte 1 = mutex."""
 

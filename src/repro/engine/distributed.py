@@ -1,0 +1,651 @@
+"""Fault-tolerant distributed scatter-gather: shard nodes + coordinator.
+
+The ``remote`` entry of :data:`repro.engine.operators.BACKENDS`.  A
+**shard node** (:class:`ShardNode`, ``astore node``) loads its own copy
+of the database and serves pickled :class:`~repro.engine.sharding.BoundQuery`
+shards over a length-prefixed TCP protocol; a **coordinator**
+(:class:`RemoteShardBackend`) scatters one plan's shards over N nodes
+and merges the returned :class:`~repro.engine.sharding.ShardOutcome`\\ s
+in shard order — so the engine's sharded path
+(:meth:`AStoreEngine._run_sharded`) produces the exact serial answer, as
+it does for the process backend.
+
+The interesting part is the failure model:
+
+* **deadlines** — every node request runs under a socket timeout
+  (``EngineOptions.node_timeout``); a stuck node cannot pin a query;
+* **retry** — a failed request (timeout, connection error, torn or
+  corrupted frame) retries on the same node with exponential backoff +
+  jitter, up to ``EngineOptions.node_retries`` times;
+* **node loss** — retries exhausted (or a failed heartbeat) mark the
+  node dead for this coordinator;
+* **re-shard** — shards stranded on a dead node re-scatter to the
+  surviving nodes, and when none survive they run locally on the
+  coordinator's own copy.  Shard boundaries depend only on
+  ``(plan, shard, nshards)``, so a re-sharded outcome is bit-identical
+  to the one the dead node would have produced;
+* **stamps** — nodes hold point-in-time copies.  Each ``run`` request
+  carries the coordinator's mutation stamps, checked against the
+  node-side :class:`~repro.core.shmcache.StampLane` (the fleet's
+  ``publish_stamps`` protocol over a socket instead of shared memory):
+  a node whose data trails the stamps *refuses* the shard rather than
+  serving a pre-mutation result, and a coordinator that observes a
+  local mutation broadcasts its new stamps to every node before
+  degrading those shards to local execution.
+
+Chaos sites (:mod:`repro.engine.chaos`): ``node.request`` (a kill here
+is a mid-query death), ``node.run``, ``node.response``,
+``coordinator.send``, ``coordinator.recv``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import pickle
+import random
+import signal
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.shmcache import StampLane
+from ..errors import ExecutionError, ShardExecutionError
+from .chaos import ChaosDrop, chaos_point, install_chaos
+from .sharding import ShardOutcome, database_stamp
+from . import sharding as _sharding
+
+#: Frames larger than this are a protocol error, not a payload.
+_MAX_FRAME = 1 << 30
+
+_CONNECT_TIMEOUT = 5.0
+
+
+# -- wire protocol ------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message, site: str = "") -> None:
+    """Pickle *message* and send it length-prefixed (4-byte LE)."""
+    data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if site:
+        data = chaos_point(site, data)
+    sock.sendall(struct.pack("<I", len(data)) + data)
+
+
+def recv_frame(sock: socket.socket, site: str = ""):
+    """Receive one length-prefixed pickled frame."""
+    (length,) = struct.unpack("<I", _recv_exact(sock, 4))
+    if length > _MAX_FRAME:
+        raise ExecutionError(f"oversized frame ({length} bytes)")
+    data = _recv_exact(sock, length)
+    if site:
+        data = chaos_point(site, data)
+    return pickle.loads(data)
+
+
+# -- shard node ---------------------------------------------------------------
+
+
+class ShardNode:
+    """One remote shard worker: a database copy + a TCP request loop.
+
+    Requests are pickled tuples, one frame in, one frame out:
+
+    * ``("ping",)`` → ``("pong", pid)`` — the heartbeat;
+    * ``("stamps", stamps)`` → ``("ok",)`` — a coordinator broadcasting
+      post-mutation stamps into this node's :class:`StampLane`;
+    * ``("run", plan_bytes, plan_seq, shard, nshards, use_array,
+      stamps)`` → ``("ok", ShardOutcome)``, or ``("stale", local_stamps)``
+      when the stamps show this node's copy predates a mutation, or
+      ``("err", message)`` on an execution failure;
+    * ``("shutdown",)`` → ``("ok",)``, then the node exits its loop.
+
+    One thread per connection; the plan-pickle memo mirrors the process
+    backend's worker cache (``plan_seq`` keyed), so a flight of cached
+    plans deserializes each plan once, not once per shard.
+    """
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0):
+        self.db = db
+        self.lane = StampLane()
+        self.requests = 0
+        self.shards_served = 0
+        self.refusals = 0
+        self._stop = threading.Event()
+        self._plan_lock = threading.Lock()
+        self._plan_cache: Tuple[int, object] = (-1, None)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept connections until a ``shutdown`` request (or
+        :meth:`stop`); each connection gets its own handler thread."""
+        self._listener.settimeout(0.25)
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name="astore-node-conn", daemon=True)
+                thread.start()
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def close(self) -> None:
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with contextlib.suppress(Exception), conn:
+            while not self._stop.is_set():
+                try:
+                    request = recv_frame(conn)
+                except (EOFError, OSError):
+                    break
+                # a kill armed here dies holding a received request —
+                # exactly a node lost mid-query
+                chaos_point("node.request")
+                response = self._handle(request)
+                try:
+                    send_frame(conn, response, site="node.response")
+                except ChaosDrop:
+                    break  # injected connection loss: tear, don't answer
+                if request and request[0] == "shutdown":
+                    break
+
+    def _handle(self, request) -> tuple:
+        self.requests += 1
+        try:
+            kind = request[0]
+            if kind == "ping":
+                return ("pong", os.getpid())
+            if kind == "stamps":
+                self.lane.publish(request[1])
+                return ("ok",)
+            if kind == "shutdown":
+                self.stop()
+                return ("ok",)
+            if kind == "run":
+                return self._run_shard(*request[1:])
+            return ("err", f"unknown request {kind!r}")
+        except ChaosDrop:
+            raise
+        except Exception as exc:  # noqa: BLE001 - protocol: answer, not tear
+            return ("err", f"{type(exc).__name__}: {exc}")
+
+    def _run_shard(self, plan_bytes: bytes, plan_seq: int, shard: int,
+                   nshards: int, use_array, stamps) -> tuple:
+        if not self.lane.admits(stamps, self.db):
+            # this copy predates a mutation the coordinator has seen
+            # (or the lane heard about): refuse rather than serve stale
+            self.refusals += 1
+            return ("stale", database_stamp(self.db))
+        with self._plan_lock:
+            seq, plan = self._plan_cache
+            if seq != plan_seq:
+                plan = pickle.loads(plan_bytes)
+                self._plan_cache = (plan_seq, plan)
+        chaos_point("node.run")
+        outcome = plan.run_shard(self.db, shard, nshards, use_array)
+        self.shards_served += 1
+        return ("ok", outcome)
+
+
+def run_node(database_path: str, host: str = "127.0.0.1", port: int = 0,
+             announce=print, ready=None) -> None:
+    """``astore node``: load *database_path*, serve shards until shutdown.
+
+    *ready*, if given, is a pipe connection that receives
+    ``(host, port, pid)`` once the node is listening (how
+    :func:`start_local_nodes` learns the bound ports).
+    """
+    from ..io import load_database
+
+    db = load_database(database_path)
+    node = ShardNode(db, host, port)
+    if ready is not None:
+        ready.send((node.host, node.port, os.getpid()))
+    announce(f"astore node: serving shards of {database_path} on "
+             f"{node.host}:{node.port} (pid {os.getpid()})")
+    node.serve_forever()
+    announce(f"astore node: stopped after {node.requests} requests "
+             f"({node.shards_served} shards, {node.refusals} stale "
+             f"refusals)")
+
+
+def _node_main(database_path: str, host: str, chaos_spec: str, conn) -> None:
+    """Spawn entry point of one local shard node (top-level: picklable)."""
+    if chaos_spec:
+        install_chaos(chaos_spec)
+    with contextlib.suppress(KeyboardInterrupt):
+        run_node(database_path, host=host, port=0,
+                 announce=lambda *_: None, ready=conn)
+
+
+@dataclass
+class NodeHandle:
+    """One spawned local shard node."""
+
+    process: "multiprocessing.process.BaseProcess"
+    host: str
+    port: int
+    pid: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class LocalNodes:
+    """A set of shard-node processes over one database archive.
+
+    The test/bench/CI harness: spawns *count* nodes (each loading its
+    own copy of *database_path*), exposes their addresses, and can
+    SIGKILL one mid-flight to exercise the re-shard path.  Per-node
+    chaos specs arm deterministic faults inside a node process.
+    """
+
+    def __init__(self, database_path: str, count: int = 2,
+                 host: str = "127.0.0.1",
+                 chaos: Optional[Sequence[str]] = None,
+                 start_timeout: float = 120.0):
+        ctx = multiprocessing.get_context("spawn")
+        self.nodes: List[NodeHandle] = []
+        specs = list(chaos or [])
+        for index in range(count):
+            parent, child = ctx.Pipe(duplex=False)
+            spec = specs[index] if index < len(specs) else ""
+            process = ctx.Process(
+                target=_node_main,
+                args=(str(database_path), host, spec, child),
+                name=f"astore-node-{index}")
+            process.start()
+            child.close()
+            if not parent.poll(start_timeout):
+                self.close()
+                raise ExecutionError(
+                    f"shard node {index} not ready after {start_timeout}s")
+            node_host, node_port, pid = parent.recv()
+            parent.close()
+            self.nodes.append(NodeHandle(process, node_host, node_port, pid))
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(node.address for node in self.nodes)
+
+    def kill(self, index: int) -> int:
+        """SIGKILL node *index* (mid-flight node loss); returns its pid."""
+        node = self.nodes[index]
+        with contextlib.suppress(ProcessLookupError):
+            os.kill(node.pid, signal.SIGKILL)
+        node.process.join(timeout=10)
+        return node.pid
+
+    def shutdown(self, timeout: float = 10.0) -> bool:
+        """Ask every live node to exit its loop; True if all exited."""
+        for node in self.nodes:
+            if not node.process.is_alive():
+                continue
+            with contextlib.suppress(Exception):
+                with socket.create_connection(
+                        (node.host, node.port), timeout=2.0) as sock:
+                    sock.settimeout(2.0)
+                    send_frame(sock, ("shutdown",))
+                    recv_frame(sock)
+        deadline = time.monotonic() + timeout
+        for node in self.nodes:
+            node.process.join(timeout=max(0.1, deadline - time.monotonic()))
+        return all(not node.process.is_alive() for node in self.nodes)
+
+    def close(self) -> None:
+        self.shutdown(timeout=5.0)
+        for node in self.nodes:
+            if node.process.is_alive():
+                node.process.terminate()
+                node.process.join(timeout=5)
+            if node.process.is_alive():  # pragma: no cover - last resort
+                node.process.kill()
+                node.process.join(timeout=5)
+
+    def __enter__(self) -> "LocalNodes":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+class _ShardRefused(Exception):
+    """The node's copy is stale: re-route, don't retry."""
+
+
+class _NodeLost(Exception):
+    """Retries exhausted: the node is dead to this coordinator."""
+
+
+class _NodeLink:
+    """One remote node as the coordinator sees it: a persistent
+    connection, health flags, and a lock serializing requests on it."""
+
+    def __init__(self, address: str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ExecutionError(
+                f"bad node address {address!r} (expected host:port)")
+        self.address = address
+        self.host, self.port = host, int(port)
+        self.alive = True
+        self.stale = False
+        self.ever_connected = False
+        self.sock: Optional[socket.socket] = None
+        self.lock = threading.Lock()
+
+    def request(self, message, timeout: float):
+        """One request/response round trip under *timeout* (deadline for
+        connect, send, and the full response)."""
+        with self.lock:
+            if self.sock is None:
+                self.sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=min(_CONNECT_TIMEOUT, timeout))
+                self.ever_connected = True
+            self.sock.settimeout(timeout)
+            send_frame(self.sock, message, site="coordinator.send")
+            return recv_frame(self.sock, site="coordinator.recv")
+
+    def reset(self) -> None:
+        with self.lock:
+            sock, self.sock = self.sock, None
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+
+class RemoteShardBackend:
+    """Scatter a bound plan's shards over remote nodes; gather in order.
+
+    Duck-compatible with :class:`~repro.engine.sharding.ProcessShardBackend`
+    where the engine touches it (``run``/``retain``/``refs``/``close``/
+    ``is_stale``), plus ``distributed = True`` so the engine passes a
+    per-run *report* dict that lands in ``ExecutionStats``
+    (``remote_retries`` / ``remote_reshards`` / ``remote_nodes_lost`` /
+    ``remote_local_shards``).
+
+    ``is_stale`` is always False: a mutation does not evict this
+    backend — the next ``run`` broadcasts the new stamps (every node's
+    lane then refuses pre-mutation serves, to this or any coordinator)
+    and the affected shards execute locally on the coordinator's own,
+    current copy.
+    """
+
+    distributed = True
+
+    _plan_seq = _sharding.ProcessShardBackend._plan_seq  # one global lane
+
+    def __init__(self, db, nodes: Sequence[str], workers: int = 0,
+                 node_timeout: float = 30.0, node_retries: int = 2,
+                 retry_base: float = 0.05, heartbeat_seconds: float = 2.0):
+        if not nodes:
+            raise ExecutionError(
+                "the remote backend needs node addresses "
+                "(EngineOptions.remote_nodes / --nodes host:port,...)")
+        self.db = db
+        self.links = [_NodeLink(address) for address in nodes]
+        self.workers = int(workers) or len(self.links)
+        self.node_timeout = float(node_timeout)
+        self.node_retries = max(0, int(node_retries))
+        self.retry_base = float(retry_base)
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.stamp = database_stamp(db)
+        self.refs = 0
+        self._registry_key = None  # release_shard_backend compatibility
+        self._plan_pickles = {}  # id(plan) -> (seq, bytes); plans are cached
+        self._memo_lock = threading.Lock()
+        self._published: Optional[tuple] = None
+        self._closed = threading.Event()
+        self.counters: Dict[str, int] = {
+            "retries": 0, "reshards": 0, "nodes_lost": 0,
+            "local_shards": 0, "stale_refusals": 0, "heartbeats": 0}
+        self._counter_lock = threading.Lock()
+        self._heartbeat: Optional[threading.Thread] = None
+        if self.heartbeat_seconds > 0:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop, name="astore-remote-heartbeat",
+                daemon=True)
+            self._heartbeat.start()
+
+    # -- lifecycle (ProcessShardBackend-compatible) -------------------------
+
+    def is_stale(self, db) -> bool:
+        return False  # mutations degrade per-run; see class docstring
+
+    def retain(self) -> "RemoteShardBackend":
+        with _sharding._REGISTRY_LOCK:
+            self.refs += 1
+        return self
+
+    def close(self) -> None:
+        self._closed.set()
+        for link in self.links:
+            link.reset()
+
+    def __enter__(self) -> "RemoteShardBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- counters -----------------------------------------------------------
+
+    def _bump(self, key: str, amount: int,
+              report: Optional[Dict[str, int]]) -> None:
+        with self._counter_lock:
+            self.counters[key] += amount
+            if report is not None:
+                report[key] = report.get(key, 0) + amount
+
+    # -- health -------------------------------------------------------------
+
+    def alive_nodes(self) -> List[_NodeLink]:
+        return [link for link in self.links if link.alive and not link.stale]
+
+    def _mark_dead(self, link: _NodeLink,
+                   report: Optional[Dict[str, int]]) -> None:
+        if link.alive:
+            link.alive = False
+            link.reset()
+            self._bump("nodes_lost", 1, report)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self.heartbeat_seconds):
+            for link in self.links:
+                # only probe nodes we have actually spoken to: a node
+                # still starting up must not be declared dead on sight
+                if not link.alive or not link.ever_connected:
+                    continue
+                try:
+                    response = link.request(
+                        ("ping",), timeout=min(self.node_timeout, 2.0))
+                    if response[0] != "pong":
+                        raise ExecutionError(f"bad pong {response!r}")
+                    self._bump("heartbeats", 1, None)
+                except Exception:  # noqa: BLE001 - any failure = dead node
+                    link.reset()
+                    self._mark_dead(link, None)
+
+    # -- stamps -------------------------------------------------------------
+
+    def publish_stamps(self, report: Optional[Dict[str, int]] = None) -> None:
+        """Broadcast the coordinator's current mutation stamps to every
+        node's lane (the ``SharedQueryStore.publish_stamps`` protocol
+        over the wire); idempotent per stamp value."""
+        stamps = database_stamp(self.db)
+        for link in self.links:
+            if not link.alive:
+                continue
+            with contextlib.suppress(Exception):
+                link.request(("stamps", stamps),
+                             timeout=min(self.node_timeout, 5.0))
+        self._published = stamps
+
+    # -- scatter/gather -----------------------------------------------------
+
+    def run(self, plan, nshards: Optional[int] = None,
+            use_array: Optional[bool] = None,
+            report: Optional[Dict[str, int]] = None) -> List[ShardOutcome]:
+        """Run *plan* over ``nshards`` shards across the nodes; outcomes
+        come back in shard order whatever happened along the way."""
+        nshards = nshards or self.workers
+        stamps = database_stamp(self.db)
+        if stamps != self.stamp and stamps != self._published:
+            # the coordinator's copy moved on: tell every lane before
+            # any shard can be served stale, then let the stale checks
+            # below route those shards to local execution
+            self.publish_stamps(report)
+        with self._memo_lock:
+            memo = self._plan_pickles.get(id(plan))
+            if memo is None or memo[2] is not plan:
+                memo = (next(self._plan_seq),
+                        pickle.dumps(plan, protocol=pickle.HIGHEST_PROTOCOL),
+                        plan)
+                self._plan_pickles[id(plan)] = memo
+        seq, plan_bytes, _ = memo
+
+        outcomes: List[Optional[ShardOutcome]] = [None] * nshards
+        todo = list(range(nshards))
+        wave = 0
+        while todo:
+            nodes = self.alive_nodes()
+            if not nodes:
+                if wave:
+                    self._bump("reshards", len(todo), report)
+                self._bump("local_shards", len(todo), report)
+                for shard in todo:
+                    outcomes[shard] = plan.run_shard(
+                        self.db, shard, nshards, use_array)
+                break
+            if wave:
+                self._bump("reshards", len(todo), report)
+            assignment: Dict[_NodeLink, List[int]] = {}
+            for position, shard in enumerate(todo):
+                assignment.setdefault(
+                    nodes[position % len(nodes)], []).append(shard)
+            failed: List[int] = []
+            failed_lock = threading.Lock()
+
+            def scatter(link: _NodeLink, shards: List[int]) -> None:
+                for position, shard in enumerate(shards):
+                    message = ("run", plan_bytes, seq, shard, nshards,
+                               use_array, stamps)
+                    try:
+                        outcome = self._request_shard(link, message, report)
+                    except _ShardRefused:
+                        link.stale = True
+                        self._bump("stale_refusals", 1, report)
+                        with failed_lock:
+                            failed.extend(shards[position:])
+                        return
+                    except _NodeLost:
+                        with failed_lock:
+                            failed.extend(shards[position:])
+                        return
+                    outcomes[shard] = outcome
+
+            threads = [threading.Thread(target=scatter, args=item,
+                                        name="astore-remote-scatter")
+                       for item in assignment.items()]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            todo = sorted(failed)
+            wave += 1
+        return outcomes  # type: ignore[return-value]
+
+    def _request_shard(self, link: _NodeLink, message,
+                       report: Optional[Dict[str, int]]) -> ShardOutcome:
+        """One shard on one node, under the deadline/retry policy."""
+        delay = self.retry_base
+        last: Optional[BaseException] = None
+        for attempt in range(self.node_retries + 1):
+            try:
+                response = link.request(message, timeout=self.node_timeout)
+                if not isinstance(response, tuple) or not response:
+                    raise ExecutionError(
+                        f"malformed node response {response!r}")
+                if response[0] == "ok":
+                    return response[1]
+                if response[0] == "stale":
+                    raise _ShardRefused()
+                # ("err", ...): node-side failure — retriable (a flaky
+                # node re-shards away; a deterministic plan error
+                # surfaces identically from the local fallback)
+                raise ExecutionError(f"node {link.address}: {response[1]}")
+            except _ShardRefused:
+                raise
+            except Exception as exc:  # noqa: BLE001 - every failure mode
+                # (timeout, refused/torn connection, corrupt frame,
+                # node-side error) takes the same retry path
+                last = exc
+                link.reset()
+                if attempt < self.node_retries:
+                    self._bump("retries", 1, report)
+                    time.sleep(delay * (1.0 + 0.25 * random.random()))
+                    delay *= 2
+        self._mark_dead(link, report)
+        raise _NodeLost(f"node {link.address} lost after "
+                        f"{self.node_retries + 1} attempts: {last}")
+
+
+def acquire_remote_backend(db, options) -> RemoteShardBackend:
+    """The engine's checkout hook (mirrors ``acquire_shard_backend``):
+    a coordinator configured from *options*, first reference taken."""
+    backend = RemoteShardBackend(
+        db, options.remote_nodes,
+        # workers=1 is the engine default, not a request for one shard:
+        # spread over the nodes unless the caller asked for more
+        workers=options.workers if options.workers > 1 else 0,
+        node_timeout=options.node_timeout,
+        node_retries=options.node_retries)
+    backend.retain()
+    return backend
+
+
+def start_local_nodes(database_path: str, count: int = 2,
+                      chaos: Optional[Sequence[str]] = None) -> LocalNodes:
+    """Spawn *count* local shard nodes over *database_path*."""
+    return LocalNodes(database_path, count=count, chaos=chaos)

@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core import Database
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ShardExecutionError
 from ..plan.binder import LogicalPlan, bind
 from ..plan.optimizer import CacheModel, OpSpec, PhysicalPlan, optimize
 from .aggregate import AggregationState, finalize
@@ -139,6 +139,9 @@ class EngineOptions:
     zone_block_rows: int = 0
     leaf_ship_bytes: int = 64 << 10
     shared_store: str = ""
+    remote_nodes: Tuple[str, ...] = ()
+    node_timeout: float = 30.0
+    node_retries: int = 2
 
 
 #: The five query processors of the paper's Table 6.
@@ -722,10 +725,26 @@ class AStoreEngine:
                 release_shard_backend(backend)
                 backend = self._shard_backend = None
             if backend is None:
-                backend = self._shard_backend = acquire_shard_backend(
-                    self.db, self.options.workers)
+                if self.options.parallel_backend == "remote":
+                    from .distributed import acquire_remote_backend
+
+                    backend = self._shard_backend = acquire_remote_backend(
+                        self.db, self.options)
+                else:
+                    backend = self._shard_backend = acquire_shard_backend(
+                        self.db, self.options.workers)
             backend.retain()
             return backend
+
+    def _drop_backend_slot(self, backend) -> None:
+        """Evict a failed backend from the engine slot (if it still
+        holds it) and drop this run's reference — the next sharded
+        query checks out a fresh pool instead of the broken one."""
+        with self._backend_lock:
+            if self._shard_backend is backend:
+                release_shard_backend(backend)
+                self._shard_backend = None
+        release_shard_backend(backend)
 
     def _run_sharded(self, bound: BoundQuery, base: np.ndarray,
                      stats: ExecutionStats) -> QueryResult:
@@ -740,18 +759,44 @@ class AStoreEngine:
         # before a (first) arena export, so workers attach the
         # summaries zero-copy instead of re-deriving them
         bound.warm_zone_maps(self.db)
+        use_array: Optional[bool] = None
+        agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
+        if bound.scan == "column":
+            use_array = bound.decide_use_array(
+                bound.estimated_selected(len(base)))
+            agg_labels = ("aggregate",)
+        nshards = self.options.workers
         backend = self._checkout_backend()
+        report: Dict[str, int] = {}
         try:
-            use_array: Optional[bool] = None
-            agg_labels: Tuple[str, ...] = ("gather", "apply-mask")
-            if bound.scan == "column":
-                use_array = bound.decide_use_array(
-                    bound.estimated_selected(len(base)))
-                agg_labels = ("aggregate",)
-            outcomes = backend.run(bound, nshards=self.options.workers,
-                                   use_array=use_array)
-        finally:
+            if getattr(backend, "distributed", False):
+                # distributed backends report their failure-path
+                # counters (retries, re-shards, node losses, local
+                # degrades) per run; their shard count defaults to the
+                # node count when workers was left at 1
+                nshards = backend.workers
+                outcomes = backend.run(bound, nshards=nshards,
+                                       use_array=use_array, report=report)
+            else:
+                outcomes = backend.run(bound, nshards=nshards,
+                                       use_array=use_array)
+        except ShardExecutionError:
+            # the pool (or node set) died under this query: evict the
+            # broken backend and degrade to serial shards — same plan,
+            # same shard boundaries, same answer, no hang
+            self._drop_backend_slot(backend)
+            stats.shard_fallbacks += 1
+            outcomes = [bound.run_shard(self.db, shard, nshards, use_array)
+                        for shard in range(nshards)]
+        except BaseException:
             release_shard_backend(backend)
+            raise
+        else:
+            release_shard_backend(backend)
+        stats.remote_retries += report.get("retries", 0)
+        stats.remote_reshards += report.get("reshards", 0)
+        stats.remote_nodes_lost += report.get("nodes_lost", 0)
+        stats.remote_local_shards += report.get("local_shards", 0)
         fold_outcomes(outcomes, stats, agg_labels)
 
         if bound.scan == "projection":

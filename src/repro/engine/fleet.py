@@ -44,6 +44,7 @@ import contextlib
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
 import signal
 import socket
 import threading
@@ -61,6 +62,7 @@ from ..core.shmcache import (
 from ..core.statistics import fresh_zone_entries
 from ..errors import AStoreError
 from .cache import query_cache_for
+from .chaos import chaos_point
 from .executor import EngineOptions
 from .serve import AsyncEngine, QueryServer, serve_tcp
 
@@ -100,12 +102,16 @@ class FleetSpec:
     max_concurrency: Optional[int] = None
     drain_seconds: float = 10.0
     handoff: bool = False                     # no SO_REUSEPORT: fd handoff
+    request_timeout: Optional[float] = None   # per-request deadline (s)
 
 
 def _fleet_worker_main(spec: FleetSpec, index: int, conn) -> None:
     """Entry point of one spawned fleet worker."""
     import asyncio
 
+    # a `kill@fleet.worker` rule makes this worker die on spawn — the
+    # deterministic crash the supervisor's backoff respawn is tested with
+    chaos_point("fleet.worker")
     try:
         asyncio.run(_fleet_worker(spec, index, conn))
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
@@ -138,10 +144,12 @@ async def _fleet_worker(spec: FleetSpec, index: int, conn) -> None:
 
     loop = asyncio.get_running_loop()
     if spec.handoff:
-        server = QueryServer(engine=engine, drain_seconds=spec.drain_seconds)
+        server = QueryServer(engine=engine, drain_seconds=spec.drain_seconds,
+                             request_timeout=spec.request_timeout)
     else:
         sock = _reuseport_socket(spec.host, spec.port)
-        server = await serve_tcp(engine, sock=sock)
+        server = await serve_tcp(engine, sock=sock,
+                                 request_timeout=spec.request_timeout)
         server.drain_seconds = spec.drain_seconds
 
     def on_control() -> None:
@@ -196,6 +204,8 @@ class _Worker:
     process: "multiprocessing.process.BaseProcess"
     pipe: "multiprocessing.connection.Connection"
     clean_exit: bool = False
+    spawned: float = 0.0  # monotonic spawn time — crash streaks reset
+    #                       when a worker survived long enough
 
 
 class ServeFleet:
@@ -219,7 +229,10 @@ class ServeFleet:
                  max_concurrency: Optional[int] = None,
                  data_mode: str = "arena", shared_store: bool = True,
                  store_bytes: int = 64 << 20, drain_seconds: float = 10.0,
-                 respawn_limit: int = 16, force_handoff: bool = False,
+                 respawn_limit: int = 16, respawn_base: float = 0.1,
+                 respawn_cap: float = 5.0,
+                 request_timeout: Optional[float] = None,
+                 force_handoff: bool = False,
                  announce=None):
         if os.name != "posix":
             raise AStoreError("the serving fleet requires a POSIX platform")
@@ -241,10 +254,18 @@ class ServeFleet:
         self.store_bytes = store_bytes
         self.drain_seconds = drain_seconds
         self.respawn_limit = int(respawn_limit)
+        self.respawn_base = float(respawn_base)
+        self.respawn_cap = float(respawn_cap)
+        self.request_timeout = request_timeout
         self.handoff = bool(force_handoff) or not reuseport_available()
         self.announce = announce or (lambda *_: None)
         self.swept: List[str] = []
         self.respawns = 0
+        #: every backoff applied before a respawn, in order (seconds) —
+        #: what the crash-loop tests assert exponential growth on
+        self.respawn_backoffs: List[float] = []
+        self._crash_counts: Dict[int, int] = {}
+        self._respawn_at: Dict[int, float] = {}
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: Dict[int, _Worker] = {}
         self._spec: Optional[FleetSpec] = None
@@ -299,7 +320,8 @@ class ServeFleet:
             store_name=self._store.segment if self._store else "",
             manifest=manifest, database_path=self.database_path,
             max_concurrency=self.max_concurrency,
-            drain_seconds=self.drain_seconds, handoff=self.handoff)
+            drain_seconds=self.drain_seconds, handoff=self.handoff,
+            request_timeout=self.request_timeout)
 
         for index in range(self.workers):
             self._spawn(index)
@@ -324,7 +346,8 @@ class ServeFleet:
             name=f"astore-fleet-{index}")
         process.start()
         child_pipe.close()
-        self._workers[index] = _Worker(index, process, parent_pipe)
+        self._workers[index] = _Worker(index, process, parent_pipe,
+                                       spawned=time.monotonic())
 
     def _await_ready(self, timeout: float) -> None:
         pending = set(self._workers)
@@ -360,15 +383,33 @@ class ServeFleet:
     def wait(self) -> int:
         """Monitor the fleet until it drains; respawn dead workers.
 
+        A crashed worker respawns after an exponential backoff with
+        jitter — ``min(cap, base·2^(streak-1)) · (1 + 0.25·rand)`` —
+        so a worker crashing on arrival (bad data, poisoned query,
+        chaos rule) cannot pin the supervisor in a hot fork loop; the
+        streak resets once a worker survives ~30 s.  Every applied
+        backoff is recorded in :attr:`respawn_backoffs` and announced.
+
         Returns the exit code: 0 when a SHUTDOWN (or
         :meth:`request_stop`) drained every worker and all children
         were reaped cleanly, 1 otherwise."""
-        while self._workers:
+        while self._workers or self._respawn_at:
             pipes = [w.pipe for w in self._workers.values()]
-            with contextlib.suppress(OSError):
-                for pipe in multiprocessing.connection.wait(pipes,
-                                                            timeout=0.25):
-                    self._drain_pipe(pipe)
+            if pipes:
+                with contextlib.suppress(OSError):
+                    for pipe in multiprocessing.connection.wait(pipes,
+                                                                timeout=0.25):
+                        self._drain_pipe(pipe)
+            else:  # only pending respawns left — pace the loop
+                time.sleep(0.05)
+            now = time.monotonic()
+            for index in list(self._respawn_at):
+                if self._draining:
+                    self._respawn_at.clear()
+                    break
+                if now >= self._respawn_at[index]:
+                    del self._respawn_at[index]
+                    self._spawn(index)
             for index in list(self._workers):
                 worker = self._workers[index]
                 if worker.process.is_alive():
@@ -391,10 +432,19 @@ class ServeFleet:
                     self._failed = True
                     self.request_stop()
                     continue
+                streak = self._crash_counts.get(index, 0) + 1
+                if time.monotonic() - worker.spawned >= 30.0:
+                    streak = 1  # it served for a while: not a crash loop
+                self._crash_counts[index] = streak
+                backoff = (min(self.respawn_cap,
+                               self.respawn_base * 2 ** (streak - 1))
+                           * (1.0 + 0.25 * random.random()))
+                self.respawn_backoffs.append(backoff)
+                self._respawn_at[index] = time.monotonic() + backoff
                 self.announce(
                     f"astore serve: worker {index} died "
-                    f"(exitcode={worker.process.exitcode}); respawning")
-                self._spawn(index)
+                    f"(exitcode={worker.process.exitcode}); respawning in "
+                    f"{backoff * 1e3:.0f} ms (crash {streak})")
         self.close()
         return 0 if (self._draining and not self._failed) else 1
 
@@ -503,13 +553,16 @@ def run_fleet(db=None, *, database_path: str = "",
               options: Optional[EngineOptions] = None,
               host: str = "127.0.0.1", port: int = 7433, workers: int = 2,
               max_concurrency: Optional[int] = None, data_mode: str = "arena",
-              shared_store: bool = True, announce=print) -> int:
+              shared_store: bool = True,
+              request_timeout: Optional[float] = None,
+              announce=print) -> int:
     """``astore serve --workers N``: start a fleet, serve until a
     SHUTDOWN fans out (Ctrl-C drains gracefully), return the exit code."""
     fleet = ServeFleet(db, database_path=database_path, options=options,
                        host=host, port=port, workers=workers,
                        max_concurrency=max_concurrency, data_mode=data_mode,
-                       shared_store=shared_store, announce=announce)
+                       shared_store=shared_store,
+                       request_timeout=request_timeout, announce=announce)
     fleet.start()
     try:
         code = fleet.wait()

@@ -754,6 +754,26 @@ class ProcessBackend(ExecutionBackend):
             "closures; route through repro.engine.sharding")
 
 
+class RemoteBackend(ExecutionBackend):
+    """Distributed shard marker: plans scatter to remote shard nodes.
+
+    The machinery — shard nodes serving pickled bound plans over TCP, a
+    coordinator with per-node deadlines, retry with backoff, and
+    re-shard on node loss — lives in :mod:`repro.engine.distributed`;
+    like :class:`ProcessBackend` this entry only claims the name so the
+    engine routes it through the sharded (non-inline) path.
+    """
+
+    name = "remote"
+    inline = False
+
+    def run_tasks(self, tasks):
+        raise ExecutionError(
+            "the remote backend executes portable bound plans on shard "
+            "nodes, not task closures; route through "
+            "repro.engine.distributed")
+
+
 class AsyncBackend(ExecutionBackend):
     """Serving marker: many concurrent queries multiplex on one engine.
 
@@ -783,7 +803,7 @@ class AsyncBackend(ExecutionBackend):
 BACKENDS: Dict[str, ExecutionBackend] = {
     backend.name: backend
     for backend in (SerialBackend(), ThreadBackend(), ProcessBackend(),
-                    AsyncBackend())
+                    RemoteBackend(), AsyncBackend())
 }
 
 

@@ -54,6 +54,7 @@ from typing import Dict, Optional
 
 from ..core import Database
 from ..errors import AStoreError
+from .chaos import chaos_point_async
 from .executor import AStoreEngine, EngineOptions
 from .result import QueryResult
 from .scratch import lease_pool
@@ -259,6 +260,11 @@ class QueryServer:
     failures: int = 0
     #: how long stop() waits for in-flight requests before closing them
     drain_seconds: float = 10.0
+    #: server-wide per-request deadline in seconds (None = none); each
+    #: request may override it with a ``"timeout_ms"`` field.  A request
+    #: past its deadline answers ``{"timeout": true, "error": ...}``
+    #: instead of pinning the connection.
+    request_timeout: Optional[float] = None
     #: open client connections — closed on stop, since (3.12.1+)
     #: ``Server.wait_closed`` blocks until every handler has exited and
     #: an idle client sitting in ``readline`` would pin it forever
@@ -383,6 +389,7 @@ class QueryServer:
     async def _respond(self, text: str) -> bytes:
         request_id = None
         sql = text
+        timeout = self.request_timeout
         if text.startswith("{"):
             try:
                 payload = json.loads(text)
@@ -392,15 +399,37 @@ class QueryServer:
                         return self._apply_update(payload, request_id)
                     if "compact" in payload:
                         return self._apply_compact(payload, request_id)
+                    if payload.get("timeout_ms") is not None:
+                        # per-request deadline overrides the server-wide
+                        # --request-timeout (0 disables for this request)
+                        timeout = float(payload["timeout_ms"]) / 1e3 or None
                 sql = payload["sql"]
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
                 self.failures += 1
                 return _encode({"id": request_id,
                                 "error": f"bad request: {exc}"})
         self.requests += 1
         t0 = time.perf_counter()
+        async def _run():
+            # the chaos site is inside the deadline: an injected stall
+            # here is indistinguishable from a genuinely slow query
+            await chaos_point_async("serve.request")
+            return await self.engine.query(sql)
+
         try:
-            result = await self.engine.query(sql)
+            if timeout:
+                result = await asyncio.wait_for(_run(), timeout)
+            else:
+                result = await _run()
+        except asyncio.TimeoutError:
+            # the deadline is the contract: answer with a structured
+            # error instead of pinning the connection on a slow query
+            self.failures += 1
+            return _encode({
+                "id": request_id, "timeout": True,
+                "error": (f"deadline exceeded after "
+                          f"{timeout * 1e3:.0f} ms")})
         except AStoreError as exc:
             self.failures += 1
             return _encode({"id": request_id, "error": str(exc)})
@@ -492,7 +521,8 @@ def _encode(payload: dict) -> bytes:
 
 
 async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
-                    port: int = 0, sock=None) -> QueryServer:
+                    port: int = 0, sock=None,
+                    request_timeout: Optional[float] = None) -> QueryServer:
     """Start the line-protocol server (``port=0`` picks a free port).
 
     Pass a pre-bound *sock* instead of host/port to serve a socket the
@@ -500,7 +530,7 @@ async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
     the running :class:`QueryServer`; callers ``await
     server.wait_closed()`` to serve until a SHUTDOWN request arrives.
     """
-    holder = QueryServer(engine=engine)
+    holder = QueryServer(engine=engine, request_timeout=request_timeout)
     if sock is not None:
         holder.server = await asyncio.start_server(holder._handle, sock=sock)
     else:
@@ -511,11 +541,13 @@ async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
 async def run_server(db: Database, options: Optional[EngineOptions] = None,
                      host: str = "127.0.0.1", port: int = 7433,
                      max_concurrency: Optional[int] = None,
+                     request_timeout: Optional[float] = None,
                      announce=print) -> None:
     """``astore serve``: build the engine, listen, serve until SHUTDOWN
     (or cancellation, e.g. KeyboardInterrupt in the CLI)."""
     engine = AsyncEngine(db, options=options, max_concurrency=max_concurrency)
-    server = await serve_tcp(engine, host, port)
+    server = await serve_tcp(engine, host, port,
+                             request_timeout=request_timeout)
     bound_host, bound_port = server.address
     announce(f"astore serve: listening on {bound_host}:{bound_port} "
              f"(backend={engine.engine.options.parallel_backend}, "

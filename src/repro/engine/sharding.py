@@ -30,11 +30,14 @@ The same machinery carries the Section 6 baselines
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import multiprocessing
 import pickle
 import threading
 import weakref
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +46,7 @@ import numpy as np
 from ..core import Database
 from ..core.arena import AttachedDatabase, ColumnArena, attach_database
 from ..core.statistics import fresh_zone_entries, zone_maps_for
-from ..errors import ExecutionError
+from ..errors import ExecutionError, ShardExecutionError
 from ..plan.binder import LogicalPlan
 from ..plan.expressions import BoundColumn, BoundExpression, bound_columns
 from ..plan.optimizer import OpSpec
@@ -1254,8 +1257,14 @@ class ProcessShardBackend:
         self.arena = ColumnArena.export(
             db, zone_entries=fresh_zone_entries(db, query_cache_for(db)))
         ctx = multiprocessing.get_context("spawn")
-        self._pool = ctx.Pool(self.workers, initializer=_worker_attach,
-                              initargs=(self.arena.manifest,))
+        # a futures executor rather than multiprocessing.Pool: when a
+        # worker dies mid-task (OOM kill, SIGKILL, segfault) Pool.map
+        # waits forever for a result that will never come, while the
+        # executor surfaces BrokenProcessPool — which run() maps to the
+        # typed ShardExecutionError the engine degrades on
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=ctx,
+            initializer=_worker_attach, initargs=(self.arena.manifest,))
 
     def is_stale(self, db: Database) -> bool:
         """Has *db* been mutated since this backend's arena was exported?"""
@@ -1287,14 +1296,46 @@ class ProcessShardBackend:
         seq, plan_bytes = memo
         tasks = [ShardTask(plan_bytes, seq, shard, nshards, use_array)
                  for shard in range(nshards)]
-        return pool.map(_worker_run, tasks, chunksize=1)
+        try:
+            futures = [pool.submit(_worker_run, task) for task in tasks]
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            # a worker died mid-query: self-evict from the registry so
+            # the next acquire exports a fresh pool, then raise the
+            # typed error the engine layer degrades on
+            self._abandon()
+            raise ShardExecutionError(
+                f"shard worker pool died mid-query: {exc}") from exc
+        except CancelledError as exc:
+            # a concurrent close() cancelled queued shards: same
+            # contract as the closed-pool check above
+            raise ExecutionError("process shard backend is closed") from exc
+        except RuntimeError as exc:
+            if "shutdown" in str(exc):  # submit raced a concurrent close()
+                raise ExecutionError(
+                    "process shard backend is closed") from exc
+            raise
+
+    def _abandon(self) -> None:
+        """Drop this (broken) backend from the shared registry; current
+        holders still release their references normally."""
+        with _REGISTRY_LOCK:
+            key, self._registry_key = self._registry_key, None
+            if key is not None and _SHARED_BACKENDS.get(key) is self:
+                _SHARED_BACKENDS.pop(key, None)
 
     def close(self) -> None:
         """Terminate the workers and release the shared segment."""
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            # terminate, don't drain: close() must not wait on stuck
+            # shards, and the executor has no terminate() of its own
+            procs = list(getattr(pool, "_processes", {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                with contextlib.suppress(Exception):
+                    proc.terminate()
+            pool.shutdown(wait=True)
         self.arena.close()
 
     def __enter__(self) -> "ProcessShardBackend":

@@ -39,5 +39,12 @@ class ExecutionError(AStoreError):
     """A runtime failure while executing a physical plan."""
 
 
+class ShardExecutionError(ExecutionError):
+    """A shard backend lost workers mid-query (a pool process died, a
+    remote node vanished) — the plan itself is fine and the engine may
+    degrade to the serial backend instead of surfacing a hang or a raw
+    ``BrokenProcessPool``."""
+
+
 class UpdateError(AStoreError):
     """Invalid transactional update (bad snapshot, conflicting write...)."""
