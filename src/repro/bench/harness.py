@@ -1090,3 +1090,250 @@ def distributed_rows(times: dict) -> List[List]:
 def distributed_payload(times: dict) -> dict:
     """The ``BENCH_*.json`` payload for a distributed sweep."""
     return dict(times)
+
+
+# -- self-healing cluster sweep ------------------------------------------------
+
+
+def membership_sweep(database_path: str = "", node_count: int = 2,
+                     query_ids: Optional[Sequence[str]] = None,
+                     sf: float = DEFAULT_SCALE,
+                     db: Optional[Database] = None,
+                     node_timeout: float = 15.0,
+                     kill_index: int = 0,
+                     overload_clients: int = 8,
+                     overload_requests: int = 4,
+                     max_pending: int = 2) -> dict:
+    """The self-healing benchmark: one coordinator engine over a live
+    membership view, driven through four phases.
+
+    * ``healthy`` — *node_count* nodes self-register and serve a full
+      differentially-checked flight;
+    * ``kill`` — node *kill_index* is SIGKILLed before the flight: the
+      coordinator re-shards its work and the membership prober declares
+      it dead (``dead_detected``);
+    * ``rejoin`` — the node restarts on its old port, re-registers
+      (incarnation bump), folds back into the scatter set
+      (``joined >= 1``) and the flight is exact again;
+    * ``overload`` — the same engine behind the serve front door with a
+      small ``max_pending``: *overload_clients* concurrent clients each
+      fire *overload_requests* queries; shed requests answer structured
+      ``{"overloaded": true}`` errors while every accepted answer stays
+      exact.  A small armed ``delay@serve.request`` makes the flood
+      deterministic on fast hosts.
+
+    ``healed`` summarizes the whole story: loss seen, death detected,
+    rejoin served, overload shed, every answer exact, clean shutdown.
+    """
+    import asyncio
+    import contextlib
+    import json
+    import os
+    import tempfile
+
+    from ..engine.chaos import clear_chaos, install_chaos
+    from ..engine.distributed import LocalNodes
+    from ..engine.executor import EngineOptions
+    from ..engine.membership import MembershipServer
+    from ..engine.serve import AsyncEngine, serve_tcp
+    from ..engine.sharding import database_stamp
+    from ..io import load_database, save_database
+
+    query_ids = list(query_ids or SSB_QUERIES)
+    scratch = ""
+    if not database_path:
+        if db is None:
+            db = ssb_database(sf)
+        fd, scratch = tempfile.mkstemp(prefix="astore-member-",
+                                       suffix=".npz")
+        os.close(fd)
+        save_database(db, scratch)
+        database_path = scratch
+    coordinator_db = load_database(database_path)
+
+    def canonical(rows) -> list:
+        return json.loads(json.dumps(
+            [[str(value) for value in row] for row in rows]))
+
+    with AStoreEngine(coordinator_db, EngineOptions(
+            parallel_backend="serial", use_cache=False)) as serial:
+        truth = {qid: canonical(serial.query(SSB_QUERIES[qid]).rows())
+                 for qid in query_ids}
+
+    _BREAKER_KEYS = ("breaker_opened", "breaker_half_open",
+                     "breaker_closed")
+
+    def flight(engine) -> dict:
+        cell = {"per_query_ms": {}, "mismatches": [], "joined": 0,
+                "lost": 0, "reshards": 0, "local_shards": 0}
+        before = dict(engine._shard_backend.counters) \
+            if engine._shard_backend is not None else {}
+        for qid in query_ids:
+            t0 = time.perf_counter()
+            result = engine.query(SSB_QUERIES[qid])
+            cell["per_query_ms"][qid] = round(
+                ms(time.perf_counter() - t0), 3)
+            if canonical(result.rows()) != truth[qid]:
+                cell["mismatches"].append(qid)
+            stats = result.stats
+            cell["joined"] += stats.remote_nodes_joined
+            cell["lost"] += stats.remote_nodes_lost
+            cell["reshards"] += stats.remote_reshards
+            cell["local_shards"] += stats.remote_local_shards
+        after = engine._shard_backend.counters
+        cell["breaker"] = {key: after[key] - before.get(key, 0)
+                           for key in _BREAKER_KEYS}
+        cell["flight_ms"] = round(sum(cell["per_query_ms"].values()), 3)
+        return cell
+
+    def wait_for(predicate, timeout: float = 12.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.05)
+        return False
+
+    times: dict = {"node_count": node_count, "queries": query_ids,
+                   "max_pending": max_pending}
+    options = EngineOptions(parallel_backend="remote", use_cache=False,
+                            node_timeout=node_timeout, breaker_reset=30.0)
+    with MembershipServer(
+            stamps_fn=lambda: database_stamp(coordinator_db),
+            probe_seconds=0.1, probe_timeout=1.0) as server:
+        options = dataclasses_replace(options, membership=server.address)
+        with LocalNodes(database_path, count=node_count,
+                        membership=server.address) as nodes:
+            killed_address = nodes.nodes[kill_index].address
+            with AStoreEngine(coordinator_db, options) as engine:
+                times["healthy"] = flight(engine)
+
+                nodes.kill(kill_index)
+                times["kill"] = flight(engine)
+                times["kill"]["killed_index"] = kill_index
+                # the scatter wave or the heartbeat loop noticed either
+                # way; the canonical count lives in the backend counters
+                times["kill"]["lost"] = max(
+                    times["kill"]["lost"],
+                    engine._shard_backend.counters["nodes_lost"])
+                times["dead_detected"] = wait_for(
+                    lambda: server.view.states().get(
+                        killed_address) == "dead")
+
+                nodes.restart(kill_index)
+                member = server.view.get(killed_address)
+                times["rejoin_incarnation"] = (
+                    member.incarnation if member else 0)
+                time.sleep(0.3)  # one membership-client TTL
+                times["rejoin"] = flight(engine)
+                # the view refresh can straddle a wave boundary: keep
+                # flying until the rejoin lands (bounded)
+                deadline = time.monotonic() + 10.0
+                while (times["rejoin"]["joined"] == 0
+                       and time.monotonic() < deadline):
+                    extra = engine.query(SSB_QUERIES[query_ids[0]])
+                    times["rejoin"]["joined"] += \
+                        extra.stats.remote_nodes_joined
+                    time.sleep(0.1)
+
+                # overload: the same membership-backed engine behind the
+                # serve front door, flooded past max_pending
+                install_chaos("delay@serve.request:1x0=0.05")
+                try:
+                    async def flood():
+                        aengine = AsyncEngine(coordinator_db, options)
+                        qserver = await serve_tcp(
+                            aengine, "127.0.0.1", 0,
+                            max_pending=max_pending)
+                        host, port = qserver.address
+                        cell = {"requests": 0, "accepted": 0, "shed": 0,
+                                "mismatches": []}
+
+                        async def client(i: int) -> None:
+                            reader, writer = (
+                                await asyncio.open_connection(host, port))
+                            for j in range(overload_requests):
+                                qid = query_ids[(i + j) % len(query_ids)]
+                                writer.write(json.dumps(
+                                    {"sql": SSB_QUERIES[qid],
+                                     "id": f"{i}.{j}"}).encode() + b"\n")
+                                await writer.drain()
+                                response = json.loads(
+                                    await reader.readline())
+                                cell["requests"] += 1
+                                if response.get("overloaded"):
+                                    cell["shed"] += 1
+                                else:
+                                    cell["accepted"] += 1
+                                    if canonical(response.get(
+                                            "rows", [])) != truth[qid]:
+                                        cell["mismatches"].append(qid)
+                            writer.close()
+
+                        t0 = time.perf_counter()
+                        await asyncio.gather(
+                            *(client(i) for i in range(overload_clients)))
+                        cell["flight_ms"] = round(
+                            ms(time.perf_counter() - t0), 3)
+                        cell["server_shed"] = qserver.shed
+                        await qserver.stop()
+                        await aengine.aclose()
+                        return cell
+
+                    times["overload"] = asyncio.run(flood())
+                finally:
+                    clear_chaos()
+                times["overload"]["shed_rate"] = round(
+                    times["overload"]["shed"]
+                    / max(1, times["overload"]["requests"]), 3)
+            times["clean_shutdown"] = nodes.shutdown()
+        times["transitions"] = [
+            list(transition) for transition in server.view.transitions
+            if transition[0] == killed_address]
+    if scratch:
+        with contextlib.suppress(OSError):
+            os.unlink(scratch)
+    times["healed"] = bool(
+        not times["healthy"]["mismatches"]
+        and not times["kill"]["mismatches"]
+        and not times["rejoin"]["mismatches"]
+        and not times["overload"]["mismatches"]
+        and times["kill"]["lost"] >= 1
+        and times["dead_detected"]
+        and times["rejoin"]["joined"] >= 1
+        and times["overload"]["shed"] >= 1
+        and times["overload"]["accepted"] >= 1
+        and times["clean_shutdown"])
+    return times
+
+
+def membership_rows(times: dict) -> List[List]:
+    """``[phase, queries, differential, flight ms, joined, lost,
+    reshards, local, shed, shed rate, breaker]`` rows for
+    :func:`repro.bench.format_table`."""
+    rows: List[List] = []
+    for phase in ("healthy", "kill", "rejoin"):
+        cell = times[phase]
+        ok = "ok" if not cell["mismatches"] else (
+            "MISMATCH:" + ",".join(cell["mismatches"]))
+        breaker = cell.get("breaker", {})
+        rows.append([
+            phase, len(cell["per_query_ms"]), ok, cell["flight_ms"],
+            cell["joined"], cell["lost"], cell["reshards"],
+            cell["local_shards"], "-", "-",
+            (f"o{breaker.get('breaker_opened', 0)}"
+             f"/h{breaker.get('breaker_half_open', 0)}"
+             f"/c{breaker.get('breaker_closed', 0)}")])
+    cell = times["overload"]
+    ok = "ok" if not cell["mismatches"] else (
+        "MISMATCH:" + ",".join(cell["mismatches"]))
+    rows.append([
+        "overload", cell["requests"], ok, cell["flight_ms"],
+        "-", "-", "-", "-", cell["shed"],
+        f"{cell['shed_rate'] * 100:.0f}%", "-"])
+    return rows
+
+
+def membership_payload(times: dict) -> dict:
+    """The ``BENCH_*.json`` payload for a membership sweep."""
+    return dict(times)

@@ -150,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("database", help="a .npz archive of an SSB database")
     bench.add_argument("--mode",
                        choices=("scaling", "qps", "pruning", "concurrency",
-                                "distributed"),
+                                "distributed", "membership"),
                        default="scaling",
                        help="scaling: backend x workers best-of sweep; "
                             "qps: repeated-flight throughput, cold vs "
@@ -160,7 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "latency percentiles at N in-flight async "
                             "clients; distributed: scatter-gather over "
                             "local shard nodes, healthy + one node "
-                            "SIGKILLed mid-flight (recovery check)")
+                            "SIGKILLed mid-flight (recovery check); "
+                            "membership: self-healing cluster sweep — "
+                            "healthy / kill / rejoin / overload phases "
+                            "with shed-rate and breaker counters")
     bench.add_argument("--backends", default=None,
                        help="comma-separated BACKENDS names (default: "
                             "serial,thread,process for scaling; serial "
@@ -263,6 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "field)")
     serve.add_argument("--no-serve-cache", action="store_true",
                        help="disable the result (serving) tier")
+    serve.add_argument("--nodes", default=None, metavar="HOST:PORT,...",
+                       help="--backend remote: static shard node "
+                            "addresses (or use --membership-port)")
+    serve.add_argument("--node-timeout", type=float, default=30.0,
+                       help="--backend remote: per-node request deadline "
+                            "in seconds")
+    serve.add_argument("--membership-port", type=int, default=None,
+                       metavar="PORT",
+                       help="host a cluster membership view on this port "
+                            "(0 = pick a free one); shard nodes join with "
+                            "'astore node --join', crashed nodes fall "
+                            "out, restarted ones rejoin")
+    serve.add_argument("--max-pending", type=int, default=0, metavar="N",
+                       help="overload front door: shed requests with a "
+                            "structured {\"overloaded\": true} error once "
+                            "N are in flight (0 = no bound)")
 
     node = sub.add_parser(
         "node",
@@ -276,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arm deterministic fault-injection rules in "
                            "this node (action@site[:first][xcount]"
                            "[=value]; see repro.engine.chaos)")
+    node.add_argument("--join", default="", metavar="HOST:PORT",
+                      help="announce this node to a coordinator's "
+                           "membership port; the join reply's stamps "
+                           "seed the node's lane (rejoin catch-up) and "
+                           "SIGTERM deregisters before exiting 0")
 
     compact = sub.add_parser(
         "compact",
@@ -446,7 +470,8 @@ def _dispatch(args) -> int:
         if args.chaos:
             install_chaos(args.chaos)
         try:
-            run_node(args.database, host=args.host, port=args.port)
+            run_node(args.database, host=args.host, port=args.port,
+                     join=args.join)
         except KeyboardInterrupt:
             print("astore node: interrupted, shutting down")
         return 0
@@ -496,7 +521,32 @@ def _dispatch_bench(args) -> int:
     query_ids = ([q.strip() for q in args.queries.split(",")]
                  if args.queries else list(SSB_QUERIES))
 
-    if args.mode == "distributed":
+    if args.mode == "membership":
+        from .bench import (
+            membership_payload,
+            membership_rows,
+            membership_sweep,
+        )
+
+        times = membership_sweep(database_path=args.database,
+                                 node_count=args.node_count,
+                                 query_ids=query_ids)
+        text = host_note() + "\n" + format_table(
+            f"membership sweep over {db.name} ({args.node_count} shard "
+            f"nodes joining a live view; kill phase SIGKILLs node "
+            f"{times['kill']['killed_index']} mid-flight, rejoin "
+            f"restarts it, overload floods the front door)",
+            ["phase", "queries", "differential", "flight ms", "joined",
+             "lost", "reshards", "local", "shed", "shed rate",
+             "breaker"],
+            membership_rows(times))
+        text += ("\nself-healing: "
+                 + ("ok — killed node rejoined and served shards, "
+                    "results exact, overload shed structured errors"
+                    if times["healed"] else "FAILED"))
+        payload = membership_payload(times)
+        benchmark = "membership"
+    elif args.mode == "distributed":
         from .bench import (
             distributed_payload,
             distributed_rows,
@@ -639,31 +689,67 @@ def _dispatch_serve(args) -> int:
 
     from .engine.serve import run_server
 
+    overrides = {}
+    if args.backend == "remote":
+        if args.nodes:
+            nodes = tuple(n.strip() for n in args.nodes.split(",")
+                          if n.strip())
+            overrides["remote_nodes"] = nodes
+            if args.backend_workers <= 1:
+                overrides["workers"] = len(nodes)
+        elif args.membership_port is None:
+            raise AStoreError("serve --backend remote needs --nodes "
+                              "host:port,... or --membership-port")
+        overrides["node_timeout"] = args.node_timeout
     options = dataclasses_replace(
         VARIANTS[args.variant],
         parallel_backend=args.backend,
         workers=args.backend_workers,
         cache_results=not args.no_serve_cache,
+        **overrides,
     )
     if args.workers > 1:
         from .engine.fleet import run_fleet
 
         db = (load_database(args.database)
               if args.fleet_data == "arena" else None)
-        return run_fleet(
-            db, database_path=args.database, options=options,
-            host=args.host, port=args.port, workers=args.workers,
-            max_concurrency=args.max_concurrency or None,
-            data_mode=args.fleet_data,
-            shared_store=not args.no_shared_store,
-            request_timeout=args.request_timeout or None)
+        membership_server = None
+        if args.membership_port is not None:
+            # the supervisor hosts the membership view; every fleet
+            # worker follows it through options.membership
+            from .engine.membership import MembershipServer
+            from .engine.sharding import database_stamp
+
+            stamps_fn = ((lambda: database_stamp(db)) if db is not None
+                         else (lambda: ()))
+            membership_server = MembershipServer(
+                host=args.host, port=args.membership_port,
+                stamps_fn=stamps_fn).start()
+            options = dataclasses_replace(
+                options, membership=membership_server.address)
+            print(f"astore serve: membership view on "
+                  f"{membership_server.address}")
+        try:
+            return run_fleet(
+                db, database_path=args.database, options=options,
+                host=args.host, port=args.port, workers=args.workers,
+                max_concurrency=args.max_concurrency or None,
+                data_mode=args.fleet_data,
+                shared_store=not args.no_shared_store,
+                request_timeout=args.request_timeout or None,
+                max_pending=args.max_pending)
+        finally:
+            if membership_server is not None:
+                membership_server.close()
 
     db = load_database(args.database)
     try:
         asyncio.run(run_server(
             db, options=options, host=args.host, port=args.port,
             max_concurrency=args.max_concurrency or None,
-            request_timeout=args.request_timeout or None))
+            request_timeout=args.request_timeout or None,
+            max_pending=args.max_pending,
+            membership_port=args.membership_port))
     except KeyboardInterrupt:
         print("astore serve: interrupted, shutting down")
     return 0

@@ -164,6 +164,12 @@ class StampLane:
         with self._lock:
             return self._published.get(name, 0)
 
+    def snapshot(self) -> dict:
+        """Copy of every published count (introspection: a shard node
+        answers ``("lane",)`` requests with this)."""
+        with self._lock:
+            return dict(self._published)
+
     def admits(self, stamps: Stamps, db) -> bool:
         """Mirror of :meth:`SharedQueryStore._fresh` over this lane:
         *stamps* must match the local data exactly and must not trail

@@ -11,6 +11,14 @@ from .distributed import (
     start_local_nodes,
 )
 from .executor import AStoreEngine, EngineOptions, VARIANTS, rewrite_for_options
+from .membership import (
+    ClusterView,
+    Member,
+    MembershipClient,
+    MembershipServer,
+    announce_join,
+    announce_leave,
+)
 from .scratch import PoolLease, ScratchPool, lease_pool, local_pool
 from .serve import AsyncEngine, QueryServer, ServeStats, run_server, serve_tcp
 from .expression import evaluate_measure, evaluate_predicate, like_to_regex
@@ -61,6 +69,8 @@ __all__ = [
     "chaos_point", "clear_chaos", "install_chaos",
     "LocalNodes", "RemoteShardBackend", "ShardNode", "run_node",
     "start_local_nodes",
+    "ClusterView", "Member", "MembershipClient", "MembershipServer",
+    "announce_join", "announce_leave",
     "build_axes", "chain_map", "combine_codes", "dimension_provider",
     "LeafFilterSpec", "LeafProducts", "ProcessShardBackend",
     "PruneCounters", "ReorderState", "RowRange", "ShardOutcome",

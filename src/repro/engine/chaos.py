@@ -10,13 +10,22 @@ A *chaos rule* arms one named call site with one fault action:
   connection is torn exactly as if the peer vanished;
 * ``corrupt`` — flip the leading bytes of the payload passing through
   the site, so the receiver sees garbage instead of a pickle;
-* ``error``   — raise :class:`ChaosError`: a generic internal failure.
+* ``error``   — raise :class:`ChaosError`: a generic internal failure;
+* ``flap``    — alternate :class:`ChaosDrop` and success on consecutive
+  hits within the rule's window: a link that is down, up, down, up —
+  the deterministic version of a flapping node, which is what drives a
+  membership view through suspect and back without ever reaching dead.
 
-Sites are plain strings (``node.request``, ``node.response``,
-``coordinator.send``, ``serve.request``, ``fleet.worker`` ...); code
-under test calls :func:`chaos_point` (or :func:`chaos_point_async` on an
-event loop) at each site and is otherwise unaffected — with no rules
-installed a chaos point is a dict lookup.
+Sites are plain strings drawn from :data:`KNOWN_SITES`
+(``node.request``, ``node.response``, ``coordinator.send``,
+``serve.request``, ``fleet.worker``, ``membership.heartbeat``,
+``node.register``, ``coordinator.admit`` ...); code under test calls
+:func:`chaos_point` (or :func:`chaos_point_async` on an event loop) at
+each site and is otherwise unaffected — with no rules installed a chaos
+point is a dict lookup.  A spec naming a site outside the registry (or
+attaching ``=value`` to an action that takes none) raises the typed
+:class:`~repro.errors.ChaosSpecError` instead of silently arming a rule
+that can never fire.
 
 Rules are deterministic, not probabilistic: each fires on an exact
 *hit index* of its site (per process), so every recovery path is
@@ -41,13 +50,31 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import ChaosSpecError
+
 ENV_VAR = "ASTORE_CHAOS"
 
-_ACTIONS = ("kill", "delay", "drop", "corrupt", "error")
+_ACTIONS = ("kill", "delay", "drop", "corrupt", "error", "flap")
+
+#: Every call site the production code arms — a rule naming anything
+#: else is a spec typo, and a typo'd site would otherwise just never
+#: fire (the worst possible failure mode for a chaos test).
+KNOWN_SITES = frozenset({
+    "node.request",          # shard node: request received, not yet run
+    "node.run",              # shard node: about to execute a shard
+    "node.response",         # shard node: response frame leaving
+    "node.register",         # membership server: a join announcement
+    "coordinator.send",      # coordinator: request frame leaving
+    "coordinator.recv",      # coordinator: response frame arriving
+    "coordinator.admit",     # serve front door: request admission
+    "membership.heartbeat",  # membership prober: one heartbeat probe
+    "serve.request",         # serve layer: a query request accepted
+    "fleet.worker",          # fleet worker process: just spawned
+})
 
 
 class ChaosDrop(ConnectionError):
-    """An injected connection loss (the ``drop`` action)."""
+    """An injected connection loss (the ``drop``/``flap`` actions)."""
 
 
 class ChaosError(RuntimeError):
@@ -68,33 +95,64 @@ class ChaosRule:
     def due(self, hit: int) -> bool:
         if hit < self.first:
             return False
-        return self.count == 0 or hit < self.first + self.count
+        if self.count != 0 and hit >= self.first + self.count:
+            return False
+        # flap = down, up, down, up...: only every other hit in the
+        # window actually fails, starting with the first
+        if self.action == "flap":
+            return (hit - self.first) % 2 == 0
+        return True
 
 
 def parse_rules(spec: str) -> List[ChaosRule]:
-    """Parse a ``;``-separated rule spec (see module docstring)."""
+    """Parse a ``;``-separated rule spec (see module docstring).
+
+    Malformed rules raise the typed :class:`ChaosSpecError` (a
+    ``ValueError`` subclass): unknown actions, unknown sites, empty
+    sites, non-numeric triggers, and ``=value`` on any action other
+    than ``delay`` (the only one that consumes a value).
+    """
     rules: List[ChaosRule] = []
     for part in (spec or "").split(";"):
         part = part.strip()
         if not part:
             continue
-        body, _, raw_value = part.partition("=")
+        body, has_value, raw_value = part.partition("=")
         action, sep, target = body.partition("@")
         action = action.strip()
         if not sep or action not in _ACTIONS:
-            raise ValueError(f"bad chaos rule {part!r}: expected "
-                             f"action@site with action in {_ACTIONS}")
+            raise ChaosSpecError(f"bad chaos rule {part!r}: expected "
+                                 f"action@site with action in {_ACTIONS}")
+        if has_value and action != "delay":
+            raise ChaosSpecError(
+                f"bad chaos rule {part!r}: only the delay action takes "
+                f"=value (seconds)")
         site, _, trigger = target.partition(":")
         site = site.strip()
         if not site:
-            raise ValueError(f"bad chaos rule {part!r}: empty site")
+            raise ChaosSpecError(f"bad chaos rule {part!r}: empty site")
+        if site not in KNOWN_SITES:
+            raise ChaosSpecError(
+                f"bad chaos rule {part!r}: unknown site {site!r} "
+                f"(a typo'd site would never fire); known sites: "
+                f"{', '.join(sorted(KNOWN_SITES))}")
         first, count = 1, 1
         if trigger:
             raw_first, x, raw_count = trigger.partition("x")
-            first = int(raw_first) if raw_first else 1
-            count = int(raw_count) if x else 1
-        rules.append(ChaosRule(action, site, first, count,
-                               float(raw_value) if raw_value else 0.0))
+            try:
+                first = int(raw_first) if raw_first else 1
+                count = int(raw_count) if x else 1
+            except ValueError:
+                raise ChaosSpecError(
+                    f"bad chaos rule {part!r}: trigger must be "
+                    f":first[xcount] with integer hits") from None
+        try:
+            value = float(raw_value) if raw_value else 0.0
+        except ValueError:
+            raise ChaosSpecError(
+                f"bad chaos rule {part!r}: =value must be a number "
+                f"of seconds") from None
+        rules.append(ChaosRule(action, site, first, count, value))
     return rules
 
 
@@ -161,7 +219,7 @@ class ChaosController:
                 os._exit(137)
             elif rule.action == "delay":
                 sleeper(rule.value)
-            elif rule.action == "drop":
+            elif rule.action in ("drop", "flap"):
                 raise ChaosDrop(f"chaos: connection dropped at {site}")
             elif rule.action == "error":
                 raise ChaosError(f"chaos: injected failure at {site}")

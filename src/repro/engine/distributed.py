@@ -31,7 +31,19 @@ The interesting part is the failure model:
   a node whose data trails the stamps *refuses* the shard rather than
   serving a pre-mutation result, and a coordinator that observes a
   local mutation broadcasts its new stamps to every node before
-  degrading those shards to local execution.
+  degrading those shards to local execution;
+* **membership** (PR 9) — instead of a fixed node list, the backend can
+  follow a :mod:`~repro.engine.membership` view: nodes that register
+  (or *re*-register after a crash) fold into the next scatter wave
+  (``nodes_joined``), each link sits behind a :class:`CircuitBreaker`
+  (open after consecutive failures, half-open probe before
+  readmission), and ``node_hedge`` arms hedged shard requests — after
+  that many seconds without an answer the shard races on a second live
+  node and the first answer wins (outcomes are deterministic, so either
+  answer is *the* answer).
+
+A node handles SIGTERM gracefully: stop accepting, finish the in-flight
+shard, deregister from membership, exit 0 — only SIGKILL is a crash.
 
 Chaos sites (:mod:`repro.engine.chaos`): ``node.request`` (a kill here
 is a mid-query death), ``node.run``, ``node.response``,
@@ -40,16 +52,19 @@ is a mid-query death), ``node.run``, ``node.response``,
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import multiprocessing
 import os
 import pickle
+import queue
 import random
 import signal
 import socket
 import struct
 import threading
 import time
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -110,6 +125,8 @@ class ShardNode:
     * ``("ping",)`` → ``("pong", pid)`` — the heartbeat;
     * ``("stamps", stamps)`` → ``("ok",)`` — a coordinator broadcasting
       post-mutation stamps into this node's :class:`StampLane`;
+    * ``("lane",)`` → ``("ok", published)`` — the lane's published
+      counts (introspection: tests pin what survived a reconnect);
     * ``("run", plan_bytes, plan_seq, shard, nshards, use_array,
       stamps)`` → ``("ok", ShardOutcome)``, or ``("stale", local_stamps)``
       when the stamps show this node's copy predates a mutation, or
@@ -128,6 +145,8 @@ class ShardNode:
         self.shards_served = 0
         self.refusals = 0
         self._stop = threading.Event()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         self._plan_lock = threading.Lock()
         self._plan_cache: Tuple[int, object] = (-1, None)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -162,6 +181,19 @@ class ShardNode:
     def stop(self) -> None:
         self._stop.set()
 
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish — the graceful-stop
+        half of SIGTERM: the current shard completes and its response
+        goes out before the process exits."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
+
     def close(self) -> None:
         self._stop.set()
         with contextlib.suppress(OSError):
@@ -177,7 +209,14 @@ class ShardNode:
                 # a kill armed here dies holding a received request —
                 # exactly a node lost mid-query
                 chaos_point("node.request")
-                response = self._handle(request)
+                with self._inflight_cv:
+                    self._inflight += 1
+                try:
+                    response = self._handle(request)
+                finally:
+                    with self._inflight_cv:
+                        self._inflight -= 1
+                        self._inflight_cv.notify_all()
                 try:
                     send_frame(conn, response, site="node.response")
                 except ChaosDrop:
@@ -194,6 +233,8 @@ class ShardNode:
             if kind == "stamps":
                 self.lane.publish(request[1])
                 return ("ok",)
+            if kind == "lane":
+                return ("ok", self.lane.snapshot())
             if kind == "shutdown":
                 self.stop()
                 return ("ok",)
@@ -223,35 +264,71 @@ class ShardNode:
         return ("ok", outcome)
 
 
+def _join_with_retry(join: str, address: str, attempts: int = 12,
+                     delay: float = 0.25) -> tuple:
+    """Announce *address* to the membership server at *join*, retrying
+    briefly — a node often races the coordinator's bind at startup."""
+    from ..errors import MembershipError
+    from .membership import announce_join
+
+    for attempt in range(attempts):
+        try:
+            stamps, _ = announce_join(join, address)
+            return stamps
+        except MembershipError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+    return ()  # pragma: no cover - unreachable
+
+
 def run_node(database_path: str, host: str = "127.0.0.1", port: int = 0,
-             announce=print, ready=None) -> None:
+             announce=print, ready=None, join: str = "",
+             drain_timeout: float = 10.0) -> None:
     """``astore node``: load *database_path*, serve shards until shutdown.
 
     *ready*, if given, is a pipe connection that receives
     ``(host, port, pid)`` once the node is listening (how
     :func:`start_local_nodes` learns the bound ports).
+
+    *join*, if given, is a membership server's ``host:port``: the node
+    announces itself there before signalling ready and folds the join
+    reply's stamps into its lane — the rejoin catch-up, so a restarted
+    node with a pre-mutation copy refuses shards instead of serving
+    stale answers.  SIGTERM is graceful: stop accepting, finish the
+    in-flight shard, deregister, exit 0.
     """
     from ..io import load_database
 
     db = load_database(database_path)
     node = ShardNode(db, host, port)
+    if join:
+        node.lane.publish(_join_with_retry(join, node.address))
+    with contextlib.suppress(ValueError):  # ValueError: not the main thread
+        signal.signal(signal.SIGTERM, lambda signum, frame: node.stop())
     if ready is not None:
         ready.send((node.host, node.port, os.getpid()))
     announce(f"astore node: serving shards of {database_path} on "
              f"{node.host}:{node.port} (pid {os.getpid()})")
     node.serve_forever()
+    node.drain(drain_timeout)
+    if join:
+        from .membership import announce_leave
+
+        announce_leave(join, node.address)
     announce(f"astore node: stopped after {node.requests} requests "
              f"({node.shards_served} shards, {node.refusals} stale "
              f"refusals)")
 
 
-def _node_main(database_path: str, host: str, chaos_spec: str, conn) -> None:
+def _node_main(database_path: str, host: str, port: int, chaos_spec: str,
+               join: str, conn) -> None:
     """Spawn entry point of one local shard node (top-level: picklable)."""
     if chaos_spec:
         install_chaos(chaos_spec)
     with contextlib.suppress(KeyboardInterrupt):
-        run_node(database_path, host=host, port=0,
-                 announce=lambda *_: None, ready=conn)
+        run_node(database_path, host=host, port=port,
+                 announce=lambda *_: None, ready=conn, join=join)
 
 
 @dataclass
@@ -268,38 +345,63 @@ class NodeHandle:
         return f"{self.host}:{self.port}"
 
 
+#: Every live LocalNodes set, reaped at interpreter exit — an aborted
+#: test run must not orphan node processes (each holds a database copy).
+_LIVE_NODES: "weakref.WeakSet[LocalNodes]" = weakref.WeakSet()
+
+
+@atexit.register
+def _reap_local_nodes() -> None:
+    for nodes in list(_LIVE_NODES):
+        with contextlib.suppress(Exception):
+            nodes.reap()
+
+
 class LocalNodes:
     """A set of shard-node processes over one database archive.
 
     The test/bench/CI harness: spawns *count* nodes (each loading its
     own copy of *database_path*), exposes their addresses, and can
-    SIGKILL one mid-flight to exercise the re-shard path.  Per-node
-    chaos specs arm deterministic faults inside a node process.
+    SIGKILL one mid-flight to exercise the re-shard path — or SIGTERM
+    it (:meth:`terminate`, graceful) and :meth:`restart` it on the same
+    port to exercise rejoin.  Per-node chaos specs arm deterministic
+    faults inside a node process; *membership*, if given, is a
+    membership server address every node joins on startup.
     """
 
     def __init__(self, database_path: str, count: int = 2,
                  host: str = "127.0.0.1",
                  chaos: Optional[Sequence[str]] = None,
-                 start_timeout: float = 120.0):
-        ctx = multiprocessing.get_context("spawn")
+                 start_timeout: float = 120.0,
+                 membership: str = ""):
+        self._ctx = multiprocessing.get_context("spawn")
+        self.database_path = str(database_path)
+        self.host = host
+        self.membership = membership
+        self.start_timeout = start_timeout
+        self._specs = list(chaos or [])
         self.nodes: List[NodeHandle] = []
-        specs = list(chaos or [])
+        _LIVE_NODES.add(self)
         for index in range(count):
-            parent, child = ctx.Pipe(duplex=False)
-            spec = specs[index] if index < len(specs) else ""
-            process = ctx.Process(
-                target=_node_main,
-                args=(str(database_path), host, spec, child),
-                name=f"astore-node-{index}")
-            process.start()
-            child.close()
-            if not parent.poll(start_timeout):
-                self.close()
-                raise ExecutionError(
-                    f"shard node {index} not ready after {start_timeout}s")
-            node_host, node_port, pid = parent.recv()
-            parent.close()
-            self.nodes.append(NodeHandle(process, node_host, node_port, pid))
+            self.nodes.append(self._spawn(index, port=0))
+
+    def _spawn(self, index: int, port: int) -> NodeHandle:
+        parent, child = self._ctx.Pipe(duplex=False)
+        spec = self._specs[index] if index < len(self._specs) else ""
+        process = self._ctx.Process(
+            target=_node_main,
+            args=(self.database_path, self.host, port, spec,
+                  self.membership, child),
+            name=f"astore-node-{index}")
+        process.start()
+        child.close()
+        if not parent.poll(self.start_timeout):
+            self.close()
+            raise ExecutionError(
+                f"shard node {index} not ready after {self.start_timeout}s")
+        node_host, node_port, pid = parent.recv()
+        parent.close()
+        return NodeHandle(process, node_host, node_port, pid)
 
     @property
     def addresses(self) -> Tuple[str, ...]:
@@ -312,6 +414,34 @@ class LocalNodes:
             os.kill(node.pid, signal.SIGKILL)
         node.process.join(timeout=10)
         return node.pid
+
+    def terminate(self, index: int, timeout: float = 15.0) -> Optional[int]:
+        """SIGTERM node *index* (graceful stop: the node finishes its
+        in-flight shard and deregisters); returns its exit code."""
+        node = self.nodes[index]
+        with contextlib.suppress(ProcessLookupError):
+            os.kill(node.pid, signal.SIGTERM)
+        node.process.join(timeout=timeout)
+        return node.process.exitcode
+
+    def restart(self, index: int) -> NodeHandle:
+        """Respawn a killed/terminated node on its old port — the rejoin
+        path: same address, new process, new incarnation."""
+        old = self.nodes[index]
+        if old.process.is_alive():
+            raise ExecutionError(
+                f"node {index} is still running; kill or terminate first")
+        handle = self._spawn(index, port=old.port)
+        self.nodes[index] = handle
+        return handle
+
+    def reap(self) -> None:
+        """Kill every child outright (the atexit path: no sockets, no
+        graceful anything — just don't leak processes)."""
+        for node in self.nodes:
+            if node.process.is_alive():
+                with contextlib.suppress(Exception):
+                    node.process.kill()
 
     def shutdown(self, timeout: float = 10.0) -> bool:
         """Ask every live node to exit its loop; True if all exited."""
@@ -330,6 +460,7 @@ class LocalNodes:
         return all(not node.process.is_alive() for node in self.nodes)
 
     def close(self) -> None:
+        _LIVE_NODES.discard(self)
         self.shutdown(timeout=5.0)
         for node in self.nodes:
             if node.process.is_alive():
@@ -357,9 +488,77 @@ class _NodeLost(Exception):
     """Retries exhausted: the node is dead to this coordinator."""
 
 
+class CircuitBreaker:
+    """Per-node admission control: ``closed`` → ``open`` after
+    ``threshold`` consecutive request failures, ``half-open`` once
+    ``reset_seconds`` have passed (exactly one probe request is
+    readmitted), ``closed`` again when the probe succeeds.
+
+    Keeps a scatter wave from queueing shards on a node that keeps
+    failing, and gates the membership view's reactivation of a link
+    this coordinator already watched die: membership may vouch for the
+    address, but the link only takes traffic again through the
+    half-open probe.  *clock* is injectable so tests drive the reset
+    window deterministically.
+    """
+
+    def __init__(self, threshold: int = 3, reset_seconds: float = 2.0,
+                 clock=time.monotonic, on_transition=None):
+        self.threshold = max(1, int(threshold))
+        self.reset_seconds = float(reset_seconds)
+        self.clock = clock
+        self.on_transition = on_transition
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self._lock = threading.Lock()
+
+    def _note(self, transition: Optional[str]) -> None:
+        if transition and self.on_transition is not None:
+            self.on_transition(transition)
+
+    def admits(self) -> bool:
+        """May this node take a request right now?  The first call after
+        an open breaker's reset window flips to half-open and admits —
+        that request is the probe; until it resolves, nothing else is."""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open" and (
+                    self.clock() - self.opened_at >= self.reset_seconds):
+                self.state = "half-open"
+            else:
+                # open inside the reset window, or a half-open probe
+                # already in flight: nothing admitted
+                return False
+        self._note("half_open")
+        return True
+
+    def record(self, ok: bool) -> None:
+        """Fold one request outcome in."""
+        transition = None
+        with self._lock:
+            if ok:
+                if self.state != "closed":
+                    transition = "closed"
+                self.state, self.failures = "closed", 0
+            else:
+                self.failures += 1
+                if self.state == "half-open" or (
+                        self.state == "closed"
+                        and self.failures >= self.threshold):
+                    self.state = "open"
+                    self.opened_at = self.clock()
+                    transition = "opened"
+                elif self.state == "open":
+                    self.opened_at = self.clock()
+        self._note(transition)
+
+
 class _NodeLink:
     """One remote node as the coordinator sees it: a persistent
-    connection, health flags, and a lock serializing requests on it."""
+    connection, health flags, a circuit breaker, and a lock serializing
+    requests on it."""
 
     def __init__(self, address: str):
         host, _, port = address.rpartition(":")
@@ -371,6 +570,8 @@ class _NodeLink:
         self.alive = True
         self.stale = False
         self.ever_connected = False
+        self.incarnation = 0
+        self.breaker = CircuitBreaker()
         self.sock: Optional[socket.socket] = None
         self.lock = threading.Lock()
 
@@ -403,7 +604,7 @@ class RemoteShardBackend:
     ``is_stale``), plus ``distributed = True`` so the engine passes a
     per-run *report* dict that lands in ``ExecutionStats``
     (``remote_retries`` / ``remote_reshards`` / ``remote_nodes_lost`` /
-    ``remote_local_shards``).
+    ``remote_local_shards`` / ``remote_nodes_joined``).
 
     ``is_stale`` is always False: a mutation does not evict this
     backend — the next ``run`` broadcasts the new stamps (every node's
@@ -416,16 +617,21 @@ class RemoteShardBackend:
 
     _plan_seq = _sharding.ProcessShardBackend._plan_seq  # one global lane
 
-    def __init__(self, db, nodes: Sequence[str], workers: int = 0,
+    def __init__(self, db, nodes: Sequence[str] = (), workers: int = 0,
                  node_timeout: float = 30.0, node_retries: int = 2,
-                 retry_base: float = 0.05, heartbeat_seconds: float = 2.0):
-        if not nodes:
+                 retry_base: float = 0.05, heartbeat_seconds: float = 2.0,
+                 membership=None, node_hedge: float = 0.0,
+                 breaker_threshold: int = 3, breaker_reset: float = 2.0):
+        if not nodes and membership is None:
             raise ExecutionError(
                 "the remote backend needs node addresses "
-                "(EngineOptions.remote_nodes / --nodes host:port,...)")
+                "(EngineOptions.remote_nodes / --nodes host:port,...) "
+                "or a membership view")
         self.db = db
-        self.links = [_NodeLink(address) for address in nodes]
-        self.workers = int(workers) or len(self.links)
+        self.membership = membership
+        self.node_hedge = float(node_hedge)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset = float(breaker_reset)
         self.node_timeout = float(node_timeout)
         self.node_retries = max(0, int(node_retries))
         self.retry_base = float(retry_base)
@@ -439,8 +645,21 @@ class RemoteShardBackend:
         self._closed = threading.Event()
         self.counters: Dict[str, int] = {
             "retries": 0, "reshards": 0, "nodes_lost": 0,
-            "local_shards": 0, "stale_refusals": 0, "heartbeats": 0}
+            "local_shards": 0, "stale_refusals": 0, "heartbeats": 0,
+            "nodes_joined": 0, "hedges": 0, "hedge_wins": 0,
+            "breaker_opened": 0, "breaker_half_open": 0,
+            "breaker_closed": 0}
         self._counter_lock = threading.Lock()
+        self.links: List[_NodeLink] = []
+        self._link_map: Dict[str, _NodeLink] = {}
+        self._link_lock = threading.Lock()
+        for address in nodes:
+            self._add_link(address, joined=False)
+        self._refresh_membership(None)
+        # workers=2 is the floor for a membership view nobody has
+        # joined yet: shards just degrade to local execution until the
+        # first node registers
+        self.workers = int(workers) or len(self.links) or 2
         self._heartbeat: Optional[threading.Thread] = None
         if self.heartbeat_seconds > 0:
             self._heartbeat = threading.Thread(
@@ -478,10 +697,59 @@ class RemoteShardBackend:
             if report is not None:
                 report[key] = report.get(key, 0) + amount
 
+    # -- membership ---------------------------------------------------------
+
+    def _add_link(self, address: str, incarnation: int = 0,
+                  joined: bool = True,
+                  report: Optional[Dict[str, int]] = None) -> _NodeLink:
+        link = _NodeLink(address)
+        link.incarnation = incarnation
+        link.breaker = self._new_breaker()
+        with self._link_lock:
+            self._link_map[address] = link
+            self.links.append(link)
+        if joined:
+            self._bump("nodes_joined", 1, report)
+        return link
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            self.breaker_threshold, self.breaker_reset,
+            on_transition=lambda t: self._bump(f"breaker_{t}", 1, None))
+
+    def _refresh_membership(
+            self, report: Optional[Dict[str, int]]) -> None:
+        """Fold the membership view into the link set: new registrations
+        become links, re-registrations (incarnation bumps) resurrect
+        links with fresh state, and a node membership still vouches for
+        but this coordinator watched die is reactivated breaker-gated —
+        it only takes traffic again through the half-open probe."""
+        if self.membership is None:
+            return
+        for address, state, incarnation in self.membership.members():
+            link = self._link_map.get(address)
+            if link is None:
+                if state != "dead":
+                    self._add_link(address, incarnation, report=report)
+                continue
+            if incarnation > link.incarnation:
+                # a genuine restart: new process on the old address —
+                # fresh connection, fresh staleness, fresh breaker
+                link.incarnation = incarnation
+                link.reset()
+                link.stale = False
+                link.alive = True
+                link.ever_connected = False
+                link.breaker = self._new_breaker()
+                self._bump("nodes_joined", 1, report)
+            elif state != "dead" and not link.alive:
+                link.alive = True  # breaker still gates admission
+
     # -- health -------------------------------------------------------------
 
     def alive_nodes(self) -> List[_NodeLink]:
-        return [link for link in self.links if link.alive and not link.stale]
+        return [link for link in self.links
+                if link.alive and not link.stale and link.breaker.admits()]
 
     def _mark_dead(self, link: _NodeLink,
                    report: Optional[Dict[str, int]]) -> None:
@@ -549,6 +817,9 @@ class RemoteShardBackend:
         todo = list(range(nshards))
         wave = 0
         while todo:
+            # a node that (re)registered since the last wave folds in
+            # here: rejoin is just membership refresh + scatter
+            self._refresh_membership(report)
             nodes = self.alive_nodes()
             if not nodes:
                 if wave:
@@ -572,7 +843,8 @@ class RemoteShardBackend:
                     message = ("run", plan_bytes, seq, shard, nshards,
                                use_array, stamps)
                     try:
-                        outcome = self._request_shard(link, message, report)
+                        outcome = self._request_shard_hedged(
+                            link, message, report)
                     except _ShardRefused:
                         link.stale = True
                         self._bump("stale_refusals", 1, report)
@@ -596,6 +868,53 @@ class RemoteShardBackend:
             wave += 1
         return outcomes  # type: ignore[return-value]
 
+    def _request_shard_hedged(self, link: _NodeLink, message,
+                              report: Optional[Dict[str, int]]) -> ShardOutcome:
+        """One shard with optional hedging: when the primary hasn't
+        answered after ``node_hedge`` seconds, race the same shard on a
+        second live node and take whichever answers first — shard
+        outcomes are deterministic, so either answer is *the* answer.
+        When nothing wins, the primary's own failure propagates so the
+        scatter loop's stale/lost bookkeeping lands on the right link."""
+        if self.node_hedge <= 0:
+            return self._request_shard(link, message, report)
+        results: "queue.Queue" = queue.Queue()
+
+        def attempt(target: _NodeLink) -> None:
+            try:
+                results.put(
+                    (target, "ok", self._request_shard(target, message,
+                                                       report)))
+            except BaseException as exc:  # noqa: BLE001 - relayed below
+                results.put((target, "err", exc))
+
+        threading.Thread(target=attempt, args=(link,), daemon=True,
+                         name="astore-hedge-primary").start()
+        launched = 1
+        collected: List[tuple] = []
+        try:
+            collected.append(results.get(timeout=self.node_hedge))
+        except queue.Empty:
+            alternates = [alt for alt in self.alive_nodes()
+                          if alt is not link]
+            if alternates:
+                self._bump("hedges", 1, report)
+                threading.Thread(target=attempt, args=(alternates[0],),
+                                 daemon=True,
+                                 name="astore-hedge-secondary").start()
+                launched += 1
+        while True:
+            for target, kind, value in collected:
+                if kind == "ok":
+                    if target is not link:
+                        self._bump("hedge_wins", 1, report)
+                    return value
+            if len(collected) == launched:
+                primary = next((entry for entry in collected
+                                if entry[0] is link), collected[0])
+                raise primary[2]
+            collected.append(results.get())
+
     def _request_shard(self, link: _NodeLink, message,
                        report: Optional[Dict[str, int]]) -> ShardOutcome:
         """One shard on one node, under the deadline/retry policy."""
@@ -608,8 +927,11 @@ class RemoteShardBackend:
                     raise ExecutionError(
                         f"malformed node response {response!r}")
                 if response[0] == "ok":
+                    link.breaker.record(True)
                     return response[1]
                 if response[0] == "stale":
+                    # the node answered: healthy link, stale data
+                    link.breaker.record(True)
                     raise _ShardRefused()
                 # ("err", ...): node-side failure — retriable (a flaky
                 # node re-shards away; a deterministic plan error
@@ -621,6 +943,7 @@ class RemoteShardBackend:
                 # (timeout, refused/torn connection, corrupt frame,
                 # node-side error) takes the same retry path
                 last = exc
+                link.breaker.record(False)
                 link.reset()
                 if attempt < self.node_retries:
                     self._bump("retries", 1, report)
@@ -633,19 +956,32 @@ class RemoteShardBackend:
 
 def acquire_remote_backend(db, options) -> RemoteShardBackend:
     """The engine's checkout hook (mirrors ``acquire_shard_backend``):
-    a coordinator configured from *options*, first reference taken."""
+    a coordinator configured from *options*, first reference taken.
+    ``options.membership`` (a membership server address) replaces the
+    static node list with a live view."""
+    membership = None
+    if getattr(options, "membership", ""):
+        from .membership import MembershipClient
+
+        membership = MembershipClient(options.membership)
     backend = RemoteShardBackend(
         db, options.remote_nodes,
         # workers=1 is the engine default, not a request for one shard:
         # spread over the nodes unless the caller asked for more
         workers=options.workers if options.workers > 1 else 0,
         node_timeout=options.node_timeout,
-        node_retries=options.node_retries)
+        node_retries=options.node_retries,
+        membership=membership,
+        node_hedge=getattr(options, "node_hedge", 0.0),
+        breaker_threshold=getattr(options, "breaker_threshold", 3),
+        breaker_reset=getattr(options, "breaker_reset", 2.0))
     backend.retain()
     return backend
 
 
 def start_local_nodes(database_path: str, count: int = 2,
-                      chaos: Optional[Sequence[str]] = None) -> LocalNodes:
+                      chaos: Optional[Sequence[str]] = None,
+                      membership: str = "") -> LocalNodes:
     """Spawn *count* local shard nodes over *database_path*."""
-    return LocalNodes(database_path, count=count, chaos=chaos)
+    return LocalNodes(database_path, count=count, chaos=chaos,
+                      membership=membership)

@@ -142,6 +142,17 @@ class EngineOptions:
     remote_nodes: Tuple[str, ...] = ()
     node_timeout: float = 30.0
     node_retries: int = 2
+    #: membership server address (host:port) — replaces the static
+    #: remote_nodes list with a live cluster view when set
+    membership: str = ""
+    #: hedge a shard request to a second live node after this many
+    #: seconds without an answer (0 = no hedging)
+    node_hedge: float = 0.0
+    #: per-node circuit breaker: open after this many consecutive
+    #: request failures...
+    breaker_threshold: int = 3
+    #: ...and allow one half-open probe after this many seconds
+    breaker_reset: float = 2.0
 
 
 #: The five query processors of the paper's Table 6.
@@ -797,6 +808,7 @@ class AStoreEngine:
         stats.remote_reshards += report.get("reshards", 0)
         stats.remote_nodes_lost += report.get("nodes_lost", 0)
         stats.remote_local_shards += report.get("local_shards", 0)
+        stats.remote_nodes_joined += report.get("nodes_joined", 0)
         fold_outcomes(outcomes, stats, agg_labels)
 
         if bound.scan == "projection":

@@ -103,6 +103,7 @@ class FleetSpec:
     drain_seconds: float = 10.0
     handoff: bool = False                     # no SO_REUSEPORT: fd handoff
     request_timeout: Optional[float] = None   # per-request deadline (s)
+    max_pending: int = 0                      # overload front door (0 = off)
 
 
 def _fleet_worker_main(spec: FleetSpec, index: int, conn) -> None:
@@ -145,11 +146,13 @@ async def _fleet_worker(spec: FleetSpec, index: int, conn) -> None:
     loop = asyncio.get_running_loop()
     if spec.handoff:
         server = QueryServer(engine=engine, drain_seconds=spec.drain_seconds,
-                             request_timeout=spec.request_timeout)
+                             request_timeout=spec.request_timeout,
+                             max_pending=spec.max_pending)
     else:
         sock = _reuseport_socket(spec.host, spec.port)
         server = await serve_tcp(engine, sock=sock,
-                                 request_timeout=spec.request_timeout)
+                                 request_timeout=spec.request_timeout,
+                                 max_pending=spec.max_pending)
         server.drain_seconds = spec.drain_seconds
 
     def on_control() -> None:
@@ -232,6 +235,7 @@ class ServeFleet:
                  respawn_limit: int = 16, respawn_base: float = 0.1,
                  respawn_cap: float = 5.0,
                  request_timeout: Optional[float] = None,
+                 max_pending: int = 0,
                  force_handoff: bool = False,
                  announce=None):
         if os.name != "posix":
@@ -257,6 +261,7 @@ class ServeFleet:
         self.respawn_base = float(respawn_base)
         self.respawn_cap = float(respawn_cap)
         self.request_timeout = request_timeout
+        self.max_pending = int(max_pending)
         self.handoff = bool(force_handoff) or not reuseport_available()
         self.announce = announce or (lambda *_: None)
         self.swept: List[str] = []
@@ -321,7 +326,8 @@ class ServeFleet:
             manifest=manifest, database_path=self.database_path,
             max_concurrency=self.max_concurrency,
             drain_seconds=self.drain_seconds, handoff=self.handoff,
-            request_timeout=self.request_timeout)
+            request_timeout=self.request_timeout,
+            max_pending=self.max_pending)
 
         for index in range(self.workers):
             self._spawn(index)
@@ -555,6 +561,7 @@ def run_fleet(db=None, *, database_path: str = "",
               max_concurrency: Optional[int] = None, data_mode: str = "arena",
               shared_store: bool = True,
               request_timeout: Optional[float] = None,
+              max_pending: int = 0,
               announce=print) -> int:
     """``astore serve --workers N``: start a fleet, serve until a
     SHUTDOWN fans out (Ctrl-C drains gracefully), return the exit code."""
@@ -562,7 +569,8 @@ def run_fleet(db=None, *, database_path: str = "",
                        host=host, port=port, workers=workers,
                        max_concurrency=max_concurrency, data_mode=data_mode,
                        shared_store=shared_store,
-                       request_timeout=request_timeout, announce=announce)
+                       request_timeout=request_timeout,
+                       max_pending=max_pending, announce=announce)
     fleet.start()
     try:
         code = fleet.wait()

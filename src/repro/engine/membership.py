@@ -1,0 +1,403 @@
+"""Cluster membership: heartbeat failure detection, join, and rejoin.
+
+PR 8's ``remote`` backend took its node list at construction and never
+revised it: a SIGKILLed node was lost to that coordinator forever.  This
+module replaces the static list with a **membership view**:
+
+* :class:`ClusterView` — the state machine.  Each member is ``alive``,
+  ``suspect``, or ``dead``; a missed heartbeat moves alive → suspect
+  (after ``suspect_after`` consecutive misses) and suspect → dead
+  (after ``dead_after``).  A successful probe moves suspect → alive;
+  **dead is sticky** — a dead member is only readmitted by
+  re-registering, which bumps its *incarnation* so every observer can
+  tell a genuine restart from a flapping link.
+* :class:`MembershipServer` — the coordinator-side TCP endpoint
+  (``astore serve --membership-port``, or embedded in a bench).  Nodes
+  self-register (``astore node --join host:p`` sends a ``join`` frame);
+  the join reply carries the coordinator's current mutation stamps so a
+  restarted node can seed its :class:`~repro.core.shmcache.StampLane`
+  *before* accepting shards — a stale copy refuses work instead of
+  serving pre-mutation answers.  A prober thread heartbeats every
+  registered member (the same ping protocol the scatter layer uses) and
+  drives the view's transitions.
+* :class:`MembershipClient` — a cheap read-side handle for processes
+  that are not the coordinator (fleet serve workers): polls ``members``
+  with a small TTL cache and is duck-compatible with
+  :class:`ClusterView` where :class:`RemoteShardBackend` reads it.
+
+Chaos sites: ``node.register`` (a join announcement arriving at the
+server) and ``membership.heartbeat`` (one outgoing probe) — a ``flap``
+rule armed on the heartbeat site drives a member deterministically
+through alive → suspect → alive without ever reaching dead.
+
+The wire protocol reuses :func:`~repro.engine.distributed.send_frame` /
+``recv_frame`` (length-prefixed pickle frames), one request per
+connection round trip:
+
+* ``("join", address, pid)`` → ``("ok", stamps, incarnation)``
+* ``("leave", address)``     → ``("ok",)``
+* ``("members",)``           → ``("ok", members, generation)`` where
+  *members* is ``[(address, state, incarnation), ...]``
+* ``("ping",)``              → ``("pong", pid)``
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import MembershipError
+from .chaos import chaos_point
+from .distributed import _CONNECT_TIMEOUT, recv_frame, send_frame
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass
+class Member:
+    """One node as the membership view sees it."""
+
+    address: str
+    state: str = ALIVE
+    incarnation: int = 1
+    missed: int = 0
+    pid: int = 0
+
+    def snapshot(self) -> Tuple[str, str, int]:
+        return (self.address, self.state, self.incarnation)
+
+
+class ClusterView:
+    """The membership state machine (thread-safe).
+
+    ``suspect_after`` / ``dead_after`` are counts of *consecutive*
+    missed heartbeats: with the defaults a member is suspect after 2
+    misses and dead after 4.  ``generation`` increments on every state
+    change so readers can cheaply detect "anything moved"; every
+    transition is appended to ``transitions`` as
+    ``(address, old_state, new_state, generation)`` for tests to pin.
+    """
+
+    def __init__(self, suspect_after: int = 2, dead_after: int = 4):
+        if not 0 < suspect_after <= dead_after:
+            raise MembershipError(
+                f"need 0 < suspect_after <= dead_after, got "
+                f"{suspect_after}/{dead_after}")
+        self.suspect_after = int(suspect_after)
+        self.dead_after = int(dead_after)
+        self.generation = 0
+        self.transitions: List[Tuple[str, str, str, int]] = []
+        self._members: Dict[str, Member] = {}
+        self._lock = threading.Lock()
+
+    def _shift(self, member: Member, state: str) -> None:
+        if member.state == state:
+            return
+        old, member.state = member.state, state
+        self.generation += 1
+        self.transitions.append((member.address, old, state, self.generation))
+
+    # -- writes -------------------------------------------------------------
+
+    def register(self, address: str, pid: int = 0) -> Member:
+        """A node announced itself: admit it as alive.  Re-registering
+        (the rejoin path, dead or not) bumps the incarnation so links
+        that gave up on the old process know this is a new one."""
+        if ":" not in address:
+            raise MembershipError(
+                f"bad member address {address!r} (expected host:port)")
+        with self._lock:
+            member = self._members.get(address)
+            if member is None:
+                member = Member(address=address, pid=pid)
+                self._members[address] = member
+                self.generation += 1
+                self.transitions.append(
+                    (address, "", ALIVE, self.generation))
+            else:
+                member.incarnation += 1
+                member.pid = pid or member.pid
+                member.missed = 0
+                self._shift(member, ALIVE)
+            return member
+
+    def leave(self, address: str) -> None:
+        """A node deregistered (graceful shutdown): drop it entirely —
+        a clean exit is not a failure and should not read as one."""
+        with self._lock:
+            member = self._members.pop(address, None)
+            if member is not None:
+                self.generation += 1
+                self.transitions.append(
+                    (address, member.state, "", self.generation))
+
+    def record_probe(self, address: str, ok: bool) -> Optional[str]:
+        """Fold one heartbeat result into the view; returns the member's
+        state after the probe (None if unknown).  Dead stays dead: only
+        :meth:`register` readmits."""
+        with self._lock:
+            member = self._members.get(address)
+            if member is None:
+                return None
+            if member.state == DEAD:
+                return DEAD
+            if ok:
+                member.missed = 0
+                self._shift(member, ALIVE)
+            else:
+                member.missed += 1
+                if member.missed >= self.dead_after:
+                    self._shift(member, DEAD)
+                elif member.missed >= self.suspect_after:
+                    self._shift(member, SUSPECT)
+            return member.state
+
+    # -- reads --------------------------------------------------------------
+
+    def members(self) -> List[Tuple[str, str, int]]:
+        """Snapshot of every member as ``(address, state, incarnation)``."""
+        with self._lock:
+            return [m.snapshot() for m in self._members.values()]
+
+    def get(self, address: str) -> Optional[Member]:
+        with self._lock:
+            return self._members.get(address)
+
+    def live_addresses(self) -> List[str]:
+        """Addresses a scatter wave may target (alive + suspect — a
+        suspect node still serves until it is actually declared dead)."""
+        with self._lock:
+            return [m.address for m in self._members.values()
+                    if m.state != DEAD]
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            return {m.address: m.state for m in self._members.values()}
+
+
+def _ping_member(address: str, timeout: float) -> bool:
+    """One heartbeat probe against a shard node's ping endpoint."""
+    host, _, port = address.rpartition(":")
+    try:
+        chaos_point("membership.heartbeat")
+        with socket.create_connection(
+                (host, int(port)), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            send_frame(sock, ("ping",))
+            response = recv_frame(sock)
+        return bool(response) and response[0] == "pong"
+    except Exception:  # noqa: BLE001 - any failure is one missed beat
+        return False
+
+
+class MembershipServer:
+    """The coordinator's membership endpoint: a :class:`ClusterView`
+    behind a TCP port, plus the prober thread that feeds it.
+
+    *stamps_fn* supplies the coordinator's current mutation stamps for
+    join replies (usually ``lambda: database_stamp(db)``); a node folds
+    them into its lane before taking shards, which is the whole rejoin
+    catch-up protocol — no data moves, only the fencing stamps do.
+    """
+
+    def __init__(self, view: Optional[ClusterView] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 stamps_fn: Optional[Callable[[], tuple]] = None,
+                 probe_seconds: float = 0.5,
+                 probe_timeout: float = 2.0):
+        self.view = view if view is not None else ClusterView()
+        self.stamps_fn = stamps_fn or (lambda: ())
+        self.probe_seconds = float(probe_seconds)
+        self.probe_timeout = float(probe_timeout)
+        self.probes = 0
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._threads = [
+            threading.Thread(target=self._serve_loop,
+                             name="astore-membership-serve", daemon=True)]
+        if self.probe_seconds > 0:
+            self._threads.append(threading.Thread(
+                target=self._probe_loop, name="astore-membership-probe",
+                daemon=True))
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "MembershipServer":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    def __enter__(self) -> "MembershipServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request loop -------------------------------------------------------
+
+    def _serve_loop(self) -> None:
+        self._listener.settimeout(0.25)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             name="astore-membership-conn",
+                             daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with contextlib.suppress(Exception), conn:
+            conn.settimeout(10.0)
+            while not self._stop.is_set():
+                try:
+                    request = recv_frame(conn)
+                except (EOFError, OSError):
+                    break
+                try:
+                    response = self._handle(request)
+                except Exception as exc:  # noqa: BLE001 - answer, not tear
+                    response = ("err", f"{type(exc).__name__}: {exc}")
+                send_frame(conn, response)
+
+    def _handle(self, request) -> tuple:
+        kind = request[0]
+        if kind == "join":
+            # a kill/error here is a join announcement lost in flight
+            chaos_point("node.register")
+            member = self.view.register(
+                request[1], request[2] if len(request) > 2 else 0)
+            return ("ok", self.stamps_fn(), member.incarnation)
+        if kind == "leave":
+            self.view.leave(request[1])
+            return ("ok",)
+        if kind == "members":
+            return ("ok", self.view.members(), self.view.generation)
+        if kind == "ping":
+            return ("pong", os.getpid())
+        return ("err", f"unknown membership request {kind!r}")
+
+    # -- prober -------------------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_seconds):
+            for address, state, _ in self.view.members():
+                if state == DEAD or self._stop.is_set():
+                    continue
+                ok = _ping_member(address, self.probe_timeout)
+                self.probes += 1
+                self.view.record_probe(address, ok)
+
+
+def _membership_request(address: str, message, timeout: float) -> tuple:
+    """One round trip against a membership server."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise MembershipError(
+            f"bad membership address {address!r} (expected host:port)")
+    try:
+        with socket.create_connection(
+                (host, int(port)),
+                timeout=min(_CONNECT_TIMEOUT, timeout)) as sock:
+            sock.settimeout(timeout)
+            send_frame(sock, message)
+            response = recv_frame(sock)
+    except MembershipError:
+        raise
+    except Exception as exc:
+        raise MembershipError(
+            f"membership server {address} unreachable: {exc}") from exc
+    if not isinstance(response, tuple) or not response:
+        raise MembershipError(f"malformed membership reply {response!r}")
+    if response[0] == "err":
+        raise MembershipError(f"membership server {address}: {response[1]}")
+    return response
+
+
+def announce_join(membership_address: str, node_address: str,
+                  pid: int = 0, timeout: float = 5.0) -> Tuple[tuple, int]:
+    """``astore node --join``: announce *node_address* to the membership
+    server; returns ``(stamps, incarnation)`` from the join reply."""
+    response = _membership_request(
+        membership_address, ("join", node_address, pid or os.getpid()),
+        timeout)
+    return response[1], response[2]
+
+
+def announce_leave(membership_address: str, node_address: str,
+                   timeout: float = 5.0) -> None:
+    """Graceful deregistration (SIGTERM path); best-effort by design —
+    the caller is exiting either way."""
+    with contextlib.suppress(MembershipError):
+        _membership_request(
+            membership_address, ("leave", node_address), timeout)
+
+
+class MembershipClient:
+    """Read-side handle on a remote membership view.
+
+    Duck-compatible with :class:`ClusterView` where the scatter backend
+    reads it (``members()`` / ``live_addresses()`` / ``generation``);
+    polls the server at most every *ttl_seconds* and serves the cached
+    snapshot in between, so a scatter wave never blocks on a membership
+    round trip that just happened.  An unreachable server degrades to
+    the last snapshot (an empty one before first contact) rather than
+    failing the query.
+    """
+
+    def __init__(self, address: str, ttl_seconds: float = 0.25,
+                 timeout: float = 2.0):
+        self.address = address
+        self.ttl_seconds = float(ttl_seconds)
+        self.timeout = float(timeout)
+        self.generation = 0
+        self._snapshot: List[Tuple[str, str, int]] = []
+        self._fetched_at = float("-inf")
+        self._lock = threading.Lock()
+
+    def _refresh(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if now - self._fetched_at < self.ttl_seconds:
+                return
+            self._fetched_at = now  # even on failure: don't hammer
+        try:
+            response = _membership_request(
+                self.address, ("members",), self.timeout)
+        except MembershipError:
+            return
+        with self._lock:
+            self._snapshot = list(response[1])
+            self.generation = response[2]
+
+    def members(self) -> List[Tuple[str, str, int]]:
+        self._refresh()
+        with self._lock:
+            return list(self._snapshot)
+
+    def live_addresses(self) -> List[str]:
+        return [address for address, state, _ in self.members()
+                if state != DEAD]
+
+    def states(self) -> Dict[str, str]:
+        return {address: state for address, state, _ in self.members()}

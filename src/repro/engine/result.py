@@ -48,6 +48,7 @@ class ExecutionStats:
     remote_reshards: int = 0     # shards re-scattered off a lost/stale node
     remote_nodes_lost: int = 0   # nodes declared dead during this query
     remote_local_shards: int = 0  # shards the coordinator ran on its own copy
+    remote_nodes_joined: int = 0  # nodes that (re)joined the scatter set
     filter_modes: Dict[str, str] = field(default_factory=dict)
     operator_seconds: Dict[str, float] = field(default_factory=dict)
     cache_events: Dict[str, int] = field(default_factory=dict)

@@ -249,6 +249,14 @@ class QueryServer:
     race these against queries).  Stopping *drains*: requests already
     read when SHUTDOWN arrives finish and answer before their
     connections close; only idle connections are closed immediately.
+
+    The **overload front door**: with ``max_pending`` set, a request
+    arriving while that many are already in flight answers
+    ``{"overloaded": true, "error": ...}`` immediately instead of
+    queueing unboundedly — shedding is visible and cheap, queueing
+    under overload is invisible and fatal.  Shed counts surface in
+    ``STATS`` and the ``coordinator.admit`` chaos site can force the
+    path deterministically.
     """
 
     engine: AsyncEngine
@@ -265,6 +273,14 @@ class QueryServer:
     #: past its deadline answers ``{"timeout": true, "error": ...}``
     #: instead of pinning the connection.
     request_timeout: Optional[float] = None
+    #: the overload front door: at most this many work requests may be
+    #: in flight before new ones shed with ``{"overloaded": true}``
+    #: instead of queueing unboundedly (0 = no bound)
+    max_pending: int = 0
+    #: requests shed by the front door
+    shed: int = 0
+    #: work requests currently admitted and executing
+    _pending: int = 0
     #: open client connections — closed on stop, since (3.12.1+)
     #: ``Server.wait_closed`` blocks until every handler has exited and
     #: an idle client sitting in ``readline`` would pin it forever
@@ -372,6 +388,9 @@ class QueryServer:
             "pid": os.getpid(),
             "requests": self.requests,
             "failures": self.failures,
+            "shed": self.shed,
+            "pending": self._pending,
+            "max_pending": self.max_pending,
             "serve": self.engine.stats.snapshot(),
         }
         cache = self.engine.engine.cache
@@ -386,29 +405,66 @@ class QueryServer:
                 payload["shared_store"] = store.counters()
         return payload
 
+    async def _admit(self) -> bool:
+        """The overload front door: every work request (query, update,
+        compact) passes here before touching the engine.  Past
+        ``max_pending`` in-flight requests the caller sheds instead of
+        queueing unboundedly; an armed ``coordinator.admit`` error or
+        drop rule is a forced shed (how tests pin the shed path)."""
+        try:
+            await chaos_point_async("coordinator.admit")
+        except Exception:  # noqa: BLE001 - any injected fault = shed
+            return False
+        return not (self.max_pending and self._pending >= self.max_pending)
+
     async def _respond(self, text: str) -> bytes:
         request_id = None
         sql = text
         timeout = self.request_timeout
+        payload = None
+        action = "sql"
         if text.startswith("{"):
             try:
                 payload = json.loads(text)
                 if isinstance(payload, dict):
                     request_id = payload.get("id")
                     if "update" in payload:
-                        return self._apply_update(payload, request_id)
-                    if "compact" in payload:
-                        return self._apply_compact(payload, request_id)
-                    if payload.get("timeout_ms") is not None:
-                        # per-request deadline overrides the server-wide
-                        # --request-timeout (0 disables for this request)
-                        timeout = float(payload["timeout_ms"]) / 1e3 or None
-                sql = payload["sql"]
+                        action = "update"
+                    elif "compact" in payload:
+                        action = "compact"
+                    else:
+                        if payload.get("timeout_ms") is not None:
+                            # per-request deadline overrides the
+                            # server-wide --request-timeout (0 disables
+                            # for this request)
+                            timeout = (float(payload["timeout_ms"]) / 1e3
+                                       or None)
+                        sql = payload["sql"]
+                else:
+                    sql = payload["sql"]  # not a dict: bad request below
             except (json.JSONDecodeError, KeyError, TypeError,
                     ValueError) as exc:
                 self.failures += 1
                 return _encode({"id": request_id,
                                 "error": f"bad request: {exc}"})
+        if not await self._admit():
+            self.shed += 1
+            return _encode({
+                "id": request_id, "overloaded": True,
+                "error": (f"overloaded: {self._pending} requests in "
+                          f"flight (max_pending={self.max_pending})")})
+        self._pending += 1
+        try:
+            if action == "update":
+                return self._apply_update(payload, request_id)
+            if action == "compact":
+                return self._apply_compact(payload, request_id)
+            return await self._respond_sql(sql, request_id, timeout)
+        finally:
+            self._pending -= 1
+
+    async def _respond_sql(self, sql, request_id,
+                           timeout: Optional[float]) -> bytes:
         self.requests += 1
         t0 = time.perf_counter()
         async def _run():
@@ -522,7 +578,8 @@ def _encode(payload: dict) -> bytes:
 
 async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
                     port: int = 0, sock=None,
-                    request_timeout: Optional[float] = None) -> QueryServer:
+                    request_timeout: Optional[float] = None,
+                    max_pending: int = 0) -> QueryServer:
     """Start the line-protocol server (``port=0`` picks a free port).
 
     Pass a pre-bound *sock* instead of host/port to serve a socket the
@@ -530,7 +587,8 @@ async def serve_tcp(engine: AsyncEngine, host: str = "127.0.0.1",
     the running :class:`QueryServer`; callers ``await
     server.wait_closed()`` to serve until a SHUTDOWN request arrives.
     """
-    holder = QueryServer(engine=engine, request_timeout=request_timeout)
+    holder = QueryServer(engine=engine, request_timeout=request_timeout,
+                         max_pending=max_pending)
     if sock is not None:
         holder.server = await asyncio.start_server(holder._handle, sock=sock)
     else:
@@ -542,12 +600,39 @@ async def run_server(db: Database, options: Optional[EngineOptions] = None,
                      host: str = "127.0.0.1", port: int = 7433,
                      max_concurrency: Optional[int] = None,
                      request_timeout: Optional[float] = None,
+                     max_pending: int = 0,
+                     membership_port: Optional[int] = None,
                      announce=print) -> None:
     """``astore serve``: build the engine, listen, serve until SHUTDOWN
-    (or cancellation, e.g. KeyboardInterrupt in the CLI)."""
+    (or cancellation, e.g. KeyboardInterrupt in the CLI).
+
+    With *membership_port* set (0 = pick a free port) the serve process
+    also hosts the cluster's :class:`~repro.engine.membership
+    .MembershipServer`: shard nodes ``astore node --join`` it, and the
+    engine's remote backend follows the resulting view — crashed nodes
+    fall out, restarted ones rejoin, and the join reply's stamps give a
+    restarted node its catch-up fencing.
+    """
+    from dataclasses import replace
+
+    membership_server = None
+    if membership_port is not None:
+        from .membership import MembershipServer
+        from .sharding import database_stamp
+
+        membership_server = MembershipServer(
+            host=host, port=membership_port,
+            stamps_fn=lambda: database_stamp(db)).start()
+        if options is None:
+            options = EngineOptions(parallel_backend="remote",
+                                    cache_results=True)
+        options = replace(options, membership=membership_server.address)
+        announce(f"astore serve: membership view on "
+                 f"{membership_server.address}")
     engine = AsyncEngine(db, options=options, max_concurrency=max_concurrency)
     server = await serve_tcp(engine, host, port,
-                             request_timeout=request_timeout)
+                             request_timeout=request_timeout,
+                             max_pending=max_pending)
     bound_host, bound_port = server.address
     announce(f"astore serve: listening on {bound_host}:{bound_port} "
              f"(backend={engine.engine.options.parallel_backend}, "
@@ -557,5 +642,7 @@ async def run_server(db: Database, options: Optional[EngineOptions] = None,
         await server.wait_closed()
     finally:
         await server.stop()
+        if membership_server is not None:
+            membership_server.close()
     announce(f"astore serve: stopped after {server.requests} requests "
              f"({server.failures} failed)")

@@ -112,7 +112,7 @@ def remote_engine(db, nodes, **overrides):
 
 class TestChaosRules:
     def test_parse_format_round_trip(self):
-        spec = "kill@node.request:3;delay@node.run:1x0=0.4;drop@a.b"
+        spec = "kill@node.request:3;delay@node.run:1x0=0.4;drop@node.response"
         rules = parse_rules(spec)
         assert [r.action for r in rules] == ["kill", "delay", "drop"]
         assert rules[0].first == 3 and rules[0].count == 1
@@ -125,29 +125,29 @@ class TestChaosRules:
             parse_rules(bad)
 
     def test_rules_fire_on_exact_hits(self):
-        controller = ChaosController(parse_rules("drop@site:2"))
-        controller.fire("site")  # hit 1: not due
+        controller = ChaosController(parse_rules("drop@node.request:2"))
+        controller.fire("node.request")  # hit 1: not due
         with pytest.raises(ChaosDrop):
-            controller.fire("site")  # hit 2: due
-        controller.fire("site")  # hit 3: spent
-        assert controller.fired == [("site", "drop", 2)]
+            controller.fire("node.request")  # hit 2: due
+        controller.fire("node.request")  # hit 3: spent
+        assert controller.fired == [("node.request", "drop", 2)]
 
     def test_unbounded_error_rule(self):
-        controller = ChaosController(parse_rules("error@s:1x0"))
+        controller = ChaosController(parse_rules("error@node.run:1x0"))
         for _ in range(3):
             with pytest.raises(ChaosError):
-                controller.fire("s")
+                controller.fire("node.run")
 
     def test_corrupt_flips_payload_bytes(self):
-        controller = ChaosController(parse_rules("corrupt@s"))
-        garbled = controller.fire("s", b"pickle-bytes")
+        controller = ChaosController(parse_rules("corrupt@node.response"))
+        garbled = controller.fire("node.response", b"pickle-bytes")
         assert garbled != b"pickle-bytes" and len(garbled) == 12
-        assert controller.fire("s", b"pickle-bytes") == b"pickle-bytes"
+        assert controller.fire("node.response", b"pickle-bytes") == b"pickle-bytes"
 
     def test_delay_uses_injected_sleeper(self):
-        controller = ChaosController(parse_rules("delay@s=0.25"))
+        controller = ChaosController(parse_rules("delay@serve.request=0.25"))
         slept = []
-        controller.fire("s", sleeper=slept.append)
+        controller.fire("serve.request", sleeper=slept.append)
         assert slept == [0.25]
 
 
