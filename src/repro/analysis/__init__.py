@@ -1,0 +1,50 @@
+"""Static invariant analysis (``astore lint``).
+
+Nine PRs of engine growth rest on conventions that, until now, lived
+only in docs/architecture.md and review memory: registry state is only
+touched under its declared lock (PR 5 fixed three races born from
+violating this), everything reachable from a portable bound plan must
+pickle (PR 2), every data mutation bumps the ``(table,
+mutation_count)`` stamps (PRs 3/6/8), every network I/O path passes a
+chaos site (PR 8), and ``async def`` bodies never block the event loop
+(PR 5).  This package turns those conventions into machine-checked
+rules over Python's ``ast``:
+
+* :mod:`~repro.analysis.loader` — source loading: parse trees with
+  parent links, a ``with``-context tracker, ``# astore: ...`` marker
+  comments, and the ``GUARDED_BY`` declarations the lock checker reads;
+* :mod:`~repro.analysis.model` — the :class:`Finding` model and the
+  committed :class:`Baseline`;
+* :mod:`~repro.analysis.framework` — the :class:`Checker` protocol and
+  :func:`run_lint`;
+* :mod:`~repro.analysis.checkers` — the five project rules:
+  ``lock-discipline``, ``plan-portability``, ``stamp-protocol``,
+  ``chaos-coverage``, ``async-hygiene``.
+
+Suppress a single finding with a trailing ``# astore: ignore[rule-id]``
+comment; declare a function that runs with a lock already held with
+``# astore: holds[lock-expr]`` on its ``def`` line.  Findings that
+predate the analyzer live in ``analysis/baseline.json`` (rewritten via
+``astore lint --baseline``); CI fails on any finding outside it.
+"""
+
+from .framework import (
+    LintReport,
+    default_baseline_path,
+    default_root,
+    explain_rule,
+    rule_ids,
+    run_lint,
+)
+from .model import Baseline, Finding
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "default_baseline_path",
+    "default_root",
+    "explain_rule",
+    "rule_ids",
+    "run_lint",
+]

@@ -1,0 +1,125 @@
+"""async-hygiene: no blocking calls inside ``async def`` bodies."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..framework import Checker
+from ..loader import ModuleSource, Project
+from ..model import Finding
+
+# module-qualified blocking calls: (root name, attr or None for any)
+_BLOCKED_QUALIFIED = {
+    ("time", "sleep"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("os", "system"),
+    ("os", "waitpid"),
+    ("socket", "create_connection"),
+    ("fcntl", None),
+    ("select", "select"),
+}
+
+# blocking methods on arbitrary objects (sockets, pipes, futures)
+_BLOCKED_METHOD_ATTRS = {
+    "recv",
+    "recvfrom",
+    "recv_into",
+    "sendall",
+    "sendto",
+    "accept",
+    "connect",
+}
+
+_SYNC_SCOPES = (ast.FunctionDef, ast.Lambda)
+
+
+class AsyncHygieneChecker(Checker):
+    rule_id = "async-hygiene"
+    title = "async def bodies never block the event loop"
+    contract = """
+    One event loop multiplexes every connected client (AsyncEngine,
+    astore serve); a single blocking call inside an `async def` —
+    time.sleep, a raw socket recv/sendall/connect/accept,
+    subprocess.run, an fcntl wait, select.select — stalls all of them
+    for its full duration.  Blocking work belongs behind
+    run_in_executor, asyncio primitives (asyncio.sleep, open_connection),
+    or a sync helper invoked from a worker thread.  Nested synchronous
+    `def` and lambdas inside an async function are not checked: they
+    run wherever they are later called.
+    """
+    prevents = """
+    PR 5's serving layer is single-loop by design; the three races it
+    fixed were found exactly because the loop must never stall.  A
+    blocking call in an async handler reintroduces the head-of-line
+    blocking the morsel/async split exists to avoid.
+    """
+    example_bad = """
+    async def _respond(self, payload):
+        time.sleep(0.05)          # stalls every connected client
+        return self.engine.run(payload)
+    """
+    example_fix = """
+    async def _respond(self, payload):
+        await asyncio.sleep(0.05)
+        return await loop.run_in_executor(None, self.engine.run, payload)
+    """
+
+    def check(self, module: ModuleSource, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, node)
+
+    def _check_async_body(
+        self, module: ModuleSource, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for call in _async_scope_calls(func):
+            why = _blocking_reason(call)
+            if why is not None:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    f"blocking call {why} inside async function "
+                    f"{func.name!r} stalls the event loop for every "
+                    f"connected client; use the asyncio equivalent or "
+                    f"run_in_executor",
+                    symbol=func.name,
+                )
+
+
+def _async_scope_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically in *func*'s own async scope: nested sync defs,
+    lambdas, and nested async defs (checked separately) are skipped."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SYNC_SCOPES + (ast.AsyncFunctionDef,)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        root = _root_name(func)
+        for mod, attr in _BLOCKED_QUALIFIED:
+            if root == mod and (attr is None or func.attr == attr):
+                return f"{root}.{func.attr}"
+        if func.attr in _BLOCKED_METHOD_ATTRS and root not in ("self", "asyncio"):
+            return f".{func.attr}() (raw socket/pipe I/O)"
+    return None
+
+
+def _root_name(node: ast.Attribute) -> Optional[str]:
+    cur: ast.AST = node
+    while isinstance(cur, ast.Attribute):
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        return cur.id
+    return None

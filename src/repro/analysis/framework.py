@@ -1,0 +1,185 @@
+"""Checker protocol and the lint runner."""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from .loader import ModuleSource, Project
+from .model import Baseline, Finding
+
+
+class Checker:
+    """One invariant rule.
+
+    Subclasses set the identity/explain fields and implement
+    :meth:`check`, yielding :class:`Finding` objects; suppression and
+    baseline handling happen in :func:`run_lint`.
+    """
+
+    rule_id = "abstract"
+    severity = "error"
+    title = ""
+    contract = ""
+    prevents = ""
+    example_bad = ""
+    example_fix = ""
+
+    def check(
+        self, module: ModuleSource, project: Project
+    ) -> Iterator[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, line: int, message: str, symbol: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.relpath,
+            line=line,
+            message=message,
+            symbol=symbol,
+            snippet=module.line_text(line),
+        )
+
+    def explain(self) -> str:
+        parts = [f"{self.rule_id} — {self.title}", ""]
+        parts.append(textwrap.dedent(self.contract).strip())
+        if self.prevents:
+            parts += ["", "History: " + textwrap.dedent(self.prevents).strip()]
+        if self.example_bad:
+            parts += ["", "Violation:", _indent(self.example_bad)]
+        if self.example_fix:
+            parts += ["", "Fix:", _indent(self.example_fix)]
+        parts += [
+            "",
+            f"Suppress a single line with:  # astore: ignore[{self.rule_id}]",
+        ]
+        return "\n".join(parts)
+
+
+def _indent(block: str) -> str:
+    return textwrap.indent(textwrap.dedent(block).strip("\n"), "    ")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: Path
+    rules: List[str]
+    findings: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def to_json(self) -> dict:
+        return {
+            "root": str(self.root),
+            "rules": self.rules,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+            },
+            "new": [f.to_json() for f in self.new],
+            "baselined": [f.to_json() for f in self.baselined],
+        }
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package — what ``astore lint`` scans by default."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> Path:
+    return default_root() / "analysis" / "baseline.json"
+
+
+def rule_ids() -> List[str]:
+    from .checkers import all_checkers
+
+    return [checker.rule_id for checker in all_checkers()]
+
+
+def explain_rule(rule_id: str) -> Optional[str]:
+    from .checkers import all_checkers
+
+    for checker in all_checkers():
+        if checker.rule_id == rule_id:
+            return checker.explain()
+    return None
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline_path: object = "auto",
+    update_baseline: bool = False,
+) -> LintReport:
+    """Run the checkers over *root* and reconcile against the baseline.
+
+    With no explicit *root* the installed ``repro`` package is scanned
+    and the committed ``analysis/baseline.json`` applies; an explicit
+    *root* (fixture trees, other projects) gets no implicit baseline.
+    """
+    from .checkers import all_checkers
+
+    explicit_root = root is not None
+    scan_root = Path(root) if explicit_root else default_root()
+    if baseline_path == "auto":
+        baseline_file: Optional[Path] = (
+            None if explicit_root else default_baseline_path()
+        )
+    else:
+        baseline_file = Path(baseline_path) if baseline_path else None
+
+    checkers = list(all_checkers())
+    if rules:
+        wanted = set(rules)
+        known = {checker.rule_id for checker in checkers}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                "unknown rule(s): %s (known: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(sorted(known)))
+            )
+        checkers = [c for c in checkers if c.rule_id in wanted]
+
+    project = Project.load(scan_root)
+    findings: List[Finding] = []
+    suppressed = 0
+    for module in project.modules:
+        for checker in checkers:
+            for finding in checker.check(module, project):
+                if module.suppressed(finding.line, finding.rule):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if update_baseline and baseline_file is not None:
+        Baseline.save(baseline_file, findings)
+    baseline = Baseline.load(baseline_file)
+    new, old = baseline.partition(findings)
+    return LintReport(
+        root=scan_root,
+        rules=[c.rule_id for c in checkers],
+        findings=findings,
+        new=new,
+        baselined=old,
+        suppressed=suppressed,
+        files=len(project.modules),
+    )

@@ -1,0 +1,102 @@
+"""Finding model, fingerprints, and the committed baseline.
+
+A :class:`Finding` anchors one rule violation to a ``file:line``; its
+*fingerprint* is content-addressed (rule, file, symbol, and the text of
+the anchor line) so pure line drift — inserting unrelated code above a
+baselined finding — neither resurrects it nor orphans the baseline
+entry.  The :class:`Baseline` is the committed ledger of accepted
+findings: ``astore lint`` fails only on findings outside it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored to a source line."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    symbol: str = ""
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        basis = "|".join((self.rule, self.path, self.symbol, self.snippet))
+        return hashlib.sha1(basis.encode("utf-8")).hexdigest()[:16]
+
+    def anchor(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class Baseline:
+    """Accepted findings, matched by fingerprint with multiplicity.
+
+    A fingerprint carried twice absolves at most two live findings, so
+    quietly adding a third identical violation on an already-baselined
+    line still fails the gate.
+    """
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not Path(path).exists():
+            return cls()
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        counts: Dict[str, int] = {}
+        for entry in payload.get("findings", []):
+            fp = entry["fingerprint"]
+            counts[fp] = counts.get(fp, 0) + 1
+        return cls(counts)
+
+    @staticmethod
+    def save(path: Path, findings: Iterable[Finding]) -> None:
+        payload = {
+            "version": 1,
+            "tool": "astore lint",
+            "findings": [f.to_json() for f in findings],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def partition(
+        self, findings: Iterable[Finding],
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into ``(new, baselined)``, consuming multiplicity."""
+        budget = dict(self.counts)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

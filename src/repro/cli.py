@@ -316,6 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     val = sub.add_parser("validate", help="check referential integrity")
     val.add_argument("database", help="a .npz archive")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant analysis: lock discipline, plan "
+             "portability, stamp protocol, chaos coverage, async "
+             "hygiene")
+    lint.add_argument("root", nargs="?", default=None,
+                      help="directory or file to analyze (default: the "
+                           "installed repro package, with the committed "
+                           "baseline applied)")
+    lint.add_argument("--rule", action="append", metavar="RULE-ID",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="fmt", help="output format")
+    lint.add_argument("--baseline", action="store_true",
+                      help="rewrite the baseline file with the current "
+                           "findings instead of failing on them")
+    lint.add_argument("--baseline-file", default=None, metavar="PATH",
+                      help="baseline to reconcile against (default: the "
+                           "committed src/repro/analysis/baseline.json "
+                           "when scanning the default root)")
+    lint.add_argument("--explain", metavar="RULE-ID",
+                      help="print the rule's contract, history, and an "
+                           "example violation/fix, then exit")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the available rule ids and exit")
     return parser
 
 
@@ -486,7 +512,63 @@ def _dispatch(args) -> int:
         print(f"{db.name}: {len(db.references)} references consistent")
         return 0
 
+    if args.command == "lint":
+        return _dispatch_lint(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dispatch_lint(args) -> int:
+    """``astore lint``: run the invariant analyzer (see repro.analysis)."""
+    import json as _json
+
+    from . import analysis
+
+    if args.list_rules:
+        for rule_id in analysis.rule_ids():
+            print(rule_id)
+        return 0
+    if args.explain:
+        text = analysis.explain_rule(args.explain)
+        if text is None:
+            raise AStoreError(
+                f"unknown rule {args.explain!r} "
+                f"(known: {', '.join(analysis.rule_ids())})")
+        print(text)
+        return 0
+    try:
+        report = analysis.run_lint(
+            root=args.root,
+            rules=args.rule,
+            baseline_path=(args.baseline_file if args.baseline_file
+                           else "auto"),
+            update_baseline=args.baseline,
+        )
+    except ValueError as exc:
+        raise AStoreError(str(exc))
+    if args.baseline:
+        target = (args.baseline_file or
+                  (analysis.default_baseline_path() if args.root is None
+                   else None))
+        if target is None:
+            raise AStoreError(
+                "--baseline with an explicit root needs --baseline-file")
+        print(f"baseline written: {len(report.findings)} finding(s) "
+              f"-> {target}")
+        return 0
+    if args.fmt == "json":
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        for finding in report.new:
+            print(f"{finding.anchor()}: [{finding.rule}] {finding.message}")
+        for finding in report.baselined:
+            print(f"{finding.anchor()}: [{finding.rule}] (baselined) "
+                  f"{finding.message}")
+        print(f"astore lint: {len(report.findings)} finding(s) "
+              f"({len(report.new)} new, {len(report.baselined)} baselined, "
+              f"{report.suppressed} suppressed) over {report.files} files "
+              f"[rules: {', '.join(report.rules)}]")
+    return 0 if report.ok else 1
 
 
 def _dispatch_bench(args) -> int:

@@ -288,13 +288,16 @@ def attach_database(manifest: ArenaManifest) -> AttachedDatabase:
         for col_entry in entry["columns"]:
             data = view(_buffer_key(table_name, col_entry["name"]))
             table.add_column(_wrap_column(col_entry, data))
-        table._nrows = entry["num_rows"]
-        table._deleted = view(_buffer_key(table_name, "$deleted"))
-        table._free_slots = list(entry["free_slots"])
+        # attach-time restore: the worker-side table mirrors the arena's
+        # exported point-in-time buffers; these writes are construction,
+        # and the arena's staleness is tracked by database_stamp, not here
+        table._nrows = entry["num_rows"]  # astore: ignore[stamp-protocol]
+        table._deleted = view(_buffer_key(table_name, "$deleted"))  # astore: ignore[stamp-protocol]
+        table._free_slots = list(entry["free_slots"])  # astore: ignore[stamp-protocol]
         if entry["mvcc"]:
-            table._insert_version = view(
+            table._insert_version = view(  # astore: ignore[stamp-protocol]
                 _buffer_key(table_name, "$insert_version"))
-            table._delete_version = view(
+            table._delete_version = view(  # astore: ignore[stamp-protocol]
                 _buffer_key(table_name, "$delete_version"))
         db.add_table(table)
     for child_table, child_column, parent_table, parent_key in \

@@ -24,6 +24,8 @@ class Bitmap:
     operations (AND/OR/NOT, population count, gather) are NumPy-vectorized.
     """
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     __slots__ = ("_words", "_nbits")
 
     def __init__(self, nbits: int, fill: bool = False):

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import SchemaError
-from .column import AIRColumn, DictColumn, FixedColumn, StringColumn
+from .column import AIRColumn, DictColumn, StringColumn
 from .table import Table
 
 
@@ -46,6 +46,8 @@ class ReferencePath:
     For the snowflake query of the paper's Fig. 3 one path is
     ``lineitem → order → customer → nation → region``.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     references: tuple
 

@@ -63,7 +63,7 @@ import struct
 import tempfile
 import threading
 from multiprocessing import shared_memory
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -24,8 +24,7 @@ import numpy as np
 
 from ..errors import SchemaError, StorageError
 from .bitmap import Bitmap
-from .column import AIRColumn, Column, make_column
-from .types import DataType
+from .column import Column, make_column
 
 _NO_DELETE = np.iinfo(np.int64).max
 
@@ -86,6 +85,9 @@ class Table:
                 self._insert_version = np.zeros(self._nrows, dtype=np.int64)
                 self._delete_version = np.full(self._nrows, _NO_DELETE, np.int64)
         self.columns[column.name] = column
+        # a schema change is a mutation: every cache tier keyed on this
+        # table must revalidate, same as replace_column
+        self._mutation_count += 1
 
     def replace_column(self, name: str, column: Column) -> None:
         """Swap a column implementation (used by the AIR loader)."""

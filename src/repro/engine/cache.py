@@ -179,9 +179,10 @@ class QueryCache:
 
     def shared_store(self):
         """The attached shared store, or ``None``."""
-        return self._shared
+        with self._lock:
+            return self._shared
 
-    def _shared_get(self, tier: str, key: tuple, db: Database):
+    def _shared_get(self, tier: str, key: tuple, db: Database):  # astore: holds[self._lock]
         store = self._shared
         if store is None or tier not in SHARED_TIERS:
             return None
@@ -221,7 +222,7 @@ class QueryCache:
             nbytes = bound_nbytes(value)
         return value, nbytes
 
-    def _publish_shared(self, tier: str, key: tuple, value,
+    def _publish_shared(self, tier: str, key: tuple, value,  # astore: holds[self._lock]
                         stamps: Stamps) -> None:
         store = self._shared
         if store is None or tier not in SHARED_TIERS or stamps is None:
@@ -235,7 +236,7 @@ class QueryCache:
         except Exception:
             pass
 
-    def _broadcast_stamps(self, db: Database) -> None:
+    def _broadcast_stamps(self, db: Database) -> None:  # astore: holds[self._lock]
         """Tell sibling processes about a locally observed mutation."""
         store = self._shared
         if store is not None:
@@ -301,7 +302,7 @@ class QueryCache:
             self._publish_shared(tier, key, value, stamps)
             return True
 
-    def _store_local(self, tier: str, key: tuple, value, stamps: Stamps,
+    def _store_local(self, tier: str, key: tuple, value, stamps: Stamps,  # astore: holds[self._lock]
                      nbytes: int) -> None:
         """Insert into the local tier and apply its entry/byte bounds
         (shared by :meth:`put` and shared-hit promotion)."""
@@ -493,6 +494,20 @@ def bound_nbytes(bound) -> int:
 
 _CACHES: "weakref.WeakKeyDictionary[Database, QueryCache]" = (
     weakref.WeakKeyDictionary())
+_CACHES_LOCK = threading.Lock()
+
+#: Lock contract, machine-checked by ``astore lint`` (lock-discipline).
+#: The tier dicts, their stats, and the shared-store handle all move
+#: together under the cache's reentrant lock; the process-wide registry
+#: has its own (the unlocked get-or-create here was a check-then-act
+#: race: two threads resolving the same database could mint two caches,
+#: splitting single-flight and stamp-broadcast state between them).
+GUARDED_BY = {
+    "_CACHES": "_CACHES_LOCK",
+    "QueryCache._tiers": "self._lock",
+    "QueryCache._stats": "self._lock",
+    "QueryCache._shared": "self._lock",
+}
 
 
 def query_cache_for(db: Database) -> QueryCache:
@@ -503,7 +518,8 @@ def query_cache_for(db: Database) -> QueryCache:
     database, so entries can never outlive (or be misattributed to)
     their data.
     """
-    cache = _CACHES.get(db)
-    if cache is None:
-        cache = _CACHES[db] = QueryCache()
-    return cache
+    with _CACHES_LOCK:
+        cache = _CACHES.get(db)
+        if cache is None:
+            cache = _CACHES[db] = QueryCache()
+        return cache

@@ -68,8 +68,10 @@ KNOWN_SITES = frozenset({
     "coordinator.recv",      # coordinator: response frame arriving
     "coordinator.admit",     # serve front door: request admission
     "membership.heartbeat",  # membership prober: one heartbeat probe
+    "membership.request",    # membership client: join/members round trip
     "serve.request",         # serve layer: a query request accepted
     "fleet.worker",          # fleet worker process: just spawned
+    "fleet.handoff",         # fleet supervisor: fd handoff to a worker
 })
 
 

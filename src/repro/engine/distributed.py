@@ -69,7 +69,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.shmcache import StampLane
-from ..errors import ExecutionError, ShardExecutionError
+from ..errors import ExecutionError
 from .chaos import ChaosDrop, chaos_point, install_chaos
 from .sharding import ShardOutcome, database_stamp
 from . import sharding as _sharding
@@ -307,7 +307,9 @@ def run_node(database_path: str, host: str = "127.0.0.1", port: int = 0,
     with contextlib.suppress(ValueError):  # ValueError: not the main thread
         signal.signal(signal.SIGTERM, lambda signum, frame: node.stop())
     if ready is not None:
-        ready.send((node.host, node.port, os.getpid()))
+        # startup-readiness pipe to the spawning harness, not a network
+        # path: chaos here could only wedge test setup
+        ready.send((node.host, node.port, os.getpid()))  # astore: ignore[chaos-coverage]
     announce(f"astore node: serving shards of {database_path} on "
              f"{node.host}:{node.port} (pid {os.getpid()})")
     node.serve_forever()
@@ -399,7 +401,8 @@ class LocalNodes:
             self.close()
             raise ExecutionError(
                 f"shard node {index} not ready after {self.start_timeout}s")
-        node_host, node_port, pid = parent.recv()
+        # readiness pipe (see run_node): harness setup, not chaos surface
+        node_host, node_port, pid = parent.recv()  # astore: ignore[chaos-coverage]
         parent.close()
         return NodeHandle(process, node_host, node_port, pid)
 
@@ -449,7 +452,9 @@ class LocalNodes:
             if not node.process.is_alive():
                 continue
             with contextlib.suppress(Exception):
-                with socket.create_connection(
+                # teardown must always run for real: a chaos site here
+                # would let an armed spec leak node processes
+                with socket.create_connection(  # astore: ignore[chaos-coverage]
                         (node.host, node.port), timeout=2.0) as sock:
                     sock.settimeout(2.0)
                     send_frame(sock, ("shutdown",))
@@ -596,6 +601,24 @@ class _NodeLink:
                 sock.close()
 
 
+#: Lock contract, machine-checked by ``astore lint`` (lock-discipline):
+#: the link list and the by-address map must stay coherent (the
+#: duplicate-link race this caught: two concurrent runs folding the
+#: same membership view could admit one address twice), and the counter
+#: dict is bumped from scatter threads, the heartbeat thread, and the
+#: breaker transition callback.  Per-link fields (``alive``/``stale``)
+#: are deliberately lock-free flags: single-word reads whose staleness
+#: only costs an extra retry, never correctness.
+GUARDED_BY = {
+    "RemoteShardBackend.links": "self._link_lock",
+    "RemoteShardBackend._link_map": "self._link_lock",
+    "RemoteShardBackend.counters": "self._counter_lock",
+    # refcount rides under the shard-registry lock, same contract as
+    # ProcessShardBackend.refs (release_shard_backend serves both)
+    "RemoteShardBackend.refs": "_REGISTRY_LOCK",
+}
+
+
 class RemoteShardBackend:
     """Scatter a bound plan's shards over remote nodes; gather in order.
 
@@ -679,7 +702,9 @@ class RemoteShardBackend:
 
     def close(self) -> None:
         self._closed.set()
-        for link in self.links:
+        with self._link_lock:
+            links = list(self.links)
+        for link in links:
             link.reset()
 
     def __enter__(self) -> "RemoteShardBackend":
@@ -706,6 +731,12 @@ class RemoteShardBackend:
         link.incarnation = incarnation
         link.breaker = self._new_breaker()
         with self._link_lock:
+            existing = self._link_map.get(address)
+            if existing is not None:
+                # two runs refreshed membership concurrently: the first
+                # admission wins; minting a second link for the same
+                # address would split breaker/staleness state
+                return existing
             self._link_map[address] = link
             self.links.append(link)
         if joined:
@@ -727,7 +758,8 @@ class RemoteShardBackend:
         if self.membership is None:
             return
         for address, state, incarnation in self.membership.members():
-            link = self._link_map.get(address)
+            with self._link_lock:
+                link = self._link_map.get(address)
             if link is None:
                 if state != "dead":
                     self._add_link(address, incarnation, report=report)
@@ -748,7 +780,9 @@ class RemoteShardBackend:
     # -- health -------------------------------------------------------------
 
     def alive_nodes(self) -> List[_NodeLink]:
-        return [link for link in self.links
+        with self._link_lock:
+            links = list(self.links)
+        return [link for link in links
                 if link.alive and not link.stale and link.breaker.admits()]
 
     def _mark_dead(self, link: _NodeLink,
@@ -760,7 +794,9 @@ class RemoteShardBackend:
 
     def _heartbeat_loop(self) -> None:
         while not self._closed.wait(self.heartbeat_seconds):
-            for link in self.links:
+            with self._link_lock:
+                links = list(self.links)
+            for link in links:
                 # only probe nodes we have actually spoken to: a node
                 # still starting up must not be declared dead on sight
                 if not link.alive or not link.ever_connected:
@@ -782,7 +818,9 @@ class RemoteShardBackend:
         node's lane (the ``SharedQueryStore.publish_stamps`` protocol
         over the wire); idempotent per stamp value."""
         stamps = database_stamp(self.db)
-        for link in self.links:
+        with self._link_lock:
+            links = list(self.links)
+        for link in links:
             if not link.alive:
                 continue
             with contextlib.suppress(Exception):

@@ -49,7 +49,7 @@ import signal
 import socket
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..core.arena import ArenaManifest, ColumnArena, attach_database
@@ -372,7 +372,9 @@ class ServeFleet:
                 index = next(i for i in pending
                              if self._workers[i].pipe is pipe)
                 try:
-                    message = pipe.recv()
+                    # supervisor<->worker control pipe, not a network
+                    # path: chaos coverage here would break respawn
+                    message = pipe.recv()  # astore: ignore[chaos-coverage]
                 except (EOFError, OSError):
                     process = self._workers[index].process
                     process.join(timeout=5)
@@ -457,7 +459,8 @@ class ServeFleet:
     def _drain_pipe(self, pipe) -> None:
         try:
             while pipe.poll():
-                message = pipe.recv()
+                # control pipe (see _await_ready): not chaos surface
+                message = pipe.recv()  # astore: ignore[chaos-coverage]
                 if not message:
                     continue
                 if message[0] == _SHUTDOWN and not self._draining:
@@ -479,7 +482,9 @@ class ServeFleet:
             if worker.process.is_alive():
                 with contextlib.suppress(Exception):
                     with self._pipe_lock:
-                        worker.pipe.send("drain")
+                        # graceful-drain control message: chaos must not
+                        # be able to wedge shutdown
+                        worker.pipe.send("drain")  # astore: ignore[chaos-coverage]
 
     # -- fd handoff (no SO_REUSEPORT) ---------------------------------------
 
@@ -499,6 +504,10 @@ class ServeFleet:
                 client.close()
                 continue
             try:
+                # the fd handoff is this path's network hop: make it
+                # injectable so chaos runs can drop a connection between
+                # accept and the worker picking it up
+                chaos_point("fleet.handoff", payload=worker.process.pid)
                 with self._pipe_lock:
                     worker.pipe.send(("conn",))
                     reduction.send_handle(worker.pipe, client.fileno(),

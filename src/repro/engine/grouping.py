@@ -24,7 +24,7 @@ makes the multicore path of Section 5 a pure element-wise merge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +47,8 @@ class GroupAxis:
     For fact-table axes the code is derived from the value itself
     (dictionary code, offset integer, or sorted-unique rank).
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     keys: Tuple[GroupKey, ...]
     card: int

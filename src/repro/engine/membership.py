@@ -48,7 +48,7 @@ import os
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import MembershipError
@@ -58,6 +58,19 @@ from .distributed import _CONNECT_TIMEOUT, recv_frame, send_frame
 ALIVE = "alive"
 SUSPECT = "suspect"
 DEAD = "dead"
+
+
+#: Lock contract, machine-checked by ``astore lint`` (lock-discipline):
+#: the member table and its transition log shift together under the
+#: view lock (register/probe/leave all read-modify-write both); the
+#: coordinator-side MembershipClient snapshot and its fetch time move
+#: together under the client lock.
+GUARDED_BY = {
+    "ClusterView._members": "self._lock",
+    "ClusterView.transitions": "self._lock",
+    "MembershipClient._snapshot": "self._lock",
+    "MembershipClient._fetched_at": "self._lock",
+}
 
 
 @dataclass
@@ -97,7 +110,7 @@ class ClusterView:
         self._members: Dict[str, Member] = {}
         self._lock = threading.Lock()
 
-    def _shift(self, member: Member, state: str) -> None:
+    def _shift(self, member: Member, state: str) -> None:  # astore: holds[self._lock]
         if member.state == state:
             return
         old, member.state = member.state, state
@@ -315,6 +328,9 @@ def _membership_request(address: str, message, timeout: float) -> tuple:
     if not host or not port.isdigit():
         raise MembershipError(
             f"bad membership address {address!r} (expected host:port)")
+    # injectable client-side failure for join/members round trips, so
+    # chaos runs can exercise unreachable-membership paths
+    chaos_point("membership.request", payload=message)
     try:
         with socket.create_connection(
                 (host, int(port)),

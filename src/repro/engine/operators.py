@@ -56,6 +56,8 @@ class PredicateFilter:
     positional gather, ``mask[air_positions]``.
     """
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     __slots__ = ("packed", "_mask", "_prefix")
 
     def __init__(self, mask: np.ndarray):

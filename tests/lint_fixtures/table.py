@@ -1,0 +1,14 @@
+"""Seeded stamp-protocol violation: the basename makes this file a
+consecrated mutation module, so the public entry point below must bump
+the stamp — and deliberately does not."""
+
+
+class MiniTable:
+    def __init__(self):
+        self._nrows = 0
+        self._deleted = []
+        self._mutation_count = 0
+
+    def truncate(self):
+        self._nrows = 0
+        self._deleted = []

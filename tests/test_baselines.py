@@ -15,7 +15,7 @@ from repro.datagen import generate_ssb
 from repro.errors import PlanError, SchemaError
 from repro.plan import bind
 
-from .conftest import build_tiny_snowflake, build_tiny_star
+from .conftest import build_tiny_snowflake
 
 
 def tiny_star_raw():

@@ -1,7 +1,6 @@
 """Tests for the AIRScan executor: correctness on hand-checkable data,
 variant equivalence, parallel merge, snapshots, projections, ordering."""
 
-import numpy as np
 import pytest
 
 from repro.engine import AStoreEngine, EngineOptions, VARIANTS

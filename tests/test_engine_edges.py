@@ -7,7 +7,6 @@ from repro.core import Database
 from repro.engine import AStoreEngine, EngineOptions, VARIANTS
 from repro.errors import BindError, ExecutionError, PlanError
 
-from .conftest import build_tiny_star
 
 
 def empty_star() -> Database:

@@ -6,8 +6,6 @@ aggregation array (the paper's dimensionality-reduction remark in
 Section 4.3) without changing any result.
 """
 
-import numpy as np
-import pytest
 
 from repro.engine import AStoreEngine, build_axes
 from repro.engine.grouping import total_groups

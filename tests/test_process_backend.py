@@ -19,9 +19,9 @@ import sys
 import numpy as np
 import pytest
 
-from repro.core import ColumnArena, Database, attach_database
+from repro.core import ColumnArena, attach_database
 from repro.core.column import StringColumn
-from repro.engine import AStoreEngine, EngineOptions, VARIANTS
+from repro.engine import AStoreEngine, EngineOptions
 from repro.engine.operators import BACKENDS, PredicateFilter
 from repro.baselines import (
     FusedEngine,

@@ -32,7 +32,7 @@ from repro.core.column import DictColumn, FixedColumn
 from repro.core.types import DataType
 from repro.engine import AStoreEngine, QueryCache, ReorderState
 from repro.engine.aggregate import finalize, hash_aggregate
-from repro.engine.operators import Filter, IntersectScan, PredicateFilter
+from repro.engine.operators import Filter, IntersectScan
 from repro.engine.slice import RowRange
 from repro.plan.binder import AggSpec
 from repro.plan.expressions import (

@@ -1,9 +1,8 @@
 """Unit tests for the catalog: references, join graph, airify, consolidation."""
 
-import numpy as np
 import pytest
 
-from repro.core import AIRColumn, Database, Table
+from repro.core import AIRColumn, Database
 from repro.errors import SchemaError
 
 

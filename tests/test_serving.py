@@ -28,7 +28,6 @@ import pytest
 
 from repro.engine import AStoreEngine, AsyncEngine, EngineOptions
 from repro.engine import sharding
-from repro.engine.operators import BACKENDS
 from repro.engine.scratch import ScratchPool, lease_pool, local_pool
 from repro.engine.serve import serve_tcp
 from repro.workloads import SSB_QUERIES

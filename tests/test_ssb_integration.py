@@ -5,7 +5,6 @@ data, and the denormalized engine on the materialized universal table —
 identical results across all of them validate the entire stack end to end.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

@@ -1,6 +1,5 @@
 """Tests for the TPC-H adapted queries and the pipelining primitive."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import FusedEngine
